@@ -1,0 +1,113 @@
+// Ablations for the design choices called out in DESIGN.md §4:
+//   1. the relative mapping-set threshold sigma (Definition 1),
+//   2. neighbor-name root similarity k_ref (§4.2's normalization tolerance),
+//   3. the reference-FK edge discount c_reference (our §5.2 refinement),
+//   4. mapping-score factors in network weights.
+// Each table reports top-1 accuracy on the 17 textbook + 6 sophisticated
+// movie queries under the modified configuration.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/mapper.h"
+#include "core/relation_tree.h"
+#include "sql/parser.h"
+#include "workloads/metrics.h"
+#include "workloads/movie43.h"
+
+using namespace sfsql;            // NOLINT(build/namespaces)
+using namespace sfsql::workloads; // NOLINT(build/namespaces)
+
+namespace {
+
+struct Accuracy {
+  int correct = 0;
+  int total = 0;
+};
+
+Accuracy Evaluate(const storage::Database& db, const core::EngineConfig& cfg) {
+  core::SchemaFreeEngine engine(&db, cfg);
+  Accuracy acc;
+  for (const auto& queries : {TextbookQueries(), SophisticatedQueries()}) {
+    for (const BenchQuery& q : queries) {
+      ++acc.total;
+      auto best = engine.TranslateBest(q.sfsql);
+      if (!best.ok()) continue;
+      auto match = TranslationMatchesGold(db, *best, q.gold_sql);
+      if (match.ok() && *match) ++acc.correct;
+    }
+  }
+  return acc;
+}
+
+double AvgMappingSetSize(const storage::Database& db, double sigma) {
+  core::SimilarityConfig cfg;
+  cfg.sigma = sigma;
+  core::RelationTreeMapper mapper(&db, cfg);
+  double sets = 0;
+  int trees = 0;
+  for (const BenchQuery& q : TextbookQueries()) {
+    auto stmt = sql::ParseSelect(q.sfsql);
+    if (!stmt.ok()) continue;
+    auto extraction = core::ExtractRelationTrees(**stmt);
+    if (!extraction.ok()) continue;
+    for (const core::RelationTree& rt : extraction->trees) {
+      sets += static_cast<double>(mapper.Map(rt).candidates.size());
+      ++trees;
+    }
+  }
+  return trees == 0 ? 0.0 : sets / trees;
+}
+
+}  // namespace
+
+int main() {
+  auto db = BuildMovie43();
+
+  std::printf("Ablation 1 — relative threshold sigma (Definition 1)\n");
+  std::printf("%6s %18s %10s\n", "sigma", "avg |MAP(rt)|", "top-1");
+  for (double sigma : {0.5, 0.6, 0.7, 0.8, 0.9, 0.99}) {
+    core::EngineConfig cfg;
+    cfg.sim.sigma = sigma;
+    Accuracy acc = Evaluate(*db, cfg);
+    std::printf("%6.2f %18.2f %7d/%d\n", sigma, AvgMappingSetSize(*db, sigma),
+                acc.correct, acc.total);
+  }
+  std::printf("(sigma = 0.7 is the paper's setting: large enough to keep "
+              "competitors on poor guesses, small enough to stay focused)\n\n");
+
+  std::printf("Ablation 2 — neighbor-name root similarity k_ref (§4.2)\n");
+  std::printf("%6s %10s\n", "k_ref", "top-1");
+  for (double kref : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+    core::EngineConfig cfg;
+    cfg.sim.kref = kref;
+    Accuracy acc = Evaluate(*db, cfg);
+    std::printf("%6.2f %7d/%d\n", kref, acc.correct, acc.total);
+  }
+  std::printf("(k_ref = 0 disables normalization tolerance: actor?.name? can "
+              "no longer reach Person.name)\n\n");
+
+  std::printf("Ablation 3 — reference-FK edge discount c_reference\n");
+  std::printf("%12s %10s\n", "c_reference", "top-1");
+  for (double cref : {0.7, 0.65, 0.6, 0.5}) {
+    core::EngineConfig cfg;
+    cfg.sim.c_reference = cref;
+    Accuracy acc = Evaluate(*db, cfg);
+    std::printf("%12.2f %7d/%d\n", cref, acc.correct, acc.total);
+  }
+  std::printf("(0.7 = no discount, the paper's uniform c: low-fan-in lookup "
+              "relations then short-circuit join networks)\n\n");
+
+  std::printf("Ablation 4 — mapping-score factors in network weights\n");
+  for (bool use : {false, true}) {
+    core::EngineConfig cfg;
+    cfg.gen.use_mapping_scores = use;
+    Accuracy acc = Evaluate(*db, cfg);
+    std::printf("use_mapping_scores=%-5s  top-1 %d/%d\n", use ? "true" : "false",
+                acc.correct, acc.total);
+  }
+  std::printf("(without the factors, structurally identical networks that "
+              "bind trees to worse-matching relations tie with the right "
+              "ones)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces Fig. 15: translation effectiveness of the 48 complex course
+// queries over the 53-relation schema (and, in parentheses, the independent
+// 21-relation redesign), bucketed by the number of relations the query refers
+// to, with and without the view graph.
+//
+// Protocol (per §7.3): queries run simple -> complex; in the view-graph
+// columns each query's gold join tree is registered as a view *after* it is
+// tested, so complex queries benefit from the simpler ones as building blocks.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "workloads/course.h"
+#include "workloads/deriver.h"
+#include "workloads/metrics.h"
+
+using namespace sfsql;            // NOLINT(build/namespaces)
+using namespace sfsql::workloads; // NOLINT(build/namespaces)
+
+namespace {
+
+struct BucketCounts {
+  int total = 0;
+  int top1 = 0;
+  int top10 = 0;
+};
+
+int Bucket(int relations) {
+  if (relations <= 4) return 0;
+  if (relations == 5) return 1;
+  return 2;
+}
+
+/// Runs all 48 queries against `db` using `gold` per query; with_views follows
+/// the accumulate-as-you-go protocol.
+std::vector<BucketCounts> RunPass(const storage::Database& db,
+                                  bool with_views,
+                                  const char* (*gold_of)(const CourseQuery&),
+                                  const catalog::Catalog& derive_catalog) {
+  core::SchemaFreeEngine engine(&db);
+  std::vector<BucketCounts> buckets(3);
+  for (const CourseQuery& q : CourseQueries()) {
+    auto sf = DeriveSchemaFree(derive_catalog, q.gold_sql53);
+    if (!sf.ok()) continue;
+    BucketCounts& b = buckets[Bucket(q.relations53)];
+    ++b.total;
+    const char* gold = gold_of(q);
+    auto translations = engine.Translate(*sf, 10);
+    if (translations.ok()) {
+      for (size_t i = 0; i < translations->size(); ++i) {
+        auto match = TranslationMatchesGold(db, (*translations)[i], gold);
+        if (match.ok() && *match) {
+          ++b.top10;
+          if (i == 0) ++b.top1;
+          break;
+        }
+      }
+    }
+    if (with_views) {
+      (void)engine.AddViewFromSql(gold);  // becomes a building block
+    }
+  }
+  return buckets;
+}
+
+}  // namespace
+
+int main() {
+  auto db53 = BuildCourse53();
+  auto db21 = BuildCourse21();
+
+  auto gold53 = +[](const CourseQuery& q) { return q.gold_sql53.c_str(); };
+  auto gold21 = +[](const CourseQuery& q) { return q.gold_sql21.c_str(); };
+
+  std::printf("Fig. 15 — effectiveness on the course database; parentheses = "
+              "the 21-relation redesign\n");
+  std::printf("running 4 passes over 48 queries (schema/view graph x two "
+              "schemas)...\n\n");
+
+  auto plain53 = RunPass(*db53, false, gold53, db53->catalog());
+  auto plain21 = RunPass(*db21, false, gold21, db53->catalog());
+  auto views53 = RunPass(*db53, true, gold53, db53->catalog());
+  auto views21 = RunPass(*db21, true, gold21, db53->catalog());
+
+  const char* labels[3] = {"2-4", "5", "6-10"};
+  std::printf("%-10s %-14s %-14s %-18s %-18s\n", "relations", "top-1",
+              "top-10", "top-1 w/ views", "top-10 w/ views");
+  for (int b = 0; b < 3; ++b) {
+    std::printf("%-10s %2d/%-2d (%2d/%-2d)  %2d/%-2d (%2d/%-2d)  "
+                "%2d/%-2d (%2d/%-2d)      %2d/%-2d (%2d/%-2d)\n",
+                labels[b],
+                plain53[b].top1, plain53[b].total, plain21[b].top1,
+                plain21[b].total,
+                plain53[b].top10, plain53[b].total, plain21[b].top10,
+                plain21[b].total,
+                views53[b].top1, views53[b].total, views21[b].top1,
+                views21[b].total,
+                views53[b].top10, views53[b].total, views21[b].top10,
+                views21[b].total);
+  }
+  std::printf("\npaper (Fig. 15): 2-4: 9/11 (8/11) | 11/11 (10/11) | "
+              "9/11 (8/11) | 11/11 (10/11)\n");
+  std::printf("                 5:   17/26 (17/26) | 22/26 (22/26) | "
+              "25/26 (25/26) | 26/26 (26/26)\n");
+  std::printf("                 6-10: 5/11 (2/11) | 5/11 (2/11) | "
+              "10/11 (7/11) | 11/11 (8/11)\n");
+  std::printf("\nshape targets: view graph lifts the 5 and 6-10 buckets "
+              "markedly; the redesigned schema trails slightly.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Fig. 17: average top-k MTJN generation time as the number of
+// relations in the join network grows (2..10), comparing
+//   * Regular    — DISCOVER-style expansion (no isomorphism avoidance,
+//                  no pruning), k = 1
+//   * Rightmost  — [12]-style legality test only, k = 1
+//   * Top 1/5/10 — the paper's algorithm (legality + potential pruning).
+//
+// The paper plots these on a log-scale Y axis; absolute numbers differ from
+// the authors' testbed, but the ordering and growth rates are the claim.
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/mtjn_generator.h"
+#include "workloads/course.h"
+#include "workloads/deriver.h"
+#include "sql/parser.h"
+
+using namespace sfsql;            // NOLINT(build/namespaces)
+using namespace sfsql::workloads; // NOLINT(build/namespaces)
+
+namespace {
+
+// A 9-relation query (the 48-query set spans 2-8 and 10) so every size on the
+// X axis has at least one sample.
+const char* kNineRelationGold =
+    "SELECT Student.name FROM Student, Enrollment, Grade_Scale, Section, "
+    "Course_Offering, Term, Course, Department, Level "
+    "WHERE Student.student_id = Enrollment.student_id "
+    "AND Enrollment.grade_id = Grade_Scale.grade_id "
+    "AND Enrollment.section_id = Section.section_id "
+    "AND Section.offering_id = Course_Offering.offering_id "
+    "AND Course_Offering.term_id = Term.term_id "
+    "AND Course_Offering.course_id = Course.course_id "
+    "AND Course.dept_id = Department.dept_id "
+    "AND Course.level_id = Level.level_id "
+    "AND Student.gender = 'female' AND Grade_Scale.letter = 'A' "
+    "AND Term.term_year = 2023 AND Department.name = 'Computer Science' "
+    "AND Level.label = 'graduate'";
+
+double Seconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+int main() {
+  auto db = BuildCourse53();
+  core::RelationTreeMapper mapper(db.get(), core::SimilarityConfig{});
+  core::ViewGraph views(&db->catalog());
+  core::GeneratorConfig gen_config;
+  gen_config.max_expansions = 3'000'000;  // lets Regular show its blow-up
+
+  // Group queries by gold join-network size.
+  std::map<int, std::vector<std::string>> by_size;
+  for (const CourseQuery& q : CourseQueries()) {
+    by_size[q.relations53].push_back(q.gold_sql53);
+  }
+  by_size[9].push_back(kNineRelationGold);
+
+  std::printf("Fig. 17 — avg top-k MTJN generation time (seconds) by join "
+              "network size\n");
+  std::printf("%4s %3s  %10s %10s %10s %10s %10s\n", "size", "n", "Regular",
+              "Rightmost", "Top 1", "Top 5", "Top 10");
+
+  for (const auto& [size, golds] : by_size) {
+    double t_regular = 0, t_rightmost = 0, t1 = 0, t5 = 0, t10 = 0;
+    int n = 0;
+    bool regular_truncated = false;
+    for (const std::string& gold : golds) {
+      auto sf_text = DeriveSchemaFree(db->catalog(), gold);
+      if (!sf_text.ok()) continue;
+      auto stmt = sql::ParseSelect(*sf_text);
+      if (!stmt.ok()) continue;
+      auto extraction = core::ExtractRelationTrees(**stmt);
+      if (!extraction.ok()) continue;
+      std::vector<core::MappingSet> mappings;
+      for (const core::RelationTree& rt : extraction->trees) {
+        mappings.push_back(mapper.Map(rt));
+        if (mappings.back().candidates.empty()) break;
+      }
+      if (mappings.size() != extraction->trees.size()) continue;
+      auto graph = core::ExtendedViewGraph::Build(
+          *db, views, extraction->trees, mappings, mapper, gen_config);
+      if (!graph.ok()) continue;
+      core::MtjnGenerator generator(&*graph, gen_config);
+
+      core::GeneratorStats stats;
+      t_regular += Seconds([&] { generator.TopKRegular(1, &stats); });
+      regular_truncated = regular_truncated || stats.truncated;
+      t_rightmost += Seconds([&] { generator.TopKRightmost(1); });
+      t1 += Seconds([&] { generator.TopK(1); });
+      t5 += Seconds([&] { generator.TopK(5); });
+      t10 += Seconds([&] { generator.TopK(10); });
+      ++n;
+    }
+    if (n == 0) continue;
+    std::printf("%4d %3d  %10.4f%c %10.4f %10.4f %10.4f %10.4f\n", size, n,
+                t_regular / n, regular_truncated ? '*' : ' ', t_rightmost / n,
+                t1 / n, t5 / n, t10 / n);
+  }
+  std::printf("\n(*) Regular hit the expansion safety cap "
+              "(%lld expansions) — the DISCOVER-style blow-up the paper "
+              "plots.\n", gen_config.max_expansions);
+  std::printf("shape targets: Regular grows fastest (isomorphic re-expansion), "
+              "Rightmost next; our Top-k stays lowest with a modest cost for "
+              "larger k.\n");
+  return 0;
+}

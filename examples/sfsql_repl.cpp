@@ -1,0 +1,75 @@
+// sfsql_repl: an interactive shell over the 43-relation movie database.
+//
+//   $ ./sfsql_repl
+//   sfsql> SELECT director?.name? WHERE title? = 'Titanic'
+//
+// Commands:
+//   \k N        set how many interpretations to show (default 3)
+//   \schema     list relations and attributes
+//   \quit       exit (EOF also exits, so the binary is safe to run headless)
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "workloads/movie43.h"
+
+int main() {
+  using namespace sfsql;  // NOLINT(build/namespaces)
+  auto db = workloads::BuildMovie43();
+  core::SchemaFreeEngine engine(db.get());
+  exec::Executor executor(db.get());
+
+  std::printf("Schema-free SQL shell — movie database (%d relations). "
+              "\\schema lists them; \\quit exits.\n",
+              db->catalog().num_relations());
+
+  int k = 3;
+  std::string line;
+  while (true) {
+    std::printf("sfsql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view input = Trim(line);
+    if (input.empty()) continue;
+    if (input == "\\quit" || input == "\\q") break;
+    if (input == "\\schema") {
+      for (int r = 0; r < db->catalog().num_relations(); ++r) {
+        const catalog::Relation& rel = db->catalog().relation(r);
+        std::printf("  %s(", rel.name.c_str());
+        for (size_t a = 0; a < rel.attributes.size(); ++a) {
+          std::printf("%s%s", a ? ", " : "", rel.attributes[a].name.c_str());
+        }
+        std::printf(")\n");
+      }
+      continue;
+    }
+    if (input.rfind("\\k ", 0) == 0) {
+      k = std::max(1, atoi(std::string(input.substr(3)).c_str()));
+      std::printf("showing top %d interpretations\n", k);
+      continue;
+    }
+
+    auto translations = engine.Translate(input, k);
+    if (!translations.ok()) {
+      std::printf("!! %s\n", translations.status().ToString().c_str());
+      continue;
+    }
+    for (size_t i = 0; i < translations->size(); ++i) {
+      std::printf("#%zu (w=%.3f): %s\n", i + 1, (*translations)[i].weight,
+                  (*translations)[i].sql.c_str());
+    }
+    auto result = executor.Execute(*(*translations)[0].statement);
+    if (!result.ok()) {
+      std::printf("!! execution: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s(%zu row(s))\n", result->ToString().c_str(),
+                result->rows.size());
+  }
+  std::printf("\n");
+  return 0;
+}

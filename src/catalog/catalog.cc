@@ -1,0 +1,115 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace sfsql::catalog {
+
+std::string_view ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+int Relation::AttributeIndex(std::string_view attr_name) const {
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (EqualsIgnoreCase(attributes[i].name, attr_name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<int> Catalog::AddRelation(Relation relation) {
+  if (relation.name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relation.attributes.empty()) {
+    return Status::InvalidArgument(
+        StrCat("relation '", relation.name, "' has no attributes"));
+  }
+  if (FindRelation(relation.name).ok()) {
+    return Status::AlreadyExists(
+        StrCat("relation '", relation.name, "' already exists"));
+  }
+  for (size_t i = 0; i < relation.attributes.size(); ++i) {
+    for (size_t j = i + 1; j < relation.attributes.size(); ++j) {
+      if (EqualsIgnoreCase(relation.attributes[i].name,
+                           relation.attributes[j].name)) {
+        return Status::InvalidArgument(
+            StrCat("relation '", relation.name, "' has duplicate attribute '",
+                   relation.attributes[i].name, "'"));
+      }
+    }
+  }
+  for (int pk : relation.primary_key) {
+    if (pk < 0 || pk >= static_cast<int>(relation.attributes.size())) {
+      return Status::InvalidArgument(
+          StrCat("relation '", relation.name, "' has bad primary-key ordinal ", pk));
+    }
+  }
+  relations_.push_back(std::move(relation));
+  adjacency_.emplace_back();
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+Result<int> Catalog::AddForeignKey(const ForeignKey& fk) {
+  auto check_relation = [&](int id) {
+    return id >= 0 && id < num_relations();
+  };
+  if (!check_relation(fk.from_relation) || !check_relation(fk.to_relation)) {
+    return Status::InvalidArgument("foreign key references unknown relation");
+  }
+  const Relation& from = relations_[fk.from_relation];
+  const Relation& to = relations_[fk.to_relation];
+  if (fk.from_attribute < 0 ||
+      fk.from_attribute >= static_cast<int>(from.attributes.size())) {
+    return Status::InvalidArgument(
+        StrCat("foreign key on '", from.name, "' has bad source ordinal"));
+  }
+  if (fk.to_attribute < 0 ||
+      fk.to_attribute >= static_cast<int>(to.attributes.size())) {
+    return Status::InvalidArgument(
+        StrCat("foreign key into '", to.name, "' has bad target ordinal"));
+  }
+  if (std::find(to.primary_key.begin(), to.primary_key.end(), fk.to_attribute) ==
+      to.primary_key.end()) {
+    return Status::InvalidArgument(
+        StrCat("foreign key target '", to.name, ".",
+               to.attributes[fk.to_attribute].name, "' is not part of a primary key"));
+  }
+  int id = static_cast<int>(foreign_keys_.size());
+  foreign_keys_.push_back(fk);
+  adjacency_[fk.from_relation].push_back(SchemaEdge{id, fk.to_relation});
+  adjacency_[fk.to_relation].push_back(SchemaEdge{id, fk.from_relation});
+  return id;
+}
+
+Result<int> Catalog::FindRelation(std::string_view name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (EqualsIgnoreCase(relations_[i].name, name)) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrCat("no relation named '", name, "'"));
+}
+
+std::vector<int> Catalog::EdgesBetween(int a, int b) const {
+  std::vector<int> out;
+  if (a < 0 || a >= num_relations()) return out;
+  for (const SchemaEdge& e : adjacency_[a]) {
+    if (e.neighbor == b) out.push_back(e.fk_id);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sfsql::catalog

@@ -1,0 +1,99 @@
+#ifndef SFSQL_CATALOG_CATALOG_H_
+#define SFSQL_CATALOG_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sfsql::catalog {
+
+/// Column type. The engine is dynamically typed at the Value level but attributes
+/// declare a type used for loading, condition-satisfiability checks, and printing.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+std::string_view ValueTypeToString(ValueType t);
+
+/// A column of a relation.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+/// A relation (table) definition. `primary_key` holds attribute ordinals.
+struct Relation {
+  std::string name;
+  std::vector<Attribute> attributes;
+  std::vector<int> primary_key;
+
+  /// Ordinal of the attribute with `name` (case-insensitive), or -1.
+  int AttributeIndex(std::string_view attr_name) const;
+};
+
+/// A foreign key: attribute `from_attribute` of relation `from_relation` refers to
+/// the (single-column) primary key `to_attribute` of `to_relation`. These are the
+/// edges of the schema graph S(V, E) in §5.1 of the paper.
+struct ForeignKey {
+  int from_relation = -1;
+  int from_attribute = -1;
+  int to_relation = -1;
+  int to_attribute = -1;
+};
+
+/// An undirected schema-graph edge as seen from one endpoint: crossing foreign key
+/// `fk_id` from `relation` leads to `neighbor`.
+struct SchemaEdge {
+  int fk_id = -1;
+  int neighbor = -1;
+};
+
+/// The database schema: relations plus FK–PK constraints, with adjacency queries
+/// for the schema graph. Relations and foreign keys are identified by dense ids
+/// assigned in insertion order.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers a relation; fails on duplicate (case-insensitive) name, empty
+  /// attribute list, duplicate attribute names, or bad primary-key ordinals.
+  Result<int> AddRelation(Relation relation);
+
+  /// Registers a FK–PK edge; all ids/ordinals must be valid and the target
+  /// attribute must be (part of) `to_relation`'s primary key.
+  Result<int> AddForeignKey(const ForeignKey& fk);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  int num_foreign_keys() const { return static_cast<int>(foreign_keys_.size()); }
+
+  const Relation& relation(int id) const { return relations_[id]; }
+  const ForeignKey& foreign_key(int id) const { return foreign_keys_[id]; }
+
+  /// Id of the relation named `name` (case-insensitive).
+  Result<int> FindRelation(std::string_view name) const;
+
+  /// Schema-graph adjacency of `relation_id`: one entry per incident foreign key
+  /// (both FKs defined on the relation and FKs referring to it).
+  const std::vector<SchemaEdge>& Neighbors(int relation_id) const {
+    return adjacency_[relation_id];
+  }
+
+  /// All FK ids connecting `a` and `b` (either direction); empty if not adjacent.
+  std::vector<int> EdgesBetween(int a, int b) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<std::vector<SchemaEdge>> adjacency_;
+};
+
+}  // namespace sfsql::catalog
+
+#endif  // SFSQL_CATALOG_CATALOG_H_

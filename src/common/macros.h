@@ -1,0 +1,40 @@
+#ifndef SFSQL_COMMON_MACROS_H_
+#define SFSQL_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status from an expression returning `Status`.
+#define SFSQL_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::sfsql::Status _sfsql_status = (expr);          \
+    if (!_sfsql_status.ok()) return _sfsql_status;   \
+  } while (0)
+
+#define SFSQL_CONCAT_IMPL(x, y) x##y
+#define SFSQL_CONCAT(x, y) SFSQL_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning `Result<T>`; on error propagates the status,
+/// otherwise moves the value into `lhs` (which may be a declaration).
+#define SFSQL_ASSIGN_OR_RETURN(lhs, expr)                             \
+  SFSQL_ASSIGN_OR_RETURN_IMPL(SFSQL_CONCAT(_sfsql_res_, __LINE__), lhs, expr)
+
+#define SFSQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+/// Fatal invariant check for conditions that indicate a bug in the library itself
+/// (never for user errors, which are reported via Status).
+#define SFSQL_CHECK(cond)                                                       \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::std::fprintf(stderr, "SFSQL_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                     __LINE__, #cond);                                          \
+      ::std::abort();                                                           \
+    }                                                                           \
+  } while (0)
+
+#endif  // SFSQL_COMMON_MACROS_H_

@@ -1,0 +1,39 @@
+#include "common/status.h"
+
+namespace sfsql {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kTypeError:
+      return "type error";
+    case StatusCode::kExecutionError:
+      return "execution error";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace sfsql

@@ -1,0 +1,55 @@
+#ifndef SFSQL_COMMON_STRINGS_H_
+#define SFSQL_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfsql {
+
+/// ASCII lower-case copy of `s`. Schema-element matching in the paper is
+/// case-insensitive, so most name comparisons go through this.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-case copy of `s` (used for SQL keyword rendering).
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits an identifier into lower-cased word tokens at '_', '-', '.' boundaries
+/// and lower/upper camel-case transitions: "releaseYear" -> {"release", "year"},
+/// "produce_company" -> {"produce", "company"}.
+std::vector<std::string> SplitIdentifierWords(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+namespace internal {
+inline void StrCatAppend(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrCatAppend(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  StrCatAppend(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates streamable arguments into a std::string (tiny StrCat analogue;
+/// GCC 12 lacks std::format).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrCatAppend(os, args...);
+  return os.str();
+}
+
+}  // namespace sfsql
+
+#endif  // SFSQL_COMMON_STRINGS_H_

@@ -1,0 +1,68 @@
+#ifndef SFSQL_CORE_CONFIG_H_
+#define SFSQL_CORE_CONFIG_H_
+
+namespace sfsql::core {
+
+/// Tuning parameters of the translator. Defaults are the values the paper's
+/// experiments settled on (§7.1): sigma = k_ref = c = 0.7 and k_def = 0.3.
+struct SimilarityConfig {
+  /// Relative mapping-set threshold: a relation R enters MAP(rt) when
+  /// Sim(rt, R) > sigma * max_R' Sim(rt, R') (Definition 1).
+  double sigma = 0.7;
+  /// Damping applied when a name matches a *neighboring* relation's name
+  /// instead of the relation itself (Sim' = k_ref * Sim, §4.2).
+  double kref = 0.7;
+  /// Default root similarity when the relation name is unspecified (§4.2).
+  double kdef = 0.3;
+  /// Default edge weight in the (extended) view graph before enhancement (§5.2).
+  double c = 0.7;
+  /// Default weight for *reference* foreign-key edges — FKs that are plain
+  /// attributes rather than part of the owning relation's primary key (e.g.
+  /// Person.birth_country_id). Junction-table edges (Actor.person_id) encode
+  /// the relationships queries ask about; reference edges mostly encode
+  /// attributes-of, and leaving both at `c` lets low-degree "hub" relations
+  /// (Country, Language) short-circuit join networks. The paper notes that
+  /// careful per-edge weighting is out of its scope (§5.2); this is the
+  /// minimal such refinement, ablated in bench_micro.
+  double c_reference = 0.6;
+  /// q-gram size for the Jaccard string similarity.
+  int qgram = 3;
+  /// Attribute-level similarity multiplier when a value condition can never be
+  /// satisfied by the attribute's declared type (e.g. a string equality
+  /// against an integer column). Keeps such attributes from winning the
+  /// attribute binding on name similarity alone.
+  double type_mismatch_penalty = 0.3;
+};
+
+/// Knobs of the top-k MTJN generators (§6).
+struct GeneratorConfig {
+  /// Exponent applied to a view's edge-weight product (Definition 5 uses 0.5).
+  /// The paper notes that query-log views "should have very high weight" and
+  /// leaves the tuning open; 0.5 is too weak for a k-edge view to outrank a
+  /// ~k/2-edge wrong shortcut, so we default to 1/3 (a k-edge view weighs
+  /// like k/3 plain edges at count 1, less as the pattern recurs). Ablated in bench_ablation.
+  double view_weight_exponent = 0.3333;
+  /// Hard cap on join-network size (number of relation nodes); plays the role
+  /// of the size threshold customary in schema-based keyword search.
+  int max_jn_nodes = 12;
+  /// Safety cap on total expansions; generation stops (reporting what it has)
+  /// if exceeded. Mostly relevant to the Regular baseline, which has no
+  /// isomorphism avoidance and explodes combinatorially.
+  long long max_expansions = 5'000'000;
+  /// Multiply each rt-mapped node's contribution by its normalized mapping
+  /// similarity, so networks that bind relation trees to better-matching
+  /// relations outrank structurally identical ones. With exactly specified
+  /// names the factor is 1 and the paper's pure edge-weight ranking remains.
+  bool use_mapping_scores = true;
+};
+
+struct EngineConfig {
+  SimilarityConfig sim;
+  GeneratorConfig gen;
+  /// Number of translations produced by default.
+  int k = 10;
+};
+
+}  // namespace sfsql::core
+
+#endif  // SFSQL_CORE_CONFIG_H_

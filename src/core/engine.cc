@@ -1,0 +1,444 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace sfsql::core {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+
+namespace {
+
+NetworkSummary SummarizeNetwork(const ExtendedViewGraph& graph,
+                                const JoinNetwork& network) {
+  NetworkSummary out;
+  for (const JnNode& n : network.nodes()) {
+    out.relations.push_back(graph.node(n.xnode).relation_id);
+    if (n.parent >= 0) out.fk_edges.push_back(graph.edge(n.parent_edge).fk_id);
+  }
+  std::sort(out.relations.begin(), out.relations.end());
+  std::sort(out.fk_edges.begin(), out.fk_edges.end());
+  return out;
+}
+
+/// Walks every expression of a block (not descending into subqueries) and
+/// calls `fn` on each subquery hanging off it.
+void ForEachSubquery(sql::SelectStatement& stmt,
+                     const std::function<void(sql::SelectPtr&)>& fn) {
+  std::function<void(Expr&)> walk = [&](Expr& e) {
+    if (e.subquery) fn(e.subquery);
+    if (e.lhs) walk(*e.lhs);
+    if (e.rhs) walk(*e.rhs);
+    for (ExprPtr& a : e.args) walk(*a);
+  };
+  sql::ForEachTopLevelExpr(stmt, [&](ExprPtr& e) { walk(*e); });
+}
+
+}  // namespace
+
+void SchemaFreeEngine::ConsolidateTrees(sql::SelectStatement& stmt,
+                                        Extraction& extraction,
+                                        std::vector<MappingSet>& mappings) const {
+  const int n = static_cast<int>(extraction.trees.size());
+  if (n <= 1) return;
+
+  std::vector<int> top(n);
+  for (int i = 0; i < n; ++i) top[i] = mappings[i].candidates.front().relation_id;
+
+  // Two trees with *conflicting* equality conditions on the same bound
+  // attribute denote different instances (e.g. produce_company? = 'Carthago
+  // Films' vs distribute_company? = 'Apollo Films', both binding Company.name)
+  // and must stay separate.
+  auto conflicting = [&](int i, int j) {
+    const RelationMapping& mi = mappings[i].candidates.front();
+    const RelationMapping& mj = mappings[j].candidates.front();
+    for (size_t a = 0; a < extraction.trees[i].attributes.size(); ++a) {
+      for (size_t b = 0; b < extraction.trees[j].attributes.size(); ++b) {
+        if (mi.attribute_bindings[a] < 0 ||
+            mi.attribute_bindings[a] != mj.attribute_bindings[b]) {
+          continue;
+        }
+        for (const Condition& ca : extraction.trees[i].attributes[a].conditions) {
+          if (ca.op != "=" || ca.values.empty()) continue;
+          for (const Condition& cb :
+               extraction.trees[j].attributes[b].conditions) {
+            if (cb.op != "=" || cb.values.empty()) continue;
+            if (!ca.values[0].Equals(cb.values[0])) return true;
+          }
+        }
+      }
+    }
+    return false;
+  };
+
+  // target[j] == j means the tree survives; otherwise it merges into target[j]
+  // (always a surviving tree, so no chains form).
+  std::vector<int> target(n);
+  for (int i = 0; i < n; ++i) target[i] = i;
+  bool any = false;
+  for (int j = 0; j < n; ++j) {
+    const RelationTree& tj = extraction.trees[j];
+    if (tj.relation.specified() || tj.from_clause) continue;
+    int best = -1;
+    for (int i = 0; i < n && best < 0; ++i) {
+      if (i == j || target[i] != i || top[i] != top[j]) continue;
+      if (extraction.trees[i].from_clause && !conflicting(i, j)) best = i;
+    }
+    for (int i = 0; i < j && best < 0; ++i) {
+      if (target[i] != i || top[i] != top[j]) continue;
+      const RelationTree& ti = extraction.trees[i];
+      if (!ti.relation.specified() && !ti.from_clause && !conflicting(i, j)) {
+        best = i;
+      }
+    }
+    if (best >= 0) {
+      target[j] = best;
+      any = true;
+    }
+  }
+  if (!any) return;
+
+  // Rebuild the tree list and the (rt, at) -> (rt, at) annotation map.
+  std::vector<int> new_id(n, -1);
+  std::vector<RelationTree> merged;
+  std::map<std::pair<int, int>, std::pair<int, int>> remap;
+  for (int i = 0; i < n; ++i) {
+    if (target[i] != i) continue;
+    new_id[i] = static_cast<int>(merged.size());
+    merged.push_back(extraction.trees[i]);
+    for (int a = 0; a < static_cast<int>(merged.back().attributes.size()); ++a) {
+      remap[{i, a}] = {new_id[i], a};
+    }
+  }
+  auto same_attribute = [](const sql::NameRef& a, const sql::NameRef& b) {
+    if (a.has_name_hint() && b.has_name_hint()) {
+      return EqualsIgnoreCase(a.name, b.name);
+    }
+    if (a.kind == sql::NameKind::kPlaceholder &&
+        b.kind == sql::NameKind::kPlaceholder) {
+      return a.name == b.name;
+    }
+    return false;
+  };
+  for (int j = 0; j < n; ++j) {
+    if (target[j] == j) continue;
+    int tgt = new_id[target[j]];
+    RelationTree& into = merged[tgt];
+    for (int a = 0; a < static_cast<int>(extraction.trees[j].attributes.size());
+         ++a) {
+      const AttributeTree& at = extraction.trees[j].attributes[a];
+      int match = -1;
+      for (int m = 0; m < static_cast<int>(into.attributes.size()); ++m) {
+        if (same_attribute(into.attributes[m].name, at.name)) {
+          match = m;
+          break;
+        }
+      }
+      if (match >= 0) {
+        for (const Condition& c : at.conditions) {
+          into.attributes[match].conditions.push_back(c);
+        }
+      } else {
+        into.attributes.push_back(at);
+        match = static_cast<int>(into.attributes.size()) - 1;
+      }
+      remap[{j, a}] = {tgt, match};
+    }
+  }
+  for (int k = 0; k < static_cast<int>(merged.size()); ++k) merged[k].id = k;
+
+  // Rewrite the statement's annotations (this block only — subqueries are
+  // annotated when their own block is translated).
+  std::function<void(Expr&)> fix = [&](Expr& e) {
+    if (e.kind == ExprKind::kColumnRef && e.rt_id >= 0) {
+      auto it = remap.find({e.rt_id, e.at_index});
+      if (it != remap.end()) {
+        e.rt_id = it->second.first;
+        e.at_index = it->second.second;
+      }
+    }
+    if (e.lhs) fix(*e.lhs);
+    if (e.rhs) fix(*e.rhs);
+    for (ExprPtr& a : e.args) fix(*a);
+  };
+  sql::ForEachTopLevelExpr(stmt, [&](ExprPtr& e) { fix(*e); });
+
+  for (JoinSpec& spec : extraction.join_specs) {
+    if (spec.left_rt >= 0) spec.left_rt = new_id[target[spec.left_rt]];
+    if (spec.right_rt >= 0) spec.right_rt = new_id[target[spec.right_rt]];
+  }
+
+  extraction.trees = std::move(merged);
+  mappings.clear();
+  for (const RelationTree& rt : extraction.trees) {
+    mappings.push_back(mapper_.Map(rt));
+  }
+}
+
+Status SchemaFreeEngine::AddViewFromSql(std::string_view full_sql) {
+  Result<View> view = ViewFromSql(db_->catalog(), full_sql);
+  if (!view.ok()) {
+    // Single-relation queries carry no join information; silently skip them.
+    if (view.status().code() == StatusCode::kNotFound) return Status::OK();
+    return view.status();
+  }
+  return views_.AddView(std::move(*view)).status();
+}
+
+Status SchemaFreeEngine::AddView(View view) {
+  return views_.AddView(std::move(view)).status();
+}
+
+ViewGraph SchemaFreeEngine::ViewsForQuery(
+    const Extraction& extraction, const std::vector<MappingSet>& mappings) const {
+  ViewGraph combined = views_;
+  if (extraction.join_specs.empty()) return combined;
+
+  // Connected components of the user-specified join fragments over relation
+  // trees; each component becomes one view over the trees' top-mapped
+  // relations (§5.1: "if the specified join path is not connected, each of its
+  // connected parts will be transformed to a view").
+  const int n = static_cast<int>(extraction.trees.size());
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const JoinSpec& spec : extraction.join_specs) {
+    if (spec.left_rt < 0 || spec.right_rt < 0) continue;
+    parent[find(spec.left_rt)] = find(spec.right_rt);
+  }
+
+  std::map<int, std::vector<const JoinSpec*>> by_component;
+  for (const JoinSpec& spec : extraction.join_specs) {
+    if (spec.left_rt < 0 || spec.right_rt < 0) continue;
+    by_component[find(spec.left_rt)].push_back(&spec);
+  }
+
+  const catalog::Catalog& cat = db_->catalog();
+  for (const auto& [component, specs] : by_component) {
+    // Positions: the distinct trees of the component, bound to their top
+    // mapping candidates.
+    std::map<int, int> pos_of_tree;
+    View view;
+    auto position = [&](int rt) {
+      auto it = pos_of_tree.find(rt);
+      if (it != pos_of_tree.end()) return it->second;
+      int pos = static_cast<int>(view.relations.size());
+      pos_of_tree[rt] = pos;
+      view.relations.push_back(mappings[rt].candidates.front().relation_id);
+      return pos;
+    };
+    bool valid = true;
+    for (const JoinSpec* spec : specs) {
+      int pa = position(spec->left_rt);
+      int pb = position(spec->right_rt);
+      int ra = view.relations[pa];
+      int rb = view.relations[pb];
+      // Choose the foreign key between ra and rb whose attribute names agree
+      // best with what the user wrote.
+      int best_fk = -1;
+      bool best_a_is_from = true;
+      double best_score = -1.0;
+      for (int f : cat.EdgesBetween(ra, rb)) {
+        const catalog::ForeignKey& fk = cat.foreign_key(f);
+        auto attr_name = [&](int rel, int attr) -> const std::string& {
+          return cat.relation(rel).attributes[attr].name;
+        };
+        if (fk.from_relation == ra) {
+          double score =
+              mapper_.NameSimilarity(spec->left_attr,
+                                     attr_name(ra, fk.from_attribute)) +
+              mapper_.NameSimilarity(spec->right_attr,
+                                     attr_name(rb, fk.to_attribute));
+          if (score > best_score) {
+            best_score = score;
+            best_fk = f;
+            best_a_is_from = true;
+          }
+        }
+        if (fk.from_relation == rb) {
+          double score =
+              mapper_.NameSimilarity(spec->right_attr,
+                                     attr_name(rb, fk.from_attribute)) +
+              mapper_.NameSimilarity(spec->left_attr,
+                                     attr_name(ra, fk.to_attribute));
+          if (score > best_score) {
+            best_score = score;
+            best_fk = f;
+            best_a_is_from = false;
+          }
+        }
+      }
+      if (best_fk < 0) {
+        valid = false;  // the guessed relations are not FK-adjacent
+        break;
+      }
+      if (best_a_is_from) {
+        view.edges.push_back(ViewEdge{pa, pb, best_fk});
+      } else {
+        view.edges.push_back(ViewEdge{pb, pa, best_fk});
+      }
+    }
+    if (!valid) continue;
+    // AddView validates tree-ness; fragments with cycles are simply skipped.
+    (void)combined.AddView(std::move(view));
+  }
+  return combined;
+}
+
+Status SchemaFreeEngine::TranslateSubqueries(
+    sql::SelectStatement& stmt, const std::vector<std::string>& bindings) const {
+  // The composed outer block's FROM bindings become visible to inner blocks.
+  std::vector<std::string> local = bindings;
+  std::map<std::string, int> scope;  // binding -> relation id
+  for (const sql::TableRef& ref : stmt.from) {
+    local.push_back(ToLower(ref.BindingName()));
+    if (ref.relation.exact()) {
+      Result<int> rel = db_->catalog().FindRelation(ref.relation.name);
+      if (rel.ok()) scope[ToLower(ref.BindingName())] = *rel;
+    }
+  }
+
+  Status status = Status::OK();
+  ForEachSubquery(stmt, [&](sql::SelectPtr& sub) {
+    if (!status.ok()) return;
+    // Correlated references with vague attributes (outer_alias.attr?) resolve
+    // against the already-fixed outer relation before the inner block is
+    // translated (§2.2.5: outer context is set when inner blocks run).
+    std::function<void(Expr&)> fix = [&](Expr& e) {
+      if (e.kind == ExprKind::kColumnRef && e.relation.exact() &&
+          e.attribute.kind == sql::NameKind::kVague) {
+        auto it = scope.find(ToLower(e.relation.name));
+        if (it != scope.end()) {
+          const catalog::Relation& rel = db_->catalog().relation(it->second);
+          double best = -1.0;
+          int best_attr = -1;
+          for (int a = 0; a < static_cast<int>(rel.attributes.size()); ++a) {
+            double s = mapper_.NameSimilarity(e.attribute, rel.attributes[a].name);
+            if (s > best) {
+              best = s;
+              best_attr = a;
+            }
+          }
+          if (best_attr >= 0) {
+            e.attribute = sql::NameRef::Exact(rel.attributes[best_attr].name);
+          }
+        }
+      }
+      if (e.lhs) fix(*e.lhs);
+      if (e.rhs) fix(*e.rhs);
+      for (ExprPtr& a : e.args) fix(*a);
+      // Deeper subqueries are fixed when their enclosing block is translated.
+    };
+    sql::ForEachTopLevelExpr(*sub, [&](ExprPtr& e) { fix(*e); });
+
+    Result<std::vector<Translation>> inner = TranslateStatement(*sub, local, 1);
+    if (!inner.ok()) {
+      status = inner.status();
+      return;
+    }
+    if (inner->empty()) {
+      status = Status::ExecutionError("subquery has no interpretation");
+      return;
+    }
+    sub = std::move(inner->front().statement);
+  });
+  return status;
+}
+
+Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
+    sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
+    int k) const {
+  SFSQL_ASSIGN_OR_RETURN(Extraction extraction,
+                         ExtractRelationTrees(stmt, outer_bindings));
+
+  if (extraction.trees.empty()) {
+    // No schema content in this block (e.g. SELECT 1+1).
+    Translation t;
+    t.statement = stmt.Clone();
+    SFSQL_RETURN_IF_ERROR(TranslateSubqueries(*t.statement, outer_bindings));
+    t.sql = sql::PrintSelect(*t.statement);
+    t.weight = 1.0;
+    std::vector<Translation> out;
+    out.push_back(std::move(t));
+    return out;
+  }
+
+  std::vector<MappingSet> mappings;
+  mappings.reserve(extraction.trees.size());
+  for (const RelationTree& rt : extraction.trees) {
+    MappingSet ms = mapper_.Map(rt);
+    if (ms.candidates.empty()) {
+      return Status::NotFound(
+          StrCat("no relation matches '", rt.ToString(), "'"));
+    }
+    mappings.push_back(std::move(ms));
+  }
+
+  ConsolidateTrees(stmt, extraction, mappings);
+
+  ViewGraph query_views = ViewsForQuery(extraction, mappings);
+  SFSQL_ASSIGN_OR_RETURN(
+      ExtendedViewGraph graph,
+      ExtendedViewGraph::Build(*db_, query_views, extraction.trees, mappings,
+                               mapper_, config_.gen));
+
+  MtjnGenerator generator(&graph, config_.gen);
+  std::vector<ScoredNetwork> networks = generator.TopK(k);
+  if (networks.empty()) {
+    return Status::ExecutionError(
+        "no join network connects the query's relation trees");
+  }
+
+  SqlComposer composer(&graph, &mappings);
+  std::vector<Translation> out;
+  for (const ScoredNetwork& scored : networks) {
+    Result<sql::SelectPtr> composed =
+        composer.Compose(stmt, extraction, scored.network);
+    if (!composed.ok()) continue;  // e.g. an attribute tree with no match here
+    Translation t;
+    t.statement = std::move(*composed);
+    Status sub = TranslateSubqueries(*t.statement, outer_bindings);
+    if (!sub.ok()) return sub;
+    t.sql = sql::PrintSelect(*t.statement);
+    t.weight = scored.weight;
+    t.network = SummarizeNetwork(graph, scored.network);
+    t.network_text = scored.network.ToString();
+    out.push_back(std::move(t));
+  }
+  if (out.empty()) {
+    return Status::ExecutionError("no join network could be composed");
+  }
+  return out;
+}
+
+Result<std::vector<Translation>> SchemaFreeEngine::Translate(
+    std::string_view sfsql, int k) const {
+  SFSQL_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sfsql));
+  return TranslateStatement(*stmt, {}, k);
+}
+
+Result<Translation> SchemaFreeEngine::TranslateBest(
+    std::string_view sfsql) const {
+  SFSQL_ASSIGN_OR_RETURN(std::vector<Translation> all, Translate(sfsql, 1));
+  return std::move(all.front());
+}
+
+Result<exec::QueryResult> SchemaFreeEngine::Execute(
+    std::string_view sfsql) const {
+  SFSQL_ASSIGN_OR_RETURN(Translation best, TranslateBest(sfsql));
+  exec::Executor executor(db_);
+  return executor.Execute(*best.statement);
+}
+
+}  // namespace sfsql::core

@@ -1,0 +1,116 @@
+#ifndef SFSQL_CORE_ENGINE_H_
+#define SFSQL_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/composer.h"
+#include "core/config.h"
+#include "core/mapper.h"
+#include "core/mtjn_generator.h"
+#include "core/relation_tree.h"
+#include "core/view_graph.h"
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace sfsql::core {
+
+/// Structural summary of the join network behind a translation; the
+/// effectiveness harness compares this against the gold query's join tree.
+struct NetworkSummary {
+  std::vector<int> relations;  ///< relation ids, sorted (with multiplicity)
+  std::vector<int> fk_edges;   ///< FK ids crossed, sorted (with multiplicity)
+
+  bool operator==(const NetworkSummary& other) const = default;
+};
+
+/// One candidate interpretation of a schema-free query.
+struct Translation {
+  sql::SelectPtr statement;  ///< fully specified SQL
+  std::string sql;           ///< printed form of `statement`
+  double weight = 0.0;       ///< join-network weight (Definition 7, plus
+                             ///< mapping factors when enabled)
+  NetworkSummary network;
+  std::string network_text;  ///< human-readable join network
+};
+
+/// The end-to-end Schema-free SQL system (Fig. 3): parser → relation tree
+/// mapper → network builder → standard SQL composer, with optional evaluation
+/// of the best translation on the in-memory database.
+///
+/// Typical use:
+///   SchemaFreeEngine engine(&db);
+///   engine.AddViewFromSql("SELECT ... full SQL from the query log ...");
+///   auto translations = engine.Translate(
+///       "SELECT count(actor?.name?) WHERE director_name? = 'James Cameron'",
+///       /*k=*/10);
+///   auto result = engine.Execute("SELECT title? WHERE genre? = 'Drama'");
+class SchemaFreeEngine {
+ public:
+  explicit SchemaFreeEngine(const storage::Database* db,
+                            EngineConfig config = {})
+      : db_(db),
+        config_(config),
+        mapper_(db, config.sim),
+        views_(&db->catalog()) {}
+
+  /// Registers a query-log entry: its join tree becomes a view (§5.1, Fig. 5).
+  /// Queries over fewer than two relations are ignored (OK is returned).
+  Status AddViewFromSql(std::string_view full_sql);
+
+  /// Registers a hand-built view.
+  Status AddView(View view);
+
+  void ClearViews() { views_.Clear(); }
+  const ViewGraph& view_graph() const { return views_; }
+  const RelationTreeMapper& mapper() const { return mapper_; }
+
+  /// Translates a schema-free SELECT into up to `k` full-SQL candidates,
+  /// best first. Nested blocks are translated outermost-first (§2.2.5); inner
+  /// blocks always take their best interpretation.
+  Result<std::vector<Translation>> Translate(std::string_view sfsql,
+                                             int k) const;
+
+  /// Translates with k = 1 and returns the single best interpretation.
+  Result<Translation> TranslateBest(std::string_view sfsql) const;
+
+  /// Translates (top 1) and evaluates on the database.
+  Result<exec::QueryResult> Execute(std::string_view sfsql) const;
+
+ private:
+  Result<std::vector<Translation>> TranslateStatement(
+      sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
+      int k) const;
+
+  /// Merges relation trees that clearly denote the same relation instance:
+  /// an unspecified-relation tree is absorbed into a FROM-clause tree whose
+  /// top-mapped relation matches (standard SQL scoping of unqualified
+  /// columns), and two unspecified trees with the same top-mapped relation
+  /// collapse into one (e.g. bare "title?" and "year?" both meaning the one
+  /// Movie of the query). Trees whose relation the user *named* are never
+  /// touched — Fig. 2's director_name? must stay a second Person. Rewrites the
+  /// statement's annotations and recomputes the affected mappings.
+  void ConsolidateTrees(sql::SelectStatement& stmt, Extraction& extraction,
+                        std::vector<MappingSet>& mappings) const;
+
+  /// Translates every subquery of `stmt` in place (best interpretation),
+  /// with `bindings` naming the enclosing blocks' FROM bindings.
+  Status TranslateSubqueries(sql::SelectStatement& stmt,
+                             const std::vector<std::string>& bindings) const;
+
+  /// Turns the user's partial join path fragments into per-query views over
+  /// the top-mapped relations, returning a ViewGraph that also contains all
+  /// persistent views.
+  ViewGraph ViewsForQuery(const Extraction& extraction,
+                          const std::vector<MappingSet>& mappings) const;
+
+  const storage::Database* db_;
+  EngineConfig config_;
+  RelationTreeMapper mapper_;
+  ViewGraph views_;
+};
+
+}  // namespace sfsql::core
+
+#endif  // SFSQL_CORE_ENGINE_H_

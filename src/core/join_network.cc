@@ -1,0 +1,311 @@
+#include "core/join_network.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace sfsql::core {
+
+namespace {
+
+/// Post-order indices of an ordered tree (children in stored order).
+std::vector<int> PostOrder(const std::vector<JnNode>& nodes) {
+  std::vector<int> order(nodes.size(), -1);
+  int counter = 0;
+  std::function<void(int)> walk = [&](int t) {
+    for (int c : nodes[t].children) walk(c);
+    order[t] = counter++;
+  };
+  // Root is index 0 by construction.
+  if (!nodes.empty()) walk(0);
+  return order;
+}
+
+}  // namespace
+
+JoinNetwork::JoinNetwork(const ExtendedViewGraph* graph, int root_xnode,
+                         bool include_factor)
+    : graph_(graph),
+      num_rts_(graph->num_rts()),
+      include_factor_(include_factor) {
+  JnNode root;
+  root.xnode = root_xnode;
+  nodes_.push_back(root);
+  rightmost_.push_back(true);
+  rightmost_path_ = {0};
+  const XNode& x = graph_->node(root_xnode);
+  if (x.rt_id >= 0) rt_mask_ |= 1ull << x.rt_id;
+  if (include_factor_) weight_ *= x.mapping_factor;
+}
+
+bool JoinNetwork::IsMinimal() const {
+  if (!IsTotal()) return false;
+  for (size_t t = 0; t < nodes_.size(); ++t) {
+    bool is_leaf = nodes_[t].children.empty() && nodes_[t].parent >= 0;
+    if (nodes_.size() == 1) is_leaf = false;  // a single node is never removable
+    if (is_leaf && graph_->node(nodes_[t].xnode).rt_id < 0) return false;
+  }
+  return true;
+}
+
+bool JoinNetwork::HasDeadBareLeaf() const {
+  for (size_t t = 0; t < nodes_.size(); ++t) {
+    if (!nodes_[t].children.empty()) continue;
+    if (rightmost_[t]) continue;
+    if (graph_->node(nodes_[t].xnode).rt_id < 0) return true;
+  }
+  return false;
+}
+
+bool JoinNetwork::FkSlotUsed(int t, int fk) const {
+  auto uses_slot = [&](int tree_node, int edge_id) {
+    if (edge_id < 0) return false;
+    const XEdge& e = graph_->edge(edge_id);
+    return e.fk_id == fk && e.fk_side() == nodes_[tree_node].xnode;
+  };
+  // Incident edges of t: the edge to its parent plus each child's parent edge.
+  if (uses_slot(t, nodes_[t].parent_edge)) return true;
+  for (int c : nodes_[t].children) {
+    if (uses_slot(t, nodes_[c].parent_edge)) return true;
+  }
+  return false;
+}
+
+void JoinNetwork::MarkAfterExpansion(const std::vector<int>& new_nodes) {
+  std::vector<int> post = PostOrder(nodes_);
+  int frontier = -1;
+  for (int t : new_nodes) frontier = std::max(frontier, post[t]);
+  for (size_t t = 0; t < nodes_.size(); ++t) {
+    bool is_new =
+        std::find(new_nodes.begin(), new_nodes.end(), static_cast<int>(t)) !=
+        new_nodes.end();
+    if (is_new) {
+      // "All newly expanded nodes are marked as rightmost no matter if they
+      // are in the rightmost root-to-leaf path" (§6.1).
+      rightmost_[t] = true;
+    } else if (post[t] < frontier) {
+      // Everything to the left of the expansion is frozen.
+      rightmost_[t] = false;
+    }
+  }
+  rightmost_path_.clear();
+  for (size_t t = 0; t < nodes_.size(); ++t) {
+    if (rightmost_[t]) rightmost_path_.push_back(static_cast<int>(t));
+  }
+}
+
+std::optional<JoinNetwork> JoinNetwork::ExpandByEdge(
+    int edge_id, int at, int max_nodes, bool enforce_rightmost) const {
+  const XEdge& e = graph_->edge(edge_id);
+  int at_xnode = nodes_[at].xnode;
+  if (e.a != at_xnode && e.b != at_xnode) return std::nullopt;
+  int new_xnode = e.other(at_xnode);
+  const XNode& nx = graph_->node(new_xnode);
+
+  if (size() + 1 > max_nodes) return std::nullopt;
+  if (nx.rt_id >= 0 && (rt_mask_ & (1ull << nx.rt_id))) return std::nullopt;
+  // Definition 2: a foreign-key slot joins at most one copy of its target.
+  if (e.fk_side() == at_xnode && FkSlotUsed(at, e.fk_id)) return std::nullopt;
+
+  if (enforce_rightmost) {
+    if (!rightmost_[at]) return std::nullopt;
+    // The new node must become the rightmost at its level: its label may not
+    // be smaller than the last existing child's (Example 9, (d) -> (e)).
+    if (!nodes_[at].children.empty() &&
+        new_xnode < nodes_[nodes_[at].children.back()].xnode) {
+      return std::nullopt;
+    }
+  }
+
+  JoinNetwork out = *this;
+  int t = static_cast<int>(out.nodes_.size());
+  JnNode node;
+  node.xnode = new_xnode;
+  node.parent = at;
+  node.parent_edge = edge_id;
+  out.nodes_.push_back(node);
+  out.rightmost_.push_back(true);
+  out.nodes_[at].children.push_back(t);
+  out.weight_ *= e.weight;
+  if (nx.rt_id >= 0) {
+    out.rt_mask_ |= 1ull << nx.rt_id;
+    if (include_factor_) out.weight_ *= nx.mapping_factor;
+  }
+  out.MarkAfterExpansion({t});
+  return out;
+}
+
+std::optional<JoinNetwork> JoinNetwork::ExpandByView(
+    int xview_id, int at, int shared_pos, int max_nodes,
+    bool enforce_rightmost) const {
+  const XView& xv = graph_->xviews()[xview_id];
+  const int n = static_cast<int>(xv.nodes.size());
+  if (shared_pos < 0 || shared_pos >= n) return std::nullopt;
+  if (xv.nodes[shared_pos] != nodes_[at].xnode) return std::nullopt;
+  if (size() + n - 1 > max_nodes) return std::nullopt;
+
+  if (enforce_rightmost) {
+    if (!rightmost_[at]) return std::nullopt;
+    // View labels must increase across the construction (§6.1).
+    if (xview_id <= last_view_label_) return std::nullopt;
+  }
+
+  // Check relation-tree uniqueness across the incoming view nodes.
+  uint64_t incoming = 0;
+  for (int p = 0; p < n; ++p) {
+    if (p == shared_pos) continue;
+    int rt = graph_->node(xv.nodes[p]).rt_id;
+    if (rt < 0) continue;
+    uint64_t bit = 1ull << rt;
+    if ((rt_mask_ & bit) || (incoming & bit)) return std::nullopt;
+    incoming |= bit;
+  }
+
+  // Adjacency of positions within the view.
+  const View& view_def =
+      /* source view only used for structure */ ViewStructure(xview_id);
+  std::vector<std::vector<std::pair<int, int>>> adj(n);  // (other_pos, edge_idx)
+  for (size_t i = 0; i < view_def.edges.size(); ++i) {
+    const ViewEdge& ve = view_def.edges[i];
+    adj[ve.from_pos].push_back({ve.to_pos, static_cast<int>(i)});
+    adj[ve.to_pos].push_back({ve.from_pos, static_cast<int>(i)});
+  }
+
+  JoinNetwork out = *this;
+  std::vector<int> new_nodes;
+  std::vector<int> tree_of_pos(n, -1);
+  tree_of_pos[shared_pos] = at;
+
+  // DFS from the shared position, attaching children ordered by label.
+  Status status = Status::OK();
+  std::function<void(int)> attach = [&](int pos) {
+    // Children attach in label order, matching the edge-expansion convention.
+    std::vector<std::pair<int, int>> nexts;  // (other_pos, edge_idx)
+    for (auto [other, ei] : adj[pos]) {
+      if (tree_of_pos[other] < 0) nexts.push_back({other, ei});
+    }
+    std::sort(nexts.begin(), nexts.end(), [&](auto& a, auto& b) {
+      return xv.nodes[a.first] < xv.nodes[b.first];
+    });
+    for (auto [other, ei] : nexts) {
+      if (!status.ok()) return;
+      if (tree_of_pos[other] >= 0) continue;
+      int edge_id = xv.edge_ids[ei];
+      const XEdge& e = graph_->edge(edge_id);
+      int parent_tree = tree_of_pos[pos];
+      // Definition 2 on the shared node and within the view.
+      if (e.fk_side() == out.nodes_[parent_tree].xnode &&
+          out.FkSlotUsed(parent_tree, e.fk_id)) {
+        status = Status::InvalidArgument("fk slot conflict");
+        return;
+      }
+      int t = static_cast<int>(out.nodes_.size());
+      JnNode node;
+      node.xnode = xv.nodes[other];
+      node.parent = parent_tree;
+      node.parent_edge = edge_id;
+      out.nodes_.push_back(node);
+      out.rightmost_.push_back(true);
+      out.nodes_[parent_tree].children.push_back(t);
+      tree_of_pos[other] = t;
+      new_nodes.push_back(t);
+      const XNode& nx = graph_->node(xv.nodes[other]);
+      if (nx.rt_id >= 0) {
+        out.rt_mask_ |= 1ull << nx.rt_id;
+        if (include_factor_) out.weight_ *= nx.mapping_factor;
+      }
+      attach(other);
+    }
+  };
+  attach(shared_pos);
+  if (!status.ok()) return std::nullopt;
+  if (static_cast<int>(new_nodes.size()) != n - 1) return std::nullopt;
+
+  out.weight_ *= xv.weight;  // Definition 6: views contribute their own weight
+  out.last_view_label_ = xview_id;
+  out.MarkAfterExpansion(new_nodes);
+  return out;
+}
+
+const View& JoinNetwork::ViewStructure(int xview_id) const {
+  return graph_->view_structure(graph_->xviews()[xview_id].source_view);
+}
+
+std::string JoinNetwork::CanonicalSignature() const {
+  const int n = size();
+  // Build an undirected adjacency with edge labels.
+  struct Adj {
+    int other;
+    int fk;
+    int fk_side_xnode;
+  };
+  std::vector<std::vector<Adj>> adj(n);
+  for (int t = 0; t < n; ++t) {
+    if (nodes_[t].parent < 0) continue;
+    const XEdge& e = graph_->edge(nodes_[t].parent_edge);
+    adj[t].push_back({nodes_[t].parent, e.fk_id, e.fk_side()});
+    adj[nodes_[t].parent].push_back({t, e.fk_id, e.fk_side()});
+  }
+  // AHU encoding rooted at a centroid (min over the at-most-two centroids).
+  std::vector<int> subtree_size(n, 0);
+  std::function<int(int, int)> sizes = [&](int u, int p) {
+    subtree_size[u] = 1;
+    for (const Adj& a : adj[u]) {
+      if (a.other != p) subtree_size[u] += sizes(a.other, u);
+    }
+    return subtree_size[u];
+  };
+  sizes(0, -1);
+  std::vector<int> centroids;
+  std::function<void(int, int)> find_centroids = [&](int u, int p) {
+    int heaviest = n - subtree_size[u];
+    for (const Adj& a : adj[u]) {
+      if (a.other == p) continue;
+      heaviest = std::max(heaviest, subtree_size[a.other]);
+      find_centroids(a.other, u);
+    }
+    if (heaviest <= n / 2) centroids.push_back(u);
+  };
+  find_centroids(0, -1);
+
+  std::function<std::string(int, int, std::string)> encode =
+      [&](int u, int p, std::string edge_label) {
+        std::vector<std::string> kids;
+        for (const Adj& a : adj[u]) {
+          if (a.other == p) continue;
+          kids.push_back(encode(a.other, u,
+                                StrCat("e", a.fk, "s", a.fk_side_xnode)));
+        }
+        std::sort(kids.begin(), kids.end());
+        std::string out = StrCat("(", nodes_[u].xnode, "/", edge_label);
+        for (std::string& k : kids) out += k;
+        out += ")";
+        return out;
+      };
+  std::string best;
+  for (int c : centroids) {
+    std::string s = encode(c, -1, "");
+    if (best.empty() || s < best) best = s;
+  }
+  return best;
+}
+
+std::string JoinNetwork::ToString() const {
+  std::function<std::string(int)> render = [&](int t) {
+    std::string out = graph_->node(nodes_[t].xnode).ToString(graph_->catalog());
+    if (!nodes_[t].children.empty()) {
+      out += "[";
+      for (size_t i = 0; i < nodes_[t].children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += render(nodes_[t].children[i]);
+      }
+      out += "]";
+    }
+    return out;
+  };
+  return nodes_.empty() ? "(empty)" : render(0);
+}
+
+}  // namespace sfsql::core

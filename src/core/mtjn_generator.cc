@@ -1,0 +1,294 @@
+#include "core/mtjn_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+
+namespace sfsql::core {
+
+namespace {
+
+/// Priority-queue entry; `priority` is an upper bound on the weight of every
+/// MTJN expandable from `jn` (the potential for Algorithm 2, the construction
+/// weight itself for the baselines — both only shrink along expansions).
+struct QueueEntry {
+  double priority;
+  long long seq;  // FIFO tie-break for determinism
+  JoinNetwork jn;
+};
+
+struct QueueCompare {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  }
+};
+
+/// Result accumulator: top-k by weight, deduplicated by canonical signature
+/// keeping the best construction weight (Definition 7).
+class TopKResults {
+ public:
+  explicit TopKResults(int k) : k_(k) {}
+
+  void Add(const JoinNetwork& jn) {
+    std::string sig = jn.CanonicalSignature();
+    auto it = by_signature_.find(sig);
+    if (it == by_signature_.end()) {
+      by_signature_.emplace(sig, jn);
+    } else if (jn.weight() > it->second.weight()) {
+      it->second = jn;
+    }
+  }
+
+  /// Weight of the kth best result, 0 if fewer than k exist yet.
+  double KthWeight() const {
+    if (static_cast<int>(by_signature_.size()) < k_) return 0.0;
+    std::vector<double> weights;
+    weights.reserve(by_signature_.size());
+    for (const auto& [sig, jn] : by_signature_) weights.push_back(jn.weight());
+    std::nth_element(weights.begin(), weights.begin() + (k_ - 1), weights.end(),
+                     std::greater<double>());
+    return weights[k_ - 1];
+  }
+
+  std::vector<ScoredNetwork> Take() const {
+    std::vector<ScoredNetwork> out;
+    out.reserve(by_signature_.size());
+    for (const auto& [sig, jn] : by_signature_) {
+      out.push_back(ScoredNetwork{jn, jn.weight()});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ScoredNetwork& a, const ScoredNetwork& b) {
+                return a.weight > b.weight;
+              });
+    if (static_cast<int>(out.size()) > k_) out.erase(out.begin() + k_, out.end());
+    return out;
+  }
+
+ private:
+  int k_;
+  std::map<std::string, JoinNetwork> by_signature_;
+};
+
+}  // namespace
+
+double MtjnGenerator::PotentialEstimate(const JoinNetwork& jn) const {
+  double w = jn.weight();
+  uint64_t covered = jn.rt_mask();
+  // The xnodes currently reachable as path targets (jn' in Algorithm 3).
+  std::vector<int> anchors;
+  anchors.reserve(jn.size());
+  for (const JnNode& n : jn.nodes()) anchors.push_back(n.xnode);
+
+  const int total = graph_->num_rts();
+  while (true) {
+    double best = 0.0;
+    int best_rt = -1;
+    int best_node = -1;
+    for (int rt = 0; rt < total; ++rt) {
+      if (covered & (1ull << rt)) continue;
+      for (int u : graph_->NodesOfRt(rt)) {
+        double d = 0.0;
+        for (int v : anchors) d = std::max(d, graph_->PathWeight(u, v));
+        if (config_.use_mapping_scores) d *= graph_->node(u).mapping_factor;
+        if (d > best) {
+          best = d;
+          best_rt = rt;
+          best_node = u;
+        }
+      }
+    }
+    if (best_rt < 0) break;  // all covered
+    if (best == 0.0) return 0.0;  // some relation tree is unreachable
+    w *= best;
+    covered |= 1ull << best_rt;
+    anchors.push_back(best_node);
+  }
+  return w;
+}
+
+std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
+                                              GeneratorStats* stats) const {
+  GeneratorStats local;
+  GeneratorStats& st = stats != nullptr ? *stats : local;
+  st = GeneratorStats{};
+
+  TopKResults results(k);
+  if (graph_->num_rts() == 0) return results.Take();
+
+  const bool legality = strategy != Strategy::kRegular;
+  const bool pruning = strategy == Strategy::kOurs;
+  long long seq = 0;
+
+  // Roots: the nodes mapped by the first relation tree (Algorithm 1), ordered
+  // by decreasing potential. Every MTJN contains exactly one of them.
+  std::vector<int> roots = graph_->NodesOfRt(0);
+  std::vector<std::pair<double, int>> ranked;
+  for (int r : roots) {
+    JoinNetwork seed(graph_, r, config_.use_mapping_scores);
+    ranked.push_back({PotentialEstimate(seed), r});
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  std::set<int> banned;  // earlier roots, removed from the graph (Alg. 1 line 5)
+
+  auto contains_banned_new = [&](const JoinNetwork& before,
+                                 const JoinNetwork& after) {
+    for (int t = before.size(); t < after.size(); ++t) {
+      if (banned.count(after.node(t).xnode) > 0) return true;
+    }
+    return false;
+  };
+
+  for (auto [root_potential, root] : ranked) {
+    if (st.truncated) break;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare> queue;
+    JoinNetwork seed(graph_, root, config_.use_mapping_scores);
+    if (graph_->num_rts() == 1) {
+      // A single relation tree: the seed itself is the MTJN.
+      ++st.emitted;
+      results.Add(seed);
+      banned.insert(root);
+      continue;
+    }
+    queue.push(QueueEntry{pruning ? PotentialEstimate(seed) : seed.weight(),
+                          seq++, std::move(seed)});
+    ++st.pushed;
+
+    while (!queue.empty()) {
+      if (st.expansions > config_.max_expansions) {
+        st.truncated = true;
+        break;
+      }
+      QueueEntry entry = queue.top();
+      queue.pop();
+      ++st.popped;
+      // The priority upper-bounds every descendant: once it cannot beat the
+      // current kth weight, neither can anything left in the queue.
+      if (entry.priority <= results.KthWeight() && results.KthWeight() > 0.0) {
+        break;
+      }
+      const JoinNetwork& jn = entry.jn;
+
+      for (int t = 0; t < jn.size(); ++t) {
+        if (legality && !jn.IsRightmost(t)) continue;
+        int xnode = jn.node(t).xnode;
+
+        auto consider = [&](std::optional<JoinNetwork> expanded) {
+          ++st.expansions;
+          if (!expanded.has_value()) return;
+          if (contains_banned_new(jn, *expanded)) return;
+          if (expanded->IsTotal()) {
+            if (expanded->IsMinimal()) {
+              ++st.emitted;
+              results.Add(*expanded);
+            }
+            return;  // total networks cannot grow into new MTJNs
+          }
+          if (legality && expanded->HasDeadBareLeaf()) return;  // Example 9
+          double priority =
+              pruning ? PotentialEstimate(*expanded) : expanded->weight();
+          if (pruning && results.KthWeight() > 0.0 &&
+              priority <= results.KthWeight()) {
+            ++st.pruned;
+            return;
+          }
+          queue.push(QueueEntry{priority, seq++, std::move(*expanded)});
+          ++st.pushed;
+        };
+
+        for (int edge_id : graph_->EdgesOf(xnode)) {
+          consider(jn.ExpandByEdge(edge_id, t, config_.max_jn_nodes, legality));
+        }
+        for (int xview_id : graph_->ViewsOf(xnode)) {
+          const XView& xv = graph_->xviews()[xview_id];
+          for (int pos = 0; pos < static_cast<int>(xv.nodes.size()); ++pos) {
+            if (xv.nodes[pos] != xnode) continue;
+            consider(jn.ExpandByView(xview_id, t, pos, config_.max_jn_nodes,
+                                     legality));
+          }
+        }
+      }
+    }
+    banned.insert(root);
+  }
+  return results.Take();
+}
+
+std::vector<ScoredNetwork> MtjnGenerator::TopK(int k,
+                                               GeneratorStats* stats) const {
+  return Run(k, Strategy::kOurs, stats);
+}
+
+std::vector<ScoredNetwork> MtjnGenerator::TopKRightmost(
+    int k, GeneratorStats* stats) const {
+  return Run(k, Strategy::kRightmost, stats);
+}
+
+std::vector<ScoredNetwork> MtjnGenerator::TopKRegular(
+    int k, GeneratorStats* stats) const {
+  return Run(k, Strategy::kRegular, stats);
+}
+
+std::vector<ScoredNetwork> MtjnGenerator::EnumerateAll(int max_nodes) const {
+  // Exhaustive oracle: breadth-first over partial networks, deduplicating
+  // *partials* by signature so the walk terminates.
+  std::map<std::string, JoinNetwork> mtjns;
+  std::set<std::string> seen_partials;
+  std::vector<JoinNetwork> frontier;
+  if (graph_->num_rts() == 0) return {};
+  for (int rt0 : graph_->NodesOfRt(0)) {
+    JoinNetwork seed(graph_, rt0, config_.use_mapping_scores);
+    if (seed.IsTotal() && seed.IsMinimal()) {
+      mtjns.emplace(seed.CanonicalSignature(), seed);
+    }
+    seen_partials.insert(seed.CanonicalSignature());
+    frontier.push_back(std::move(seed));
+  }
+  while (!frontier.empty()) {
+    std::vector<JoinNetwork> next;
+    for (const JoinNetwork& jn : frontier) {
+      for (int t = 0; t < jn.size(); ++t) {
+        int xnode = jn.node(t).xnode;
+        auto consider = [&](std::optional<JoinNetwork> expanded) {
+          if (!expanded.has_value()) return;
+          std::string sig = expanded->CanonicalSignature();
+          if (expanded->IsTotal()) {
+            if (expanded->IsMinimal()) {
+              auto it = mtjns.find(sig);
+              if (it == mtjns.end()) {
+                mtjns.emplace(sig, *expanded);
+              } else if (expanded->weight() > it->second.weight()) {
+                it->second = *expanded;
+              }
+            }
+            return;
+          }
+          if (seen_partials.insert(sig).second) next.push_back(std::move(*expanded));
+        };
+        for (int edge_id : graph_->EdgesOf(xnode)) {
+          consider(jn.ExpandByEdge(edge_id, t, max_nodes, false));
+        }
+        for (int xview_id : graph_->ViewsOf(xnode)) {
+          const XView& xv = graph_->xviews()[xview_id];
+          for (int pos = 0; pos < static_cast<int>(xv.nodes.size()); ++pos) {
+            if (xv.nodes[pos] != xnode) continue;
+            consider(jn.ExpandByView(xview_id, t, pos, max_nodes, false));
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<ScoredNetwork> out;
+  for (const auto& [sig, jn] : mtjns) out.push_back(ScoredNetwork{jn, jn.weight()});
+  std::sort(out.begin(), out.end(),
+            [](const ScoredNetwork& a, const ScoredNetwork& b) {
+              return a.weight > b.weight;
+            });
+  return out;
+}
+
+}  // namespace sfsql::core

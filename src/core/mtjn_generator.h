@@ -1,0 +1,76 @@
+#ifndef SFSQL_CORE_MTJN_GENERATOR_H_
+#define SFSQL_CORE_MTJN_GENERATOR_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/join_network.h"
+#include "core/view_graph.h"
+
+namespace sfsql::core {
+
+/// A generated minimal total join network with its Definition 7 weight (the
+/// best construction weight seen for its canonical form).
+struct ScoredNetwork {
+  JoinNetwork network;
+  double weight = 0.0;
+};
+
+/// Counters for the efficiency experiments (Fig. 17).
+struct GeneratorStats {
+  long long pushed = 0;    ///< partial networks enqueued
+  long long popped = 0;    ///< partial networks expanded
+  long long expansions = 0;  ///< expansion attempts (edge or view)
+  long long pruned = 0;    ///< partial networks dropped by potential pruning
+  long long emitted = 0;   ///< MTJNs reaching the result set (pre-dedup)
+  bool truncated = false;  ///< hit the max_expansions safety cap
+};
+
+/// Top-k minimal-total-join-network generation over an extended view graph.
+///
+/// Three strategies, matching §7.3's efficiency comparison:
+///  * TopK            — the paper's Algorithms 1-3: per-root best-first search
+///                      ordered by potential, with the rightmost legality test
+///                      and potential-estimation pruning.
+///  * TopKRightmost   — the [12]-style baseline: rightmost legality test but
+///                      no potential estimation (queue ordered and bounded by
+///                      the current construction weight, which is a valid but
+///                      much looser bound).
+///  * TopKRegular     — the DISCOVER-style baseline: arbitrary expansion order
+///                      with neither legality test nor pruning; isomorphic
+///                      partial networks are re-expanded many times.
+///
+/// All strategies deduplicate *results* by canonical signature, keeping the
+/// best construction weight per network (Definition 7).
+class MtjnGenerator {
+ public:
+  MtjnGenerator(const ExtendedViewGraph* graph, GeneratorConfig config)
+      : graph_(graph), config_(config) {}
+
+  std::vector<ScoredNetwork> TopK(int k, GeneratorStats* stats = nullptr) const;
+  std::vector<ScoredNetwork> TopKRightmost(int k,
+                                           GeneratorStats* stats = nullptr) const;
+  std::vector<ScoredNetwork> TopKRegular(int k,
+                                         GeneratorStats* stats = nullptr) const;
+
+  /// Exhaustive enumeration of every MTJN with at most `max_nodes` relations
+  /// (exponential; test oracle for the strategies above).
+  std::vector<ScoredNetwork> EnumerateAll(int max_nodes) const;
+
+  /// Algorithm 3: optimistic upper bound on the weight of any MTJN expandable
+  /// from `jn`, using the all-pairs best-path table (view edges square-rooted)
+  /// and, when mapping scores are enabled, candidate mapping factors.
+  double PotentialEstimate(const JoinNetwork& jn) const;
+
+ private:
+  enum class Strategy { kOurs, kRightmost, kRegular };
+  std::vector<ScoredNetwork> Run(int k, Strategy strategy,
+                                 GeneratorStats* stats) const;
+
+  const ExtendedViewGraph* graph_;
+  GeneratorConfig config_;
+};
+
+}  // namespace sfsql::core
+
+#endif  // SFSQL_CORE_MTJN_GENERATOR_H_

@@ -1,0 +1,415 @@
+#include "core/relation_tree.h"
+
+#include <map>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "sql/printer.h"
+
+namespace sfsql::core {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::NameKind;
+using sql::NameRef;
+
+std::string Condition::ToString() const {
+  if (op == "in") {
+    std::string out = "in (";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values[i].ToSqlLiteral();
+    }
+    return out + ")";
+  }
+  return StrCat(op, " ", values.empty() ? "?" : values[0].ToSqlLiteral());
+}
+
+std::string AttributeTree::ToString() const {
+  std::string out = name.ToString();
+  if (!conditions.empty()) {
+    out += "{";
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += conditions[i].ToString();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+std::string RelationTree::ToString() const {
+  std::string out = relation.specified() ? relation.ToString() : "*";
+  if (!alias.empty()) out += StrCat(" ", alias);
+  out += "(";
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+namespace {
+
+/// Merges expression triples into relation trees following §3.2:
+///  rule 1 — identical relation name (and alias) merge at the relation level;
+///  rule 2 — identical relation + attribute name merge at the attribute level;
+///  rule 3 — identical attribute name with *no* relation name merge at the
+///           attribute level (forming a relation tree with unspecified root).
+class Extractor {
+ public:
+  Extractor(sql::SelectStatement& stmt, const std::vector<std::string>& outer)
+      : stmt_(stmt) {
+    for (const std::string& b : outer) outer_.push_back(ToLower(b));
+  }
+
+  Result<Extraction> Run() {
+    // FROM items first: they are triples with only the relation level set, and
+    // they define the aliases other triples may reference.
+    for (const sql::TableRef& ref : stmt_.from) {
+      int rt = TreeForFromItem(ref);
+      if (!ref.alias.empty()) alias_to_tree_[ToLower(ref.alias)] = rt;
+      if (ref.relation.has_name_hint()) {
+        // The bare relation name also addresses this tree (rule 1) as long as
+        // no alias hides it.
+        std::string key = ToLower(ref.relation.name);
+        if (alias_to_tree_.find(key) == alias_to_tree_.end()) {
+          name_to_tree_.emplace(key, rt);
+        }
+      }
+    }
+
+    // SELECT first (matching Fig. 4's tree ordering), then WHERE.
+    for (sql::SelectItem& item : stmt_.select_items) {
+      SFSQL_RETURN_IF_ERROR(VisitExpr(*item.expr, false));
+    }
+
+    // WHERE: classify top-level conjuncts; join fragments between two local
+    // relation trees become JoinSpecs (and are consumed); fragments involving
+    // an outer binding are correlation predicates and must be retained.
+    std::vector<Expr*> conjuncts;
+    CollectConjuncts(stmt_.where.get(), conjuncts);
+    for (Expr* c : conjuncts) {
+      if (IsJoinFragment(*c)) {
+        SFSQL_ASSIGN_OR_RETURN(bool consumed, AddJoinSpec(*c));
+        if (consumed) {
+          out_.consumed_conjuncts.push_back(sql::PrintExpr(*c));
+        }
+        continue;
+      }
+      SFSQL_RETURN_IF_ERROR(VisitExpr(*c, /*conjunctive=*/true));
+    }
+    for (ExprPtr& g : stmt_.group_by) SFSQL_RETURN_IF_ERROR(VisitExpr(*g, false));
+    if (stmt_.having) SFSQL_RETURN_IF_ERROR(VisitExpr(*stmt_.having, false));
+    for (sql::OrderItem& o : stmt_.order_by) {
+      SFSQL_RETURN_IF_ERROR(VisitExpr(*o.expr, false));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  // --- tree bookkeeping ---
+
+  int NewTree(NameRef relation, std::string alias, bool from_clause = false) {
+    RelationTree rt;
+    rt.id = static_cast<int>(out_.trees.size());
+    rt.relation = std::move(relation);
+    rt.alias = std::move(alias);
+    rt.from_clause = from_clause;
+    out_.trees.push_back(std::move(rt));
+    return out_.trees.back().id;
+  }
+
+  int TreeForFromItem(const sql::TableRef& ref) {
+    if (ref.alias.empty() && ref.relation.has_name_hint()) {
+      std::string key = ToLower(ref.relation.name);
+      auto it = name_to_tree_.find(key);
+      if (it != name_to_tree_.end()) return it->second;
+    }
+    return NewTree(ref.relation, ref.alias, /*from_clause=*/true);
+  }
+
+  /// Tree for a column reference's relation part (rules 1 and 3).
+  Result<int> TreeForColumn(const Expr& col) {
+    const NameRef& rel = col.relation;
+    if (rel.specified()) {
+      if (rel.exact() || rel.kind == NameKind::kVague) {
+        std::string key = ToLower(rel.name);
+        if (auto it = alias_to_tree_.find(key); it != alias_to_tree_.end()) {
+          return it->second;
+        }
+        if (auto it = name_to_tree_.find(key); it != name_to_tree_.end()) {
+          return it->second;
+        }
+        int rt = NewTree(rel, "");
+        name_to_tree_.emplace(key, rt);
+        return rt;
+      }
+      if (rel.kind == NameKind::kPlaceholder) {
+        std::string key = rel.name;
+        if (auto it = var_to_tree_.find(key); it != var_to_tree_.end()) {
+          return it->second;
+        }
+        int rt = NewTree(rel, "");
+        var_to_tree_.emplace(key, rt);
+        return rt;
+      }
+      // Anonymous relation: every occurrence is its own element (the parser
+      // already made the generated variable unique).
+      return NewTree(rel, "");
+    }
+    // Rule 3: unqualified attributes merge by attribute name.
+    const NameRef& attr = col.attribute;
+    if (attr.has_name_hint()) {
+      std::string key = ToLower(attr.name);
+      if (auto it = attr_to_tree_.find(key); it != attr_to_tree_.end()) {
+        return it->second;
+      }
+      int rt = NewTree(NameRef::Unspecified(), "");
+      attr_to_tree_.emplace(key, rt);
+      return rt;
+    }
+    if (attr.kind == NameKind::kPlaceholder) {
+      std::string key = attr.name;
+      if (auto it = attrvar_to_tree_.find(key); it != attrvar_to_tree_.end()) {
+        return it->second;
+      }
+      int rt = NewTree(NameRef::Unspecified(), "");
+      attrvar_to_tree_.emplace(key, rt);
+      return rt;
+    }
+    return NewTree(NameRef::Unspecified(), "");
+  }
+
+  /// Attribute tree inside `tree` for `attr` (rule 2).
+  int AttrIndexIn(int tree_id, const NameRef& attr) {
+    RelationTree& rt = out_.trees[tree_id];
+    for (size_t i = 0; i < rt.attributes.size(); ++i) {
+      const NameRef& existing = rt.attributes[i].name;
+      bool same = false;
+      if (attr.has_name_hint() && existing.has_name_hint()) {
+        same = EqualsIgnoreCase(attr.name, existing.name);
+      } else if (attr.kind == NameKind::kPlaceholder &&
+                 existing.kind == NameKind::kPlaceholder) {
+        same = attr.name == existing.name;
+      } else if (attr.kind == NameKind::kAnonymous &&
+                 existing.kind == NameKind::kAnonymous) {
+        same = attr.name == existing.name;  // unique per occurrence
+      }
+      if (same) return static_cast<int>(i);
+    }
+    rt.attributes.push_back(AttributeTree{attr, {}});
+    return static_cast<int>(rt.attributes.size()) - 1;
+  }
+
+  bool IsOuterRef(const Expr& col) const {
+    if (!col.relation.exact()) return false;
+    std::string key = ToLower(col.relation.name);
+    // An exact qualifier that names an *enclosing* binding (and no local FROM
+    // binding/tree) is a correlated variable, not a schema guess.
+    if (alias_to_tree_.count(key) || name_to_tree_.count(key)) return false;
+    for (const std::string& b : outer_) {
+      if (b == key) return true;
+    }
+    return false;
+  }
+
+  /// Registers the column reference (annotating it) and returns its (rt, at).
+  Result<std::pair<int, int>> RegisterColumn(Expr& col) {
+    if (IsOuterRef(col)) {
+      col.rt_id = -1;
+      col.at_index = -1;
+      return std::make_pair(-1, -1);
+    }
+    SFSQL_ASSIGN_OR_RETURN(int rt, TreeForColumn(col));
+    int at = AttrIndexIn(rt, col.attribute);
+    col.rt_id = rt;
+    col.at_index = at;
+    return std::make_pair(rt, at);
+  }
+
+  // --- WHERE classification ---
+
+  static void CollectConjuncts(Expr* e, std::vector<Expr*>& out) {
+    if (e == nullptr) return;
+    if (e->kind == ExprKind::kBinary && e->bop == sql::BinaryOp::kAnd) {
+      CollectConjuncts(e->lhs.get(), out);
+      CollectConjuncts(e->rhs.get(), out);
+      return;
+    }
+    out.push_back(e);
+  }
+
+  static bool IsJoinFragment(const Expr& e) {
+    return e.kind == ExprKind::kBinary && e.bop == sql::BinaryOp::kEq &&
+           e.lhs->kind == ExprKind::kColumnRef &&
+           e.rhs->kind == ExprKind::kColumnRef;
+  }
+
+  /// Returns true if the fragment was consumed as an intra-block join spec;
+  /// false if it involves an outer binding and must stay a predicate.
+  Result<bool> AddJoinSpec(Expr& e) {
+    SFSQL_ASSIGN_OR_RETURN(auto left, RegisterColumn(*e.lhs));
+    SFSQL_ASSIGN_OR_RETURN(auto right, RegisterColumn(*e.rhs));
+    if (left.first < 0 || right.first < 0) return false;
+    JoinSpec spec;
+    spec.left_rt = left.first;
+    spec.left_attr = e.lhs->attribute;
+    spec.right_rt = right.first;
+    spec.right_attr = e.rhs->attribute;
+    out_.join_specs.push_back(std::move(spec));
+    return true;
+  }
+
+  // --- condition extraction ---
+
+  static const char* FlipOp(const char* op) {
+    std::string_view o = op;
+    if (o == "<") return ">";
+    if (o == "<=") return ">=";
+    if (o == ">") return "<";
+    if (o == ">=") return "<=";
+    return op;  // = and <> are symmetric
+  }
+
+  static const char* CompareOpText(sql::BinaryOp op) {
+    switch (op) {
+      case sql::BinaryOp::kEq: return "=";
+      case sql::BinaryOp::kNe: return "<>";
+      case sql::BinaryOp::kLt: return "<";
+      case sql::BinaryOp::kLe: return "<=";
+      case sql::BinaryOp::kGt: return ">";
+      case sql::BinaryOp::kGe: return ">=";
+      default: return nullptr;
+    }
+  }
+
+  void AddCondition(int rt, int at, Condition cond) {
+    if (rt < 0 || at < 0) return;
+    out_.trees[rt].attributes[at].conditions.push_back(std::move(cond));
+  }
+
+  /// Walks an expression, registering every column reference. When
+  /// `conjunctive` is true (top-level WHERE conjuncts), comparisons against
+  /// literals also attach value conditions to the attribute tree.
+  Status VisitExpr(Expr& e, bool conjunctive) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return RegisterColumn(e).status();
+      case ExprKind::kLiteral:
+      case ExprKind::kStar:
+        return Status::OK();
+      case ExprKind::kBinary: {
+        // §3.1 collects value conditions from the whole WHERE clause; they
+        // only feed similarity scoring, so harvesting them under OR / NOT is
+        // safe (the predicate itself is retained untouched either way).
+        if (e.bop == sql::BinaryOp::kOr) {
+          SFSQL_RETURN_IF_ERROR(VisitExpr(*e.lhs, conjunctive));
+          return VisitExpr(*e.rhs, conjunctive);
+        }
+        const char* op = CompareOpText(e.bop);
+        if (conjunctive && op != nullptr) {
+          // col <op> literal (either orientation) is a condition triple.
+          if (e.lhs->kind == ExprKind::kColumnRef &&
+              e.rhs->kind == ExprKind::kLiteral) {
+            SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.lhs));
+            AddCondition(loc.first, loc.second,
+                         Condition{op, {e.rhs->literal}});
+            return Status::OK();
+          }
+          if (e.rhs->kind == ExprKind::kColumnRef &&
+              e.lhs->kind == ExprKind::kLiteral) {
+            SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.rhs));
+            AddCondition(loc.first, loc.second,
+                         Condition{FlipOp(op), {e.lhs->literal}});
+            return Status::OK();
+          }
+        }
+        if (e.bop == sql::BinaryOp::kLike && conjunctive &&
+            e.lhs->kind == ExprKind::kColumnRef &&
+            e.rhs->kind == ExprKind::kLiteral) {
+          SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.lhs));
+          AddCondition(loc.first, loc.second,
+                       Condition{"like", {e.rhs->literal}});
+          return Status::OK();
+        }
+        SFSQL_RETURN_IF_ERROR(VisitExpr(*e.lhs, false));
+        return VisitExpr(*e.rhs, false);
+      }
+      case ExprKind::kUnary:
+        return VisitExpr(*e.lhs, e.uop == sql::UnaryOp::kNot && conjunctive);
+      case ExprKind::kFunctionCall: {
+        for (ExprPtr& a : e.args) {
+          if (a->kind == ExprKind::kStar) continue;
+          SFSQL_RETURN_IF_ERROR(VisitExpr(*a, false));
+        }
+        return Status::OK();
+      }
+      case ExprKind::kBetween: {
+        if (conjunctive && !e.negated && e.lhs->kind == ExprKind::kColumnRef &&
+            e.args[0]->kind == ExprKind::kLiteral &&
+            e.args[1]->kind == ExprKind::kLiteral) {
+          SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.lhs));
+          AddCondition(loc.first, loc.second,
+                       Condition{">=", {e.args[0]->literal}});
+          AddCondition(loc.first, loc.second,
+                       Condition{"<=", {e.args[1]->literal}});
+          return Status::OK();
+        }
+        SFSQL_RETURN_IF_ERROR(VisitExpr(*e.lhs, false));
+        for (ExprPtr& a : e.args) SFSQL_RETURN_IF_ERROR(VisitExpr(*a, false));
+        return Status::OK();
+      }
+      case ExprKind::kInList: {
+        bool all_literals = true;
+        for (const ExprPtr& a : e.args) {
+          if (a->kind != ExprKind::kLiteral) all_literals = false;
+        }
+        if (conjunctive && !e.negated && e.lhs->kind == ExprKind::kColumnRef &&
+            all_literals) {
+          SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.lhs));
+          Condition cond;
+          cond.op = "in";
+          for (const ExprPtr& a : e.args) cond.values.push_back(a->literal);
+          AddCondition(loc.first, loc.second, std::move(cond));
+          return Status::OK();
+        }
+        SFSQL_RETURN_IF_ERROR(VisitExpr(*e.lhs, false));
+        for (ExprPtr& a : e.args) SFSQL_RETURN_IF_ERROR(VisitExpr(*a, false));
+        return Status::OK();
+      }
+      case ExprKind::kIsNull:
+        return VisitExpr(*e.lhs, false);
+      case ExprKind::kInSubquery:
+        // The inner block is translated separately (§2.2.5); only the outer
+        // subject contributes a triple here.
+        return VisitExpr(*e.lhs, false);
+      case ExprKind::kExistsSubquery:
+      case ExprKind::kScalarSubquery:
+        return Status::OK();
+    }
+    return Status::Internal("unhandled expression kind in extractor");
+  }
+
+  sql::SelectStatement& stmt_;
+  std::vector<std::string> outer_;
+  Extraction out_;
+  std::map<std::string, int> alias_to_tree_;
+  std::map<std::string, int> name_to_tree_;
+  std::map<std::string, int> var_to_tree_;
+  std::map<std::string, int> attr_to_tree_;
+  std::map<std::string, int> attrvar_to_tree_;
+};
+
+}  // namespace
+
+Result<Extraction> ExtractRelationTrees(
+    sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings) {
+  Extractor extractor(stmt, outer_bindings);
+  return extractor.Run();
+}
+
+}  // namespace sfsql::core

@@ -1,0 +1,81 @@
+#ifndef SFSQL_CORE_RELATION_TREE_H_
+#define SFSQL_CORE_RELATION_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace sfsql::core {
+
+/// A value constraint attached to an attribute tree (the condition level of an
+/// expression triple, §3.1). `op` is one of "=", "<>", "<", "<=", ">", ">=",
+/// "like", or "in" (where `values` lists the alternatives).
+struct Condition {
+  std::string op;
+  std::vector<storage::Value> values;
+
+  std::string ToString() const;
+};
+
+/// Attribute level of a relation tree: one (possibly vague) attribute name with
+/// the value conditions collected for it (§3.2).
+struct AttributeTree {
+  sql::NameRef name;
+  std::vector<Condition> conditions;
+
+  std::string ToString() const;
+};
+
+/// A relation tree: all user-specified schema content that refers to the same
+/// (possibly unknown) relation, produced by merging expression triples with
+/// rules 1-3 of §3.2.
+struct RelationTree {
+  int id = -1;
+  sql::NameRef relation;  ///< may be unspecified
+  std::string alias;      ///< FROM-clause alias, if the tree came with one
+  bool from_clause = false;  ///< true if the tree originated from a FROM item
+  std::vector<AttributeTree> attributes;
+
+  std::string ToString() const;
+};
+
+/// A join-path fragment the user spelled out in the WHERE clause
+/// (attribute = attribute between two relation trees). These are removed from
+/// the retained predicate set and turned into views (§5.1).
+struct JoinSpec {
+  int left_rt = -1;
+  sql::NameRef left_attr;
+  int right_rt = -1;
+  sql::NameRef right_attr;
+};
+
+/// Output of the Schema-free SQL Parser stage (§2.2.1): relation trees plus
+/// user-specified join fragments. Extraction also annotates every column
+/// reference in the statement with (rt_id, at_index) so the composer can
+/// rewrite it later, and records which top-level WHERE conjuncts were consumed
+/// as join specifications (they must not survive into the composed SQL).
+struct Extraction {
+  std::vector<RelationTree> trees;
+  std::vector<JoinSpec> join_specs;
+  /// Printed forms of the WHERE conjuncts consumed as join specs; the composer
+  /// skips conjuncts whose printed form appears here.
+  std::vector<std::string> consumed_conjuncts;
+};
+
+/// Extracts expression triples from one query block (FROM relations, attribute
+/// references, value conditions — not descending into subqueries) and merges
+/// them into relation trees. `outer_bindings` lists lower-cased relation
+/// bindings of enclosing query blocks; exact qualified references to those are
+/// correlated variables, already resolved, and produce no triples (§2.2.5).
+///
+/// Mutates `stmt` only by filling in the rt_id / at_index annotations.
+Result<Extraction> ExtractRelationTrees(
+    sql::SelectStatement& stmt,
+    const std::vector<std::string>& outer_bindings = {});
+
+}  // namespace sfsql::core
+
+#endif  // SFSQL_CORE_RELATION_TREE_H_

@@ -1,0 +1,916 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "exec/like.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace sfsql::exec {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::NameKind;
+using sql::SelectStatement;
+using sql::UnaryOp;
+using storage::Row;
+using storage::RowEq;
+using storage::RowHash;
+using storage::Value;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Schemas and environments
+// ---------------------------------------------------------------------------
+
+/// One FROM entry materialized into the block's flat tuple layout.
+struct Slot {
+  std::string binding_lower;  // alias or relation name, lower-cased
+  int relation_id = -1;
+  int offset = 0;  // first column of this slot in the flat row
+  int width = 0;
+};
+
+struct BlockSchema {
+  std::vector<Slot> slots;
+  int width = 0;
+};
+
+/// A row bound to its schema; environments chain outward for correlated
+/// subqueries (innermost frame last).
+struct Frame {
+  const BlockSchema* schema;
+  const Row* row;
+};
+using Env = std::vector<Frame>;
+
+/// Where a column reference resolved to.
+struct ColumnLoc {
+  int frame = -1;   // index into Env, or -1 = the "local candidate" schema
+  int column = -1;  // flat column index within the frame's row
+};
+
+bool IsAggregateName(const std::string& name) {
+  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
+         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
+         EqualsIgnoreCase(name, "max");
+}
+
+/// True if `e` contains an aggregate call outside of any nested subquery.
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall && IsAggregateName(e.function_name)) {
+    return true;
+  }
+  if (e.lhs && ContainsAggregate(*e.lhs)) return true;
+  if (e.rhs && ContainsAggregate(*e.rhs)) return true;
+  for (const ExprPtr& a : e.args) {
+    if (ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+/// Flattens an AND tree into conjuncts (borrowed pointers into the statement).
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kAnd) {
+    SplitConjuncts(e->lhs.get(), out);
+    SplitConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// Block executor
+// ---------------------------------------------------------------------------
+
+class BlockExecutor {
+ public:
+  explicit BlockExecutor(const storage::Database* db) : db_(db) {}
+
+  Result<QueryResult> ExecuteBlock(const SelectStatement& stmt, const Env& outer);
+
+ private:
+  // --- name resolution ---
+
+  /// Looks up [relation.]attribute in `schema` only (no outer frames). Returns
+  /// flat column index, kNotFound if absent, other errors on ambiguity.
+  Result<int> ResolveInSchema(const sql::NameRef& relation,
+                              const sql::NameRef& attribute,
+                              const BlockSchema& schema) const {
+    if (!attribute.exact() || (relation.specified() && !relation.exact())) {
+      return Status::ExecutionError(
+          StrCat("unresolved schema-free element '", relation.ToString(),
+                 relation.specified() ? "." : "", attribute.ToString(),
+                 "'; translate the query first"));
+    }
+    if (relation.specified()) {
+      std::string want = ToLower(relation.name);
+      for (const Slot& slot : schema.slots) {
+        if (slot.binding_lower != want) continue;
+        const catalog::Relation& rel = db_->catalog().relation(slot.relation_id);
+        int idx = rel.AttributeIndex(attribute.name);
+        if (idx < 0) {
+          return Status::ExecutionError(
+              StrCat("relation '", relation.name, "' has no attribute '",
+                     attribute.name, "'"));
+        }
+        return slot.offset + idx;
+      }
+      return Status::NotFound(relation.name);
+    }
+    int found = -1;
+    for (const Slot& slot : schema.slots) {
+      const catalog::Relation& rel = db_->catalog().relation(slot.relation_id);
+      int idx = rel.AttributeIndex(attribute.name);
+      if (idx < 0) continue;
+      if (found >= 0) {
+        return Status::ExecutionError(
+            StrCat("ambiguous attribute '", attribute.name, "'"));
+      }
+      found = slot.offset + idx;
+    }
+    if (found < 0) return Status::NotFound(attribute.name);
+    return found;
+  }
+
+  /// Resolves against the environment, innermost frame first.
+  Result<ColumnLoc> ResolveColumn(const sql::NameRef& relation,
+                                  const sql::NameRef& attribute,
+                                  const Env& env) const {
+    for (int f = static_cast<int>(env.size()) - 1; f >= 0; --f) {
+      Result<int> r = ResolveInSchema(relation, attribute, *env[f].schema);
+      if (r.ok()) return ColumnLoc{f, *r};
+      if (r.status().code() != StatusCode::kNotFound) return r.status();
+    }
+    return Status::ExecutionError(
+        StrCat("cannot resolve column '",
+               relation.specified() ? relation.ToString() + "." : "",
+               attribute.ToString(), "'"));
+  }
+
+  /// True if every column in `e` resolves within `schema` alone and `e` has no
+  /// subqueries (such predicates can be pushed into the join pipeline).
+  bool ResolvesLocally(const Expr& e, const BlockSchema& schema) const {
+    switch (e.kind) {
+      case ExprKind::kColumnRef: {
+        Result<int> r = ResolveInSchema(e.relation, e.attribute, schema);
+        return r.ok();
+      }
+      case ExprKind::kInSubquery:
+      case ExprKind::kExistsSubquery:
+      case ExprKind::kScalarSubquery:
+        return false;
+      case ExprKind::kStar:
+        return false;
+      default:
+        break;
+    }
+    if (e.lhs && !ResolvesLocally(*e.lhs, schema)) return false;
+    if (e.rhs && !ResolvesLocally(*e.rhs, schema)) return false;
+    for (const ExprPtr& a : e.args) {
+      if (!ResolvesLocally(*a, schema)) return false;
+    }
+    return true;
+  }
+
+  // --- scalar evaluation (row mode) ---
+
+  Result<Value> Eval(const Expr& e, const Env& env) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kColumnRef: {
+        SFSQL_ASSIGN_OR_RETURN(ColumnLoc loc,
+                               ResolveColumn(e.relation, e.attribute, env));
+        return (*env[loc.frame].row)[loc.column];
+      }
+      case ExprKind::kStar:
+        return Status::ExecutionError("'*' is only valid in SELECT or COUNT(*)");
+      case ExprKind::kUnary: {
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs, env));
+        if (e.uop == UnaryOp::kNot) {
+          return Value::Bool(!Truthy(v));
+        }
+        if (v.is_null()) return Value::Null_();
+        if (v.is_int()) return Value::Int(-v.AsInt());
+        if (v.is_double()) return Value::Double(-v.AsDouble());
+        return Status::TypeError("unary '-' needs a numeric operand");
+      }
+      case ExprKind::kBinary:
+        return EvalBinary(e, env);
+      case ExprKind::kFunctionCall:
+        if (IsAggregateName(e.function_name)) {
+          return Status::ExecutionError(
+              StrCat("aggregate '", e.function_name,
+                     "' used outside of an aggregated query block"));
+        }
+        return EvalScalarFunction(e, env);
+      case ExprKind::kInList: {
+        SFSQL_ASSIGN_OR_RETURN(Value subject, Eval(*e.lhs, env));
+        if (subject.is_null()) return Value::Bool(e.negated ? true : false);
+        for (const ExprPtr& item : e.args) {
+          SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*item, env));
+          if (subject.Equals(v)) return Value::Bool(!e.negated);
+        }
+        return Value::Bool(e.negated);
+      }
+      case ExprKind::kInSubquery: {
+        SFSQL_ASSIGN_OR_RETURN(Value subject, Eval(*e.lhs, env));
+        // Two-valued logic: a NULL subject matches nothing.
+        if (subject.is_null()) return Value::Bool(e.negated);
+        SFSQL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteBlock(*e.subquery, env));
+        if (sub.columns.size() != 1) {
+          return Status::ExecutionError("IN subquery must return one column");
+        }
+        for (const Row& row : sub.rows) {
+          if (subject.Equals(row[0])) return Value::Bool(!e.negated);
+        }
+        return Value::Bool(e.negated);
+      }
+      case ExprKind::kExistsSubquery: {
+        SFSQL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteBlock(*e.subquery, env));
+        bool exists = !sub.rows.empty();
+        return Value::Bool(e.negated ? !exists : exists);
+      }
+      case ExprKind::kScalarSubquery: {
+        SFSQL_ASSIGN_OR_RETURN(QueryResult sub, ExecuteBlock(*e.subquery, env));
+        if (sub.columns.size() != 1) {
+          return Status::ExecutionError("scalar subquery must return one column");
+        }
+        if (sub.rows.empty()) return Value::Null_();
+        if (sub.rows.size() > 1) {
+          return Status::ExecutionError("scalar subquery returned several rows");
+        }
+        return sub.rows[0][0];
+      }
+      case ExprKind::kBetween: {
+        SFSQL_ASSIGN_OR_RETURN(Value subject, Eval(*e.lhs, env));
+        SFSQL_ASSIGN_OR_RETURN(Value low, Eval(*e.args[0], env));
+        SFSQL_ASSIGN_OR_RETURN(Value high, Eval(*e.args[1], env));
+        if (subject.is_null() || low.is_null() || high.is_null()) {
+          return Value::Bool(false);
+        }
+        bool in = subject.Compare(low) >= 0 && subject.Compare(high) <= 0;
+        return Value::Bool(e.negated ? !in : in);
+      }
+      case ExprKind::kIsNull: {
+        SFSQL_ASSIGN_OR_RETURN(Value subject, Eval(*e.lhs, env));
+        bool is_null = subject.is_null();
+        return Value::Bool(e.negated ? !is_null : is_null);
+      }
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  static bool Truthy(const Value& v) {
+    if (v.is_null()) return false;
+    if (v.is_bool()) return v.AsBool();
+    if (v.is_int()) return v.AsInt() != 0;
+    if (v.is_double()) return v.AsDouble() != 0.0;
+    return !v.AsString().empty();
+  }
+
+  Result<Value> EvalBinary(const Expr& e, const Env& env) {
+    if (e.bop == BinaryOp::kAnd) {
+      SFSQL_ASSIGN_OR_RETURN(Value a, Eval(*e.lhs, env));
+      if (!Truthy(a)) return Value::Bool(false);
+      SFSQL_ASSIGN_OR_RETURN(Value b, Eval(*e.rhs, env));
+      return Value::Bool(Truthy(b));
+    }
+    if (e.bop == BinaryOp::kOr) {
+      SFSQL_ASSIGN_OR_RETURN(Value a, Eval(*e.lhs, env));
+      if (Truthy(a)) return Value::Bool(true);
+      SFSQL_ASSIGN_OR_RETURN(Value b, Eval(*e.rhs, env));
+      return Value::Bool(Truthy(b));
+    }
+    SFSQL_ASSIGN_OR_RETURN(Value a, Eval(*e.lhs, env));
+    SFSQL_ASSIGN_OR_RETURN(Value b, Eval(*e.rhs, env));
+    if (sql::IsComparisonOp(e.bop)) {
+      if (a.is_null() || b.is_null()) return Value::Bool(false);
+      if (e.bop == BinaryOp::kLike) {
+        if (!a.is_string() || !b.is_string()) {
+          return Status::TypeError("LIKE needs string operands");
+        }
+        return Value::Bool(LikeMatch(a.AsString(), b.AsString()));
+      }
+      if (e.bop == BinaryOp::kEq) return Value::Bool(a.Equals(b));
+      if (e.bop == BinaryOp::kNe) return Value::Bool(!a.Equals(b));
+      bool comparable = (a.is_numeric() && b.is_numeric()) || a.type() == b.type();
+      if (!comparable) {
+        return Status::TypeError(
+            StrCat("cannot compare ", catalog::ValueTypeToString(a.type()),
+                   " with ", catalog::ValueTypeToString(b.type())));
+      }
+      int cmp = a.Compare(b);
+      switch (e.bop) {
+        case BinaryOp::kLt: return Value::Bool(cmp < 0);
+        case BinaryOp::kLe: return Value::Bool(cmp <= 0);
+        case BinaryOp::kGt: return Value::Bool(cmp > 0);
+        case BinaryOp::kGe: return Value::Bool(cmp >= 0);
+        default: break;
+      }
+    }
+    // Arithmetic.
+    if (a.is_null() || b.is_null()) return Value::Null_();
+    if (!a.is_numeric() || !b.is_numeric()) {
+      if (e.bop == BinaryOp::kAdd && a.is_string() && b.is_string()) {
+        return Value::String(a.AsString() + b.AsString());
+      }
+      return Status::TypeError("arithmetic needs numeric operands");
+    }
+    bool ints = a.is_int() && b.is_int();
+    switch (e.bop) {
+      case BinaryOp::kAdd:
+        return ints ? Value::Int(a.AsInt() + b.AsInt())
+                    : Value::Double(a.AsDouble() + b.AsDouble());
+      case BinaryOp::kSub:
+        return ints ? Value::Int(a.AsInt() - b.AsInt())
+                    : Value::Double(a.AsDouble() - b.AsDouble());
+      case BinaryOp::kMul:
+        return ints ? Value::Int(a.AsInt() * b.AsInt())
+                    : Value::Double(a.AsDouble() * b.AsDouble());
+      case BinaryOp::kDiv:
+        if (b.AsDouble() == 0.0) return Value::Null_();
+        return ints ? Value::Int(a.AsInt() / b.AsInt())
+                    : Value::Double(a.AsDouble() / b.AsDouble());
+      case BinaryOp::kMod:
+        if (!ints || b.AsInt() == 0) {
+          return ints ? Value::Null_()
+                      : Result<Value>(Status::TypeError("'%' needs integers"));
+        }
+        return Value::Int(a.AsInt() % b.AsInt());
+      default:
+        break;
+    }
+    return Status::Internal("unhandled binary operator");
+  }
+
+  Result<Value> EvalScalarFunction(const Expr& e, const Env& env) {
+    // Small scalar function library; extend as needed.
+    if (EqualsIgnoreCase(e.function_name, "abs") && e.args.size() == 1) {
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0], env));
+      if (v.is_null()) return v;
+      if (v.is_int()) return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+      if (v.is_double()) {
+        return Value::Double(v.AsDouble() < 0 ? -v.AsDouble() : v.AsDouble());
+      }
+      return Status::TypeError("abs needs a numeric argument");
+    }
+    if (EqualsIgnoreCase(e.function_name, "lower") && e.args.size() == 1) {
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0], env));
+      if (v.is_null()) return v;
+      if (!v.is_string()) return Status::TypeError("lower needs a string");
+      return Value::String(ToLower(v.AsString()));
+    }
+    if (EqualsIgnoreCase(e.function_name, "upper") && e.args.size() == 1) {
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0], env));
+      if (v.is_null()) return v;
+      if (!v.is_string()) return Status::TypeError("upper needs a string");
+      return Value::String(ToUpper(v.AsString()));
+    }
+    if (EqualsIgnoreCase(e.function_name, "length") && e.args.size() == 1) {
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*e.args[0], env));
+      if (v.is_null()) return v;
+      if (!v.is_string()) return Status::TypeError("length needs a string");
+      return Value::Int(static_cast<int64_t>(v.AsString().size()));
+    }
+    return Status::ExecutionError(
+        StrCat("unknown function '", e.function_name, "'"));
+  }
+
+  // --- aggregation ---
+
+  struct Group {
+    Row key;
+    std::vector<const Row*> rows;
+  };
+
+  Result<Value> ComputeAggregate(const Expr& call, const Group& group,
+                                 const BlockSchema& schema, const Env& outer) {
+    const std::string name = ToLower(call.function_name);
+    if (call.args.size() != 1) {
+      return Status::ExecutionError(
+          StrCat("aggregate '", call.function_name, "' takes one argument"));
+    }
+    if (name == "count" && call.args[0]->kind == ExprKind::kStar) {
+      return Value::Int(static_cast<int64_t>(group.rows.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(group.rows.size());
+    for (const Row* row : group.rows) {
+      Env env = outer;
+      env.push_back(Frame{&schema, row});
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*call.args[0], env));
+      if (!v.is_null()) values.push_back(std::move(v));
+    }
+    if (call.distinct) {
+      std::unordered_set<Row, RowHash, RowEq> seen;
+      std::vector<Value> unique;
+      for (Value& v : values) {
+        Row key{v};
+        if (seen.insert(key).second) unique.push_back(std::move(v));
+      }
+      values = std::move(unique);
+    }
+    if (name == "count") return Value::Int(static_cast<int64_t>(values.size()));
+    if (values.empty()) return Value::Null_();
+    if (name == "min" || name == "max") {
+      Value best = values[0];
+      for (size_t i = 1; i < values.size(); ++i) {
+        int cmp = values[i].Compare(best);
+        if ((name == "min" && cmp < 0) || (name == "max" && cmp > 0)) {
+          best = values[i];
+        }
+      }
+      return best;
+    }
+    // sum / avg
+    bool all_int = true;
+    double dsum = 0;
+    int64_t isum = 0;
+    for (const Value& v : values) {
+      if (!v.is_numeric()) {
+        return Status::TypeError(StrCat(name, " needs numeric values"));
+      }
+      if (!v.is_int()) all_int = false;
+      dsum += v.AsDouble();
+      if (v.is_int()) isum += v.AsInt();
+    }
+    if (name == "sum") {
+      return all_int ? Value::Int(isum) : Value::Double(dsum);
+    }
+    return Value::Double(dsum / static_cast<double>(values.size()));
+  }
+
+  /// Evaluates a select/having/order expression in group mode: group-by
+  /// expressions are matched textually, aggregates computed over the group, and
+  /// bare columns fall back to the group's representative (first) row.
+  Result<Value> EvalGrouped(const Expr& e, const Group& group,
+                            const std::vector<std::string>& group_by_text,
+                            const std::vector<Value>& group_key,
+                            const BlockSchema& schema, const Env& outer) {
+    std::string text = sql::PrintExpr(e);
+    for (size_t i = 0; i < group_by_text.size(); ++i) {
+      if (text == group_by_text[i]) return group_key[i];
+    }
+    if (e.kind == ExprKind::kFunctionCall && IsAggregateName(e.function_name)) {
+      return ComputeAggregate(e, group, schema, outer);
+    }
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kColumnRef: {
+        if (group.rows.empty()) return Value::Null_();
+        Env env = outer;
+        env.push_back(Frame{&schema, group.rows[0]});
+        return Eval(e, env);
+      }
+      case ExprKind::kUnary: {
+        SFSQL_ASSIGN_OR_RETURN(
+            Value v, EvalGrouped(*e.lhs, group, group_by_text, group_key, schema,
+                                 outer));
+        if (e.uop == UnaryOp::kNot) return Value::Bool(!Truthy(v));
+        if (v.is_null()) return v;
+        if (v.is_int()) return Value::Int(-v.AsInt());
+        if (v.is_double()) return Value::Double(-v.AsDouble());
+        return Status::TypeError("unary '-' needs a numeric operand");
+      }
+      case ExprKind::kBinary: {
+        // Rebuild a tiny two-literal expression and reuse scalar eval.
+        SFSQL_ASSIGN_OR_RETURN(
+            Value a, EvalGrouped(*e.lhs, group, group_by_text, group_key, schema,
+                                 outer));
+        SFSQL_ASSIGN_OR_RETURN(
+            Value b, EvalGrouped(*e.rhs, group, group_by_text, group_key, schema,
+                                 outer));
+        ExprPtr tmp = Expr::Binary(e.bop, Expr::Literal(std::move(a)),
+                                   Expr::Literal(std::move(b)));
+        return Eval(*tmp, outer);
+      }
+      default: {
+        // Subqueries and other constructs: evaluate against the representative
+        // row (correlated aggregate subqueries over groups are out of scope).
+        Env env = outer;
+        if (!group.rows.empty()) env.push_back(Frame{&schema, group.rows[0]});
+        return Eval(e, env);
+      }
+    }
+  }
+
+  // --- join pipeline ---
+
+  Result<std::vector<Row>> BuildFromRows(const SelectStatement& stmt,
+                                         BlockSchema& schema, const Env& outer,
+                                         std::vector<const Expr*>& conjuncts,
+                                         std::vector<bool>& conjunct_used);
+
+  const storage::Database* db_;
+};
+
+Result<std::vector<Row>> BlockExecutor::BuildFromRows(
+    const SelectStatement& stmt, BlockSchema& schema, const Env& outer,
+    std::vector<const Expr*>& conjuncts, std::vector<bool>& conjunct_used) {
+  std::vector<Row> rows;
+  rows.push_back(Row{});  // one empty row: identity for the fold below
+
+  for (const sql::TableRef& ref : stmt.from) {
+    if (!ref.relation.exact()) {
+      return Status::ExecutionError(
+          StrCat("FROM contains unresolved relation '", ref.relation.ToString(),
+                 "'; translate the query first"));
+    }
+    SFSQL_ASSIGN_OR_RETURN(int rel_id,
+                           db_->catalog().FindRelation(ref.relation.name));
+    Slot slot;
+    slot.binding_lower = ToLower(ref.BindingName());
+    slot.relation_id = rel_id;
+    slot.offset = schema.width;
+    slot.width = static_cast<int>(db_->catalog().relation(rel_id).attributes.size());
+    for (const Slot& existing : schema.slots) {
+      if (existing.binding_lower == slot.binding_lower) {
+        return Status::ExecutionError(
+            StrCat("duplicate FROM binding '", ref.BindingName(), "'"));
+      }
+    }
+
+    BlockSchema next = schema;
+    next.slots.push_back(slot);
+    next.width += slot.width;
+
+    // Classify so-far-unused conjuncts against the grown schema.
+    BlockSchema new_only;
+    new_only.slots = {slot};
+    new_only.width = slot.width;
+    // For resolution inside new_only the offset must be 0-based.
+    new_only.slots[0].offset = 0;
+
+    struct EquiKey {
+      int existing_col;  // flat index in `schema`
+      int new_col;       // attribute index within the new slot
+    };
+    std::vector<EquiKey> keys;
+    std::vector<const Expr*> pushable;
+    for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+      if (conjunct_used[ci]) continue;
+      const Expr* c = conjuncts[ci];
+      if (!ResolvesLocally(*c, next)) continue;
+      // Equi-join key? col = col with sides split across old schema / new slot.
+      if (c->kind == ExprKind::kBinary && c->bop == BinaryOp::kEq &&
+          c->lhs->kind == ExprKind::kColumnRef &&
+          c->rhs->kind == ExprKind::kColumnRef) {
+        Result<int> l_old = ResolveInSchema(c->lhs->relation, c->lhs->attribute,
+                                            schema);
+        Result<int> r_old = ResolveInSchema(c->rhs->relation, c->rhs->attribute,
+                                            schema);
+        Result<int> l_new = ResolveInSchema(c->lhs->relation, c->lhs->attribute,
+                                            new_only);
+        Result<int> r_new = ResolveInSchema(c->rhs->relation, c->rhs->attribute,
+                                            new_only);
+        if (l_old.ok() && r_new.ok() && !schema.slots.empty()) {
+          keys.push_back(EquiKey{*l_old, *r_new});
+          conjunct_used[ci] = true;
+          continue;
+        }
+        if (r_old.ok() && l_new.ok() && !schema.slots.empty()) {
+          keys.push_back(EquiKey{*r_old, *l_new});
+          conjunct_used[ci] = true;
+          continue;
+        }
+      }
+      pushable.push_back(c);
+      conjunct_used[ci] = true;
+    }
+
+    const std::vector<Row>& table_rows = db_->table(rel_id).rows();
+    std::vector<Row> joined;
+
+    auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
+      Row combined;
+      combined.reserve(base.size() + extra.size());
+      combined.insert(combined.end(), base.begin(), base.end());
+      combined.insert(combined.end(), extra.begin(), extra.end());
+      Env env = outer;
+      env.push_back(Frame{&next, &combined});
+      for (const Expr* p : pushable) {
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*p, env));
+        if (!Truthy(v)) return Status::OK();
+      }
+      joined.push_back(std::move(combined));
+      return Status::OK();
+    };
+
+    if (!keys.empty()) {
+      // Hash join: build on the new table, probe with existing rows.
+      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
+      for (const Row& trow : table_rows) {
+        Row key;
+        key.reserve(keys.size());
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (trow[k.new_col].is_null()) has_null = true;
+          key.push_back(trow[k.new_col]);
+        }
+        if (has_null) continue;  // NULL keys never join
+        build[std::move(key)].push_back(&trow);
+      }
+      for (const Row& base : rows) {
+        Row probe;
+        probe.reserve(keys.size());
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (base[k.existing_col].is_null()) has_null = true;
+          probe.push_back(base[k.existing_col]);
+        }
+        if (has_null) continue;
+        auto it = build.find(probe);
+        if (it == build.end()) continue;
+        for (const Row* trow : it->second) {
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+        }
+      }
+    } else {
+      for (const Row& base : rows) {
+        for (const Row& trow : table_rows) {
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, trow));
+        }
+      }
+    }
+
+    schema = std::move(next);
+    rows = std::move(joined);
+  }
+  return rows;
+}
+
+Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
+                                                const Env& outer) {
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), conjuncts);
+  // An OR at the top level is a single conjunct; fine — it lands in the final
+  // filter below.
+  std::vector<bool> conjunct_used(conjuncts.size(), false);
+
+  BlockSchema schema;
+  SFSQL_ASSIGN_OR_RETURN(
+      std::vector<Row> rows,
+      BuildFromRows(stmt, schema, outer, conjuncts, conjunct_used));
+
+  // Final filter: conjuncts not consumed by the pipeline (subqueries,
+  // outer-correlated predicates, OR trees).
+  {
+    std::vector<Row> filtered;
+    for (Row& row : rows) {
+      Env env = outer;
+      env.push_back(Frame{&schema, &row});
+      bool pass = true;
+      for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+        if (conjunct_used[ci]) continue;
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*conjuncts[ci], env));
+        if (!Truthy(v)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) filtered.push_back(std::move(row));
+    }
+    rows = std::move(filtered);
+  }
+
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (ContainsAggregate(*item.expr)) has_aggregate = true;
+  }
+  if (stmt.having && ContainsAggregate(*stmt.having)) has_aggregate = true;
+  for (const sql::OrderItem& o : stmt.order_by) {
+    if (ContainsAggregate(*o.expr)) has_aggregate = true;
+  }
+
+  QueryResult result;
+
+  // Column labels.
+  auto label_of = [&](const sql::SelectItem& item) {
+    return item.alias.empty() ? sql::PrintExpr(*item.expr) : item.alias;
+  };
+
+  // Expand stars for the non-aggregate path.
+  auto expand_star = [&](const Expr& star, Row& out_row, const Row& src,
+                         bool label_pass) {
+    for (const Slot& slot : schema.slots) {
+      if (star.relation.specified() &&
+          ToLower(star.relation.name) != slot.binding_lower) {
+        continue;
+      }
+      const catalog::Relation& rel = db_->catalog().relation(slot.relation_id);
+      for (int a = 0; a < slot.width; ++a) {
+        if (label_pass) {
+          result.columns.push_back(
+              StrCat(slot.binding_lower, ".", rel.attributes[a].name));
+        } else {
+          out_row.push_back(src[slot.offset + a]);
+        }
+      }
+    }
+  };
+
+  // Order keys computed alongside projection.
+  struct OutRow {
+    Row projected;
+    Row order_keys;
+  };
+  std::vector<OutRow> out_rows;
+
+  if (has_aggregate) {
+    // Group rows.
+    std::vector<std::string> group_by_text;
+    for (const ExprPtr& g : stmt.group_by) {
+      group_by_text.push_back(sql::PrintExpr(*g));
+    }
+    std::unordered_map<Row, Group, RowHash, RowEq> groups;
+    std::vector<Row> group_order;  // first-seen order
+    for (const Row& row : rows) {
+      Env env = outer;
+      env.push_back(Frame{&schema, &row});
+      Row key;
+      for (const ExprPtr& g : stmt.group_by) {
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*g, env));
+        key.push_back(std::move(v));
+      }
+      auto [it, inserted] = groups.try_emplace(key);
+      if (inserted) {
+        it->second.key = key;
+        group_order.push_back(key);
+      }
+      it->second.rows.push_back(&row);
+    }
+    if (stmt.group_by.empty() && groups.empty()) {
+      // Global aggregate over an empty input still yields one group.
+      groups.try_emplace(Row{});
+      group_order.push_back(Row{});
+    }
+
+    for (const Row& key : group_order) {
+      const Group& group = groups[key];
+      if (stmt.having) {
+        SFSQL_ASSIGN_OR_RETURN(
+            Value v, EvalGrouped(*stmt.having, group, group_by_text, group.key,
+                                 schema, outer));
+        if (!Truthy(v)) continue;
+      }
+      OutRow out;
+      for (const sql::SelectItem& item : stmt.select_items) {
+        if (item.expr->kind == ExprKind::kStar) {
+          return Status::ExecutionError("'*' cannot appear in an aggregate query");
+        }
+        SFSQL_ASSIGN_OR_RETURN(
+            Value v, EvalGrouped(*item.expr, group, group_by_text, group.key,
+                                 schema, outer));
+        out.projected.push_back(std::move(v));
+      }
+      for (const sql::OrderItem& o : stmt.order_by) {
+        SFSQL_ASSIGN_OR_RETURN(
+            Value v, EvalGrouped(*o.expr, group, group_by_text, group.key,
+                                 schema, outer));
+        out.order_keys.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(out));
+    }
+    for (const sql::SelectItem& item : stmt.select_items) {
+      result.columns.push_back(label_of(item));
+    }
+  } else {
+    // Plain projection. Resolve ORDER BY aliases to select items up front.
+    for (const sql::SelectItem& item : stmt.select_items) {
+      if (item.expr->kind == ExprKind::kStar) {
+        Row dummy;
+        expand_star(*item.expr, dummy, dummy, /*label_pass=*/true);
+      } else {
+        result.columns.push_back(label_of(item));
+      }
+    }
+    for (const Row& row : rows) {
+      Env env = outer;
+      env.push_back(Frame{&schema, &row});
+      OutRow out;
+      for (const sql::SelectItem& item : stmt.select_items) {
+        if (item.expr->kind == ExprKind::kStar) {
+          expand_star(*item.expr, out.projected, row, /*label_pass=*/false);
+        } else {
+          SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, env));
+          out.projected.push_back(std::move(v));
+        }
+      }
+      for (const sql::OrderItem& o : stmt.order_by) {
+        // ORDER BY may name a select alias.
+        bool is_alias = false;
+        if (o.expr->kind == ExprKind::kColumnRef && !o.expr->relation.specified()) {
+          for (size_t i = 0; i < stmt.select_items.size(); ++i) {
+            if (!stmt.select_items[i].alias.empty() &&
+                EqualsIgnoreCase(stmt.select_items[i].alias,
+                                 o.expr->attribute.name)) {
+              out.order_keys.push_back(out.projected[i]);
+              is_alias = true;
+              break;
+            }
+          }
+        }
+        if (is_alias) continue;
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*o.expr, env));
+        out.order_keys.push_back(std::move(v));
+      }
+      out_rows.push_back(std::move(out));
+    }
+  }
+
+  if (stmt.distinct) {
+    std::unordered_set<Row, RowHash, RowEq> seen;
+    std::vector<OutRow> unique;
+    for (OutRow& out : out_rows) {
+      if (seen.insert(out.projected).second) unique.push_back(std::move(out));
+    }
+    out_rows = std::move(unique);
+  }
+
+  if (!stmt.order_by.empty()) {
+    std::stable_sort(out_rows.begin(), out_rows.end(),
+                     [&](const OutRow& a, const OutRow& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         int cmp = a.order_keys[i].Compare(b.order_keys[i]);
+                         if (cmp != 0) {
+                           return stmt.order_by[i].ascending ? cmp < 0 : cmp > 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  if (stmt.limit.has_value() &&
+      static_cast<int64_t>(out_rows.size()) > *stmt.limit) {
+    out_rows.resize(*stmt.limit);
+  }
+
+  result.rows.reserve(out_rows.size());
+  for (OutRow& out : out_rows) result.rows.push_back(std::move(out.projected));
+  return result;
+}
+
+}  // namespace
+
+std::string QueryResult::ToString() const {
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += columns[i];
+    out.append(widths[i] - columns[i].size() + 2, ' ');
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      out += line[i];
+      if (i < widths.size()) out.append(widths[i] - line[i].size() + 2, ' ');
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool QueryResult::SameRows(const QueryResult& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  for (const Row& r : rows) counts[r]++;
+  for (const Row& r : other.rows) {
+    auto it = counts.find(r);
+    if (it == counts.end() || it->second == 0) return false;
+    it->second--;
+  }
+  return true;
+}
+
+Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
+  BlockExecutor block(db_);
+  return block.ExecuteBlock(stmt, Env{});
+}
+
+Result<QueryResult> Executor::ExecuteSql(std::string_view sql_text) {
+  SFSQL_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sql_text));
+  return Execute(*stmt);
+}
+
+}  // namespace sfsql::exec

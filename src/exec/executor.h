@@ -1,0 +1,60 @@
+#ifndef SFSQL_EXEC_EXECUTOR_H_
+#define SFSQL_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace sfsql::exec {
+
+/// A materialized query result: column labels plus rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<storage::Row> rows;
+
+  /// Pretty-prints as an ASCII table.
+  std::string ToString() const;
+
+  /// Row-multiset equality (ignores row order and column labels); used by the
+  /// effectiveness harness to compare a translation's answer against gold.
+  bool SameRows(const QueryResult& other) const;
+};
+
+/// Evaluates fully specified SQL SELECT statements against an in-memory
+/// `Database`. This is the RDBMS substrate of the paper's architecture (Fig. 3):
+/// the Standard SQL Composer's output runs here.
+///
+/// Supported: multi-table FROM with comma joins (hash joins are used for
+/// equi-join predicates, nested loops otherwise), WHERE with AND/OR/NOT,
+/// comparisons, arithmetic, LIKE, BETWEEN, IN (list and subquery), EXISTS,
+/// scalar subqueries (all subqueries may be correlated), aggregation
+/// (COUNT/SUM/AVG/MIN/MAX with DISTINCT), GROUP BY, HAVING, ORDER BY,
+/// DISTINCT, LIMIT.
+///
+/// Semantics notes (documented deviations from full SQL):
+///  * Two-valued logic: a predicate over NULL operands evaluates to false
+///    (NOT of it is true).
+///  * Grouping and DISTINCT treat all NULLs as equal.
+///
+/// Statements containing unresolved schema-free elements are rejected with
+/// kExecutionError — translate them first (core/).
+class Executor {
+ public:
+  explicit Executor(const storage::Database* db) : db_(db) {}
+
+  /// Runs `stmt` and materializes the result.
+  Result<QueryResult> Execute(const sql::SelectStatement& stmt);
+
+  /// Convenience: parse + execute a full SQL string.
+  Result<QueryResult> ExecuteSql(std::string_view sql);
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace sfsql::exec
+
+#endif  // SFSQL_EXEC_EXECUTOR_H_

@@ -1,0 +1,14 @@
+#ifndef SFSQL_EXEC_LIKE_H_
+#define SFSQL_EXEC_LIKE_H_
+
+#include <string_view>
+
+namespace sfsql::exec {
+
+/// SQL LIKE matching: '%' matches any run (including empty), '_' any one
+/// character. Case-sensitive, no escape character.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace sfsql::exec
+
+#endif  // SFSQL_EXEC_LIKE_H_

@@ -1,0 +1,149 @@
+#include "sql/ast.h"
+
+namespace sfsql::sql {
+
+std::string NameRef::ToString() const {
+  switch (kind) {
+    case NameKind::kUnspecified:
+      return "";
+    case NameKind::kExact:
+      return name;
+    case NameKind::kVague:
+      return name + "?";
+    case NameKind::kPlaceholder:
+      return "?" + name;
+    case NameKind::kAnonymous:
+      return "?";
+  }
+  return "";
+}
+
+std::string_view BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kLike: return "LIKE";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprPtr Expr::Literal(storage::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(NameRef relation, NameRef attribute) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->relation = std::move(relation);
+  e->attribute = std::move(attribute);
+  return e;
+}
+
+ExprPtr Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args, bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->function_name = std::move(name);
+  e->args = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->relation = relation;
+  e->attribute = attribute;
+  e->rt_id = rt_id;
+  e->at_index = at_index;
+  e->uop = uop;
+  e->bop = bop;
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  e->function_name = function_name;
+  e->distinct = distinct;
+  for (const ExprPtr& a : args) e->args.push_back(a->Clone());
+  if (subquery) e->subquery = subquery->Clone();
+  e->negated = negated;
+  return e;
+}
+
+SelectPtr SelectStatement::Clone() const {
+  auto s = std::make_unique<SelectStatement>();
+  s->distinct = distinct;
+  for (const SelectItem& item : select_items) {
+    s->select_items.push_back(SelectItem{item.expr->Clone(), item.alias});
+  }
+  s->from = from;
+  if (where) s->where = where->Clone();
+  for (const ExprPtr& g : group_by) s->group_by.push_back(g->Clone());
+  if (having) s->having = having->Clone();
+  for (const OrderItem& o : order_by) {
+    s->order_by.push_back(OrderItem{o.expr->Clone(), o.ascending});
+  }
+  s->limit = limit;
+  return s;
+}
+
+void ForEachTopLevelExpr(SelectStatement& stmt,
+                         const std::function<void(ExprPtr&)>& fn) {
+  for (SelectItem& item : stmt.select_items) fn(item.expr);
+  if (stmt.where) fn(stmt.where);
+  for (ExprPtr& g : stmt.group_by) fn(g);
+  if (stmt.having) fn(stmt.having);
+  for (OrderItem& o : stmt.order_by) fn(o.expr);
+}
+
+}  // namespace sfsql::sql

@@ -1,0 +1,48 @@
+#ifndef SFSQL_SQL_LEXER_H_
+#define SFSQL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sfsql::sql {
+
+/// Token categories produced by the lexer. The schema-free extensions of §2.1
+/// surface here: `foo?` lexes as one kVagueIdentifier token, `?x` as one
+/// kPlaceholder token, and a bare `?` as kAnonymousMark.
+enum class TokenType {
+  kIdentifier,       ///< foo
+  kVagueIdentifier,  ///< foo?   (user guesses the name is foo)
+  kPlaceholder,      ///< ?x     (unknown name bound to variable x)
+  kAnonymousMark,    ///< ?      (unknown name, fresh variable)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kSymbol,  ///< operators and punctuation, text holds the symbol ("<=", "(", ...)
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;      ///< identifier/symbol text or raw literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int position = 0;  ///< byte offset in the input, for error messages
+
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword check against an exact identifier token.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Lexes `input` into tokens (always terminated by a kEnd token), or a parse
+/// error with byte position on malformed input (unterminated string, bad number).
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace sfsql::sql
+
+#endif  // SFSQL_SQL_LEXER_H_

@@ -1,0 +1,195 @@
+#include "sql/printer.h"
+
+#include "common/strings.h"
+
+namespace sfsql::sql {
+
+namespace {
+
+void PrintExprTo(const Expr& e, std::string& out);
+
+void PrintSelectTo(const SelectStatement& stmt, std::string& out) {
+  out += "SELECT ";
+  if (stmt.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < stmt.select_items.size(); ++i) {
+    if (i > 0) out += ", ";
+    PrintExprTo(*stmt.select_items[i].expr, out);
+    if (!stmt.select_items[i].alias.empty()) {
+      out += " AS ";
+      out += stmt.select_items[i].alias;
+    }
+  }
+  if (!stmt.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < stmt.from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.from[i].relation.ToString();
+      if (!stmt.from[i].alias.empty()) {
+        out += " AS ";
+        out += stmt.from[i].alias;
+      }
+    }
+  }
+  if (stmt.where) {
+    out += " WHERE ";
+    PrintExprTo(*stmt.where, out);
+  }
+  if (!stmt.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < stmt.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExprTo(*stmt.group_by[i], out);
+    }
+  }
+  if (stmt.having) {
+    out += " HAVING ";
+    PrintExprTo(*stmt.having, out);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      PrintExprTo(*stmt.order_by[i].expr, out);
+      if (!stmt.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (stmt.limit.has_value()) {
+    out += " LIMIT ";
+    out += std::to_string(*stmt.limit);
+  }
+}
+
+/// Precedence used only to decide parenthesization when printing.
+int Precedence(const Expr& e) {
+  if (e.kind != ExprKind::kBinary) return 100;
+  switch (e.bop) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+    case BinaryOp::kLike:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return 5;
+  }
+  return 100;
+}
+
+void PrintChild(const Expr& parent, const Expr& child, std::string& out) {
+  bool parens = Precedence(child) < Precedence(parent);
+  if (parens) out += "(";
+  PrintExprTo(child, out);
+  if (parens) out += ")";
+}
+
+void PrintExprTo(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      out += e.literal.ToSqlLiteral();
+      return;
+    case ExprKind::kColumnRef:
+      if (e.relation.specified()) {
+        out += e.relation.ToString();
+        out += ".";
+      }
+      out += e.attribute.ToString();
+      return;
+    case ExprKind::kStar:
+      if (e.relation.specified()) {
+        out += e.relation.ToString();
+        out += ".";
+      }
+      out += "*";
+      return;
+    case ExprKind::kUnary:
+      if (e.uop == UnaryOp::kNot) {
+        out += "NOT ";
+        PrintChild(e, *e.lhs, out);
+      } else {
+        out += "-";
+        PrintChild(e, *e.lhs, out);
+      }
+      return;
+    case ExprKind::kBinary:
+      PrintChild(e, *e.lhs, out);
+      out += " ";
+      out += BinaryOpToString(e.bop);
+      out += " ";
+      PrintChild(e, *e.rhs, out);
+      return;
+    case ExprKind::kFunctionCall:
+      out += e.function_name;
+      out += "(";
+      if (e.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExprTo(*e.args[i], out);
+      }
+      out += ")";
+      return;
+    case ExprKind::kInList:
+      PrintExprTo(*e.lhs, out);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        PrintExprTo(*e.args[i], out);
+      }
+      out += ")";
+      return;
+    case ExprKind::kInSubquery:
+      PrintExprTo(*e.lhs, out);
+      out += e.negated ? " NOT IN (" : " IN (";
+      PrintSelectTo(*e.subquery, out);
+      out += ")";
+      return;
+    case ExprKind::kExistsSubquery:
+      if (e.negated) out += "NOT ";
+      out += "EXISTS (";
+      PrintSelectTo(*e.subquery, out);
+      out += ")";
+      return;
+    case ExprKind::kScalarSubquery:
+      out += "(";
+      PrintSelectTo(*e.subquery, out);
+      out += ")";
+      return;
+    case ExprKind::kBetween:
+      PrintExprTo(*e.lhs, out);
+      out += e.negated ? " NOT BETWEEN " : " BETWEEN ";
+      PrintExprTo(*e.args[0], out);
+      out += " AND ";
+      PrintExprTo(*e.args[1], out);
+      return;
+    case ExprKind::kIsNull:
+      PrintExprTo(*e.lhs, out);
+      out += e.negated ? " IS NOT NULL" : " IS NULL";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string PrintExpr(const Expr& expr) {
+  std::string out;
+  PrintExprTo(expr, out);
+  return out;
+}
+
+std::string PrintSelect(const SelectStatement& stmt) {
+  std::string out;
+  PrintSelectTo(stmt, out);
+  return out;
+}
+
+}  // namespace sfsql::sql

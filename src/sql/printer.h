@@ -1,0 +1,19 @@
+#ifndef SFSQL_SQL_PRINTER_H_
+#define SFSQL_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace sfsql::sql {
+
+/// Renders an expression back to SQL text (schema-free markers included, so a
+/// parsed query round-trips).
+std::string PrintExpr(const Expr& expr);
+
+/// Renders a SELECT statement to a single-line SQL string.
+std::string PrintSelect(const SelectStatement& stmt);
+
+}  // namespace sfsql::sql
+
+#endif  // SFSQL_SQL_PRINTER_H_

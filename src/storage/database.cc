@@ -1,0 +1,86 @@
+#include "storage/database.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace sfsql::storage {
+
+Database::Database(catalog::Catalog catalog) : catalog_(std::move(catalog)) {
+  tables_.reserve(catalog_.num_relations());
+  for (int i = 0; i < catalog_.num_relations(); ++i) {
+    tables_.emplace_back(i);
+  }
+}
+
+Status Database::Insert(int relation_id, Row row) {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) {
+    return Status::InvalidArgument("insert into unknown relation");
+  }
+  const catalog::Relation& rel = catalog_.relation(relation_id);
+  if (row.size() != rel.attributes.size()) {
+    return Status::InvalidArgument(
+        StrCat("insert into '", rel.name, "': expected ", rel.attributes.size(),
+               " values, got ", row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    catalog::ValueType declared = rel.attributes[i].type;
+    catalog::ValueType actual = row[i].type();
+    bool ok = declared == actual ||
+              (declared == catalog::ValueType::kDouble &&
+               actual == catalog::ValueType::kInt64);
+    if (!ok) {
+      return Status::TypeError(
+          StrCat("insert into '", rel.name, "': attribute '",
+                 rel.attributes[i].name, "' expects ",
+                 catalog::ValueTypeToString(declared), ", got ",
+                 catalog::ValueTypeToString(actual)));
+    }
+  }
+  tables_[relation_id].Append(std::move(row));
+  return Status::OK();
+}
+
+Status Database::InsertRows(int relation_id, std::vector<Row> rows) {
+  for (Row& row : rows) {
+    SFSQL_RETURN_IF_ERROR(Insert(relation_id, std::move(row)));
+  }
+  return Status::OK();
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const Table& t : tables_) total += t.num_rows();
+  return total;
+}
+
+bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
+                                 std::string_view op, const Value& value) const {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) return false;
+  const catalog::Relation& rel = catalog_.relation(relation_id);
+  if (attr_index < 0 || attr_index >= static_cast<int>(rel.attributes.size())) {
+    return false;
+  }
+  for (const Row& row : tables_[relation_id].rows()) {
+    const Value& v = row[attr_index];
+    if (v.is_null() || value.is_null()) continue;
+    // Type compatibility: numeric-with-numeric or same type.
+    bool comparable = (v.is_numeric() && value.is_numeric()) ||
+                      v.type() == value.type();
+    if (!comparable) continue;
+    if (op == "=") {
+      if (v.Equals(value)) return true;
+    } else if (op == "<>" || op == "!=") {
+      if (!v.Equals(value)) return true;
+    } else {
+      int cmp = v.Compare(value);
+      if ((op == "<" && cmp < 0) || (op == "<=" && cmp <= 0) ||
+          (op == ">" && cmp > 0) || (op == ">=" && cmp >= 0)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sfsql::storage

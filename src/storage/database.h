@@ -1,0 +1,64 @@
+#ifndef SFSQL_STORAGE_DATABASE_H_
+#define SFSQL_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace sfsql::storage {
+
+/// Row store for one relation.
+class Table {
+ public:
+  explicit Table(int relation_id) : relation_id_(relation_id) {}
+
+  int relation_id() const { return relation_id_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+ private:
+  int relation_id_;
+  std::vector<Row> rows_;
+};
+
+/// An in-memory relational database: a catalog plus one table per relation.
+/// This is the substrate the composed full SQL runs on, and the source of the
+/// condition-satisfiability signal in the attribute-level similarity (§4.3).
+class Database {
+ public:
+  /// Takes ownership of the catalog and creates an empty table per relation.
+  explicit Database(catalog::Catalog catalog);
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+  const Table& table(int relation_id) const { return tables_[relation_id]; }
+
+  /// Appends `row` to relation `relation_id` after checking arity and that each
+  /// value is NULL or matches the declared attribute type.
+  Status Insert(int relation_id, Row row);
+
+  /// Bulk variant of Insert.
+  Status InsertRows(int relation_id, std::vector<Row> rows);
+
+  /// Total tuples across all relations.
+  size_t TotalRows() const;
+
+  /// True if some tuple's `attr` value satisfies `op value` (used by the mapper's
+  /// (m+1)/(n+1) condition factor). `op` is one of "=", "<>", "<", "<=", ">", ">=".
+  /// Type-incompatible comparisons are unsatisfied.
+  bool AnyTupleSatisfies(int relation_id, int attr_index, std::string_view op,
+                         const Value& value) const;
+
+ private:
+  catalog::Catalog catalog_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace sfsql::storage
+
+#endif  // SFSQL_STORAGE_DATABASE_H_

@@ -1,0 +1,85 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace sfsql::text {
+
+std::set<std::string> QGrams(std::string_view s, int q) {
+  std::set<std::string> grams;
+  if (s.empty() || q <= 0) return grams;
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded += ToLower(s);
+  padded.append(q - 1, '#');
+  if (static_cast<int>(padded.size()) < q) return grams;
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.insert(padded.substr(i, q));
+  }
+  return grams;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  if (EqualsIgnoreCase(a, b)) return 1.0;
+  std::set<std::string> ga = QGrams(a, q);
+  std::set<std::string> gb = QGrams(b, q);
+  if (ga.empty() && gb.empty()) return 1.0;
+  if (ga.empty() || gb.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& g : ga) {
+    if (gb.count(g) > 0) ++intersection;
+  }
+  size_t unions = ga.size() + gb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+int EditDistance(std::string_view a_raw, std::string_view b_raw) {
+  std::string a = ToLower(a_raw);
+  std::string b = ToLower(b_raw);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1);
+  std::vector<int> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double SchemaNameSimilarity(std::string_view a, std::string_view b, int q) {
+  if (EqualsIgnoreCase(a, b)) return 1.0;
+  double best = QGramJaccard(a, b, q);
+  // Compound identifiers: take the best per-word match, damped so that a partial
+  // word hit never outranks an exact whole-name match.
+  constexpr double kWordDamping = 0.9;
+  std::vector<std::string> wa = SplitIdentifierWords(a);
+  std::vector<std::string> wb = SplitIdentifierWords(b);
+  if (wa.size() > 1 || wb.size() > 1) {
+    for (const std::string& x : wa) {
+      for (const std::string& y : wb) {
+        best = std::max(best, kWordDamping * QGramJaccard(x, y, q));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sfsql::text

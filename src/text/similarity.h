@@ -1,0 +1,36 @@
+#ifndef SFSQL_TEXT_SIMILARITY_H_
+#define SFSQL_TEXT_SIMILARITY_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace sfsql::text {
+
+/// Multiset-free q-gram set of `s` (lower-cased, padded with `q-1` leading and
+/// trailing '#' markers, the classic scheme). Empty input yields an empty set.
+std::set<std::string> QGrams(std::string_view s, int q);
+
+/// Jaccard coefficient |A ∩ B| / |A ∪ B| between the q-gram sets of `a` and `b`.
+/// This is the paper's recommended Sim(a, b) between two schema-element names
+/// (§4.2). Identical strings (case-insensitive) score 1.0; both-empty scores 1.0.
+double QGramJaccard(std::string_view a, std::string_view b, int q = 3);
+
+/// Levenshtein distance between `a` and `b` (case-insensitive), provided as an
+/// alternative string similarity backend.
+int EditDistance(std::string_view a, std::string_view b);
+
+/// 1 - EditDistance / max(len): normalized edit similarity in [0, 1].
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Word-aware schema-name similarity used throughout the mapper: the maximum of
+/// (a) q-gram Jaccard on the whole (lower-cased) names and (b) the best Jaccard
+/// between individual identifier words, damped by 0.9. This makes compound
+/// guesses like "director_name" similar to "name", and "produce_company"
+/// similar to "Company", which plain whole-string q-grams under-score. Exact
+/// (case-insensitive) matches always score 1.
+double SchemaNameSimilarity(std::string_view a, std::string_view b, int q = 3);
+
+}  // namespace sfsql::text
+
+#endif  // SFSQL_TEXT_SIMILARITY_H_

@@ -1,0 +1,466 @@
+#include "workloads/course.h"
+
+#include "common/macros.h"
+#include "workloads/datagen.h"
+#include "workloads/schema_builder.h"
+
+namespace sfsql::workloads {
+
+using storage::Database;
+using storage::Row;
+using storage::Value;
+
+namespace {
+
+catalog::Catalog BuildCourse53Catalog() {
+  SchemaBuilder b;
+  b.Rel("Campus", "campus_id:int*, name:str, city:str");
+  b.Rel("Building", "building_id:int*, name:str, campus_id:int");
+  b.Rel("Room", "room_id:int*, building_id:int, room_number:int, capacity:int");
+  b.Rel("Department", "dept_id:int*, name:str, building_id:int");
+  b.Rel("Title", "title_id:int*, label:str");
+  b.Rel("Instructor", "instructor_id:int*, name:str, dept_id:int, "
+                      "title_id:int, office_room_id:int");
+  b.Rel("Degree", "degree_id:int*, label:str");
+  b.Rel("Program", "program_id:int*, name:str, dept_id:int, degree_id:int");
+  b.Rel("Student", "student_id:int*, name:str, gender:str, admission_year:int, "
+                   "program_id:int");
+  b.Rel("Level", "level_id:int*, label:str");
+  b.Rel("Course", "course_id:int*, title:str, credits:int, dept_id:int, "
+                  "level_id:int");
+  b.Rel("Season", "season_id:int*, label:str");
+  b.Rel("Term", "term_id:int*, name:str, term_year:int, season_id:int");
+  b.Rel("Course_Offering", "offering_id:int*, course_id:int, term_id:int, "
+                           "capacity:int");
+  b.Rel("Weekday", "weekday_id:int*, label:str");
+  b.Rel("Section", "section_id:int*, offering_id:int, room_id:int, "
+                   "weekday_id:int, start_hour:int");
+  b.Rel("Teaching", "instructor_id:int*, offering_id:int*");
+  b.Rel("Grade_Scale", "grade_id:int*, letter:str, points:double");
+  b.Rel("Enrollment", "enrollment_id:int*, student_id:int, section_id:int, "
+                      "grade_id:int, enroll_year:int");
+  b.Rel("Prerequisite", "course_id:int*, prereq_course_id:int*");
+  b.Rel("Author", "author_id:int*, name:str");
+  b.Rel("Publisher", "publisher_id:int*, name:str");
+  b.Rel("Textbook", "textbook_id:int*, title:str, author_id:int, "
+                    "publisher_id:int, price:double");
+  b.Rel("Course_Textbook", "course_id:int*, textbook_id:int*");
+  b.Rel("Major", "major_id:int*, name:str, dept_id:int");
+  b.Rel("Student_Major", "student_id:int*, major_id:int*");
+  b.Rel("Student_Minor", "student_id:int*, major_id:int*");
+  b.Rel("Advising", "student_id:int*, instructor_id:int*");
+  b.Rel("Course_TA", "ta_id:int*, student_id:int, offering_id:int, "
+                     "weekly_hours:int");
+  b.Rel("Sponsor", "sponsor_id:int*, name:str");
+  b.Rel("Scholarship", "scholarship_id:int*, name:str, amount:int, "
+                       "sponsor_id:int");
+  b.Rel("Student_Scholarship", "student_id:int*, scholarship_id:int*, "
+                               "award_year:int");
+  b.Rel("Club", "club_id:int*, name:str, advisor_instructor_id:int");
+  b.Rel("Club_Member", "student_id:int*, club_id:int*, join_year:int");
+  b.Rel("Course_Review", "review_id:int*, student_id:int, course_id:int, "
+                         "rating_score:double, review_year:int");
+  b.Rel("Requirement", "requirement_id:int*, program_id:int, label:str");
+  b.Rel("Requirement_Course", "requirement_id:int*, course_id:int*");
+  b.Rel("Exam", "exam_id:int*, offering_id:int, exam_date:str, room_id:int");
+  b.Rel("Assignment", "assignment_id:int*, offering_id:int, title:str, "
+                      "due_date:str");
+  b.Rel("Submission", "submission_id:int*, assignment_id:int, student_id:int, "
+                      "submit_date:str, points_score:double");
+  b.Rel("Waitlist", "student_id:int*, section_id:int*, position:int");
+  b.Rel("Office_Hours", "office_hours_id:int*, instructor_id:int, "
+                        "weekday_id:int, start_hour:int, room_id:int");
+  b.Rel("Research_Group", "group_id:int*, name:str, dept_id:int, "
+                          "leader_instructor_id:int");
+  b.Rel("Group_Member", "group_id:int*, student_id:int*");
+  b.Rel("Publication", "publication_id:int*, title:str, publication_year:int, "
+                       "group_id:int");
+  b.Rel("Publication_Author", "publication_id:int*, instructor_id:int*");
+  b.Rel("Lab", "lab_id:int*, name:str, room_id:int, group_id:int");
+  b.Rel("Equipment", "equipment_id:int*, name:str, lab_id:int");
+  b.Rel("Employer", "employer_id:int*, name:str, city:str");
+  b.Rel("Internship", "internship_id:int*, student_id:int, employer_id:int, "
+                      "intern_year:int");
+  b.Rel("Alumni", "alumni_id:int*, student_id:int, graduation_year:int, "
+                  "employer_id:int");
+  b.Rel("Donation", "donation_id:int*, alumni_id:int, amount:int, "
+                    "donation_year:int");
+  b.Rel("Club_Event", "event_id:int*, name:str, club_id:int, room_id:int, "
+                      "event_date:str");
+
+  b.Fk("Building.campus_id", "Campus.campus_id");
+  b.Fk("Room.building_id", "Building.building_id");
+  b.Fk("Department.building_id", "Building.building_id");
+  b.Fk("Instructor.dept_id", "Department.dept_id");
+  b.Fk("Instructor.title_id", "Title.title_id");
+  b.Fk("Instructor.office_room_id", "Room.room_id");
+  b.Fk("Program.dept_id", "Department.dept_id");
+  b.Fk("Program.degree_id", "Degree.degree_id");
+  b.Fk("Student.program_id", "Program.program_id");
+  b.Fk("Course.dept_id", "Department.dept_id");
+  b.Fk("Course.level_id", "Level.level_id");
+  b.Fk("Term.season_id", "Season.season_id");
+  b.Fk("Course_Offering.course_id", "Course.course_id");
+  b.Fk("Course_Offering.term_id", "Term.term_id");
+  b.Fk("Section.offering_id", "Course_Offering.offering_id");
+  b.Fk("Section.room_id", "Room.room_id");
+  b.Fk("Section.weekday_id", "Weekday.weekday_id");
+  b.Fk("Teaching.instructor_id", "Instructor.instructor_id");
+  b.Fk("Teaching.offering_id", "Course_Offering.offering_id");
+  b.Fk("Enrollment.student_id", "Student.student_id");
+  b.Fk("Enrollment.section_id", "Section.section_id");
+  b.Fk("Enrollment.grade_id", "Grade_Scale.grade_id");
+  b.Fk("Prerequisite.course_id", "Course.course_id");
+  b.Fk("Prerequisite.prereq_course_id", "Course.course_id");
+  b.Fk("Textbook.author_id", "Author.author_id");
+  b.Fk("Textbook.publisher_id", "Publisher.publisher_id");
+  b.Fk("Course_Textbook.course_id", "Course.course_id");
+  b.Fk("Course_Textbook.textbook_id", "Textbook.textbook_id");
+  b.Fk("Major.dept_id", "Department.dept_id");
+  b.Fk("Student_Major.student_id", "Student.student_id");
+  b.Fk("Student_Major.major_id", "Major.major_id");
+  b.Fk("Student_Minor.student_id", "Student.student_id");
+  b.Fk("Student_Minor.major_id", "Major.major_id");
+  b.Fk("Advising.student_id", "Student.student_id");
+  b.Fk("Advising.instructor_id", "Instructor.instructor_id");
+  b.Fk("Course_TA.student_id", "Student.student_id");
+  b.Fk("Course_TA.offering_id", "Course_Offering.offering_id");
+  b.Fk("Scholarship.sponsor_id", "Sponsor.sponsor_id");
+  b.Fk("Student_Scholarship.student_id", "Student.student_id");
+  b.Fk("Student_Scholarship.scholarship_id", "Scholarship.scholarship_id");
+  b.Fk("Club.advisor_instructor_id", "Instructor.instructor_id");
+  b.Fk("Club_Member.student_id", "Student.student_id");
+  b.Fk("Club_Member.club_id", "Club.club_id");
+  b.Fk("Course_Review.student_id", "Student.student_id");
+  b.Fk("Course_Review.course_id", "Course.course_id");
+  b.Fk("Requirement.program_id", "Program.program_id");
+  b.Fk("Requirement_Course.requirement_id", "Requirement.requirement_id");
+  b.Fk("Requirement_Course.course_id", "Course.course_id");
+  b.Fk("Exam.offering_id", "Course_Offering.offering_id");
+  b.Fk("Exam.room_id", "Room.room_id");
+  b.Fk("Assignment.offering_id", "Course_Offering.offering_id");
+  b.Fk("Submission.assignment_id", "Assignment.assignment_id");
+  b.Fk("Submission.student_id", "Student.student_id");
+  b.Fk("Waitlist.student_id", "Student.student_id");
+  b.Fk("Waitlist.section_id", "Section.section_id");
+  b.Fk("Office_Hours.instructor_id", "Instructor.instructor_id");
+  b.Fk("Office_Hours.weekday_id", "Weekday.weekday_id");
+  b.Fk("Office_Hours.room_id", "Room.room_id");
+  b.Fk("Research_Group.dept_id", "Department.dept_id");
+  b.Fk("Research_Group.leader_instructor_id", "Instructor.instructor_id");
+  b.Fk("Group_Member.group_id", "Research_Group.group_id");
+  b.Fk("Group_Member.student_id", "Student.student_id");
+  b.Fk("Publication.group_id", "Research_Group.group_id");
+  b.Fk("Publication_Author.publication_id", "Publication.publication_id");
+  b.Fk("Publication_Author.instructor_id", "Instructor.instructor_id");
+  b.Fk("Lab.room_id", "Room.room_id");
+  b.Fk("Lab.group_id", "Research_Group.group_id");
+  b.Fk("Equipment.lab_id", "Lab.lab_id");
+  b.Fk("Internship.student_id", "Student.student_id");
+  b.Fk("Internship.employer_id", "Employer.employer_id");
+  b.Fk("Alumni.student_id", "Student.student_id");
+  b.Fk("Alumni.employer_id", "Employer.employer_id");
+  b.Fk("Donation.alumni_id", "Alumni.alumni_id");
+  b.Fk("Club_Event.club_id", "Club.club_id");
+  b.Fk("Club_Event.room_id", "Room.room_id");
+  return b.Build();
+}
+
+catalog::Catalog BuildCourse21Catalog() {
+  SchemaBuilder b;
+  b.Rel("Department", "dept_id:int*, name:str, building:str");
+  b.Rel("Instructor", "instructor_id:int*, name:str, dept_id:int, title:str");
+  b.Rel("Student", "student_id:int*, name:str, gender:str, "
+                   "admission_year:int, program:str, advisor_id:int");
+  b.Rel("Course", "course_id:int*, title:str, credits:int, dept_id:int, "
+                  "level:str");
+  b.Rel("Offering", "offering_id:int*, course_id:int, term_name:str, "
+                    "term_year:int, instructor_id:int, room:str, capacity:int");
+  b.Rel("Enrollment", "student_id:int*, offering_id:int*, grade:str, "
+                      "enroll_year:int");
+  b.Rel("Prerequisite", "course_id:int*, prereq_course_id:int*");
+  b.Rel("Textbook", "textbook_id:int*, title:str, author:str, publisher:str, "
+                    "price:double");
+  b.Rel("Course_Textbook", "course_id:int*, textbook_id:int*");
+  b.Rel("Course_TA", "student_id:int*, offering_id:int*, weekly_hours:int");
+  b.Rel("Scholarship", "scholarship_id:int*, name:str, amount:int, sponsor:str");
+  b.Rel("Student_Scholarship", "student_id:int*, scholarship_id:int*, "
+                               "award_year:int");
+  b.Rel("Club", "club_id:int*, name:str, advisor_id:int");
+  b.Rel("Club_Member", "student_id:int*, club_id:int*, join_year:int");
+  b.Rel("Course_Review", "review_id:int*, student_id:int, course_id:int, "
+                         "rating_score:double, review_year:int");
+  b.Rel("Exam", "exam_id:int*, offering_id:int, exam_date:str, room:str");
+  b.Rel("Assignment", "assignment_id:int*, offering_id:int, title:str, "
+                      "due_date:str");
+  b.Rel("Submission", "submission_id:int*, assignment_id:int, student_id:int, "
+                      "points_score:double");
+  b.Rel("Research_Group", "group_id:int*, name:str, dept_id:int, leader_id:int");
+  b.Rel("Group_Member", "group_id:int*, student_id:int*");
+  b.Rel("Internship", "internship_id:int*, student_id:int, employer:str, "
+                      "intern_year:int");
+
+  b.Fk("Instructor.dept_id", "Department.dept_id");
+  b.Fk("Student.advisor_id", "Instructor.instructor_id");
+  b.Fk("Course.dept_id", "Department.dept_id");
+  b.Fk("Offering.course_id", "Course.course_id");
+  b.Fk("Offering.instructor_id", "Instructor.instructor_id");
+  b.Fk("Enrollment.student_id", "Student.student_id");
+  b.Fk("Enrollment.offering_id", "Offering.offering_id");
+  b.Fk("Prerequisite.course_id", "Course.course_id");
+  b.Fk("Prerequisite.prereq_course_id", "Course.course_id");
+  b.Fk("Course_Textbook.course_id", "Course.course_id");
+  b.Fk("Course_Textbook.textbook_id", "Textbook.textbook_id");
+  b.Fk("Course_TA.student_id", "Student.student_id");
+  b.Fk("Course_TA.offering_id", "Offering.offering_id");
+  b.Fk("Student_Scholarship.student_id", "Student.student_id");
+  b.Fk("Student_Scholarship.scholarship_id", "Scholarship.scholarship_id");
+  b.Fk("Club.advisor_id", "Instructor.instructor_id");
+  b.Fk("Club_Member.student_id", "Student.student_id");
+  b.Fk("Club_Member.club_id", "Club.club_id");
+  b.Fk("Course_Review.student_id", "Student.student_id");
+  b.Fk("Course_Review.course_id", "Course.course_id");
+  b.Fk("Exam.offering_id", "Offering.offering_id");
+  b.Fk("Assignment.offering_id", "Offering.offering_id");
+  b.Fk("Submission.assignment_id", "Assignment.assignment_id");
+  b.Fk("Submission.student_id", "Student.student_id");
+  b.Fk("Research_Group.dept_id", "Department.dept_id");
+  b.Fk("Research_Group.leader_id", "Instructor.instructor_id");
+  b.Fk("Group_Member.group_id", "Research_Group.group_id");
+  b.Fk("Group_Member.student_id", "Student.student_id");
+  b.Fk("Internship.student_id", "Student.student_id");
+  return b.Build();
+}
+
+}  // namespace
+
+std::unique_ptr<Database> BuildCourse53(uint64_t seed, int rows_per_relation) {
+  auto db = std::make_unique<Database>(BuildCourse53Catalog());
+  SFSQL_CHECK(db->catalog().num_relations() == kCourse53Relations);
+
+  DataGenerator gen(seed);
+  SFSQL_CHECK(gen.Populate(db.get(), rows_per_relation).ok());
+
+  auto S = [](const char* s) { return Value::String(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+  auto D = [](double v) { return Value::Double(v); };
+  auto plant = [&](std::string_view rel,
+                   std::map<std::string, Value> values) -> Row {
+    Result<Row> row = gen.Plant(db.get(), rel, values);
+    SFSQL_CHECK(row.ok());
+    return *row;
+  };
+
+  Row campus = plant("Campus", {{"name", S("North Campus")}});
+  Row turing = plant("Building",
+                     {{"name", S("Turing Hall")}, {"campus_id", campus[0]}});
+  Row room101 = plant("Room", {{"building_id", turing[0]},
+                               {"room_number", I(101)},
+                               {"capacity", I(250)}});
+  Row cs = plant("Department",
+                 {{"name", S("Computer Science")}, {"building_id", turing[0]}});
+  Row prof = plant("Title", {{"label", S("Professor")}});
+  Row rossi = plant("Instructor", {{"name", S("Elena Rossi")},
+                                   {"dept_id", cs[0]},
+                                   {"title_id", prof[0]},
+                                   {"office_room_id", room101[0]}});
+  Row msc = plant("Degree", {{"label", S("Master of Science")}});
+  Row cs_program = plant("Program", {{"name", S("Computer Science MS")},
+                                     {"dept_id", cs[0]},
+                                     {"degree_id", msc[0]}});
+  Row priya = plant("Student", {{"name", S("Priya Patel")},
+                                {"gender", S("female")},
+                                {"admission_year", I(2021)},
+                                {"program_id", cs_program[0]}});
+  Row grad_level = plant("Level", {{"label", S("graduate")}});
+  Row db_course = plant("Course", {{"title", S("Database Systems")},
+                                   {"credits", I(4)},
+                                   {"dept_id", cs[0]},
+                                   {"level_id", grad_level[0]}});
+  Row os_course = plant("Course", {{"title", S("Operating Systems")},
+                                   {"credits", I(4)},
+                                   {"dept_id", cs[0]},
+                                   {"level_id", grad_level[0]}});
+  Row fall = plant("Season", {{"label", S("Fall")}});
+  Row fall23 = plant("Term", {{"name", S("Fall 2023")},
+                              {"term_year", I(2023)},
+                              {"season_id", fall[0]}});
+  Row db_offering = plant("Course_Offering", {{"course_id", db_course[0]},
+                                              {"term_id", fall23[0]},
+                                              {"capacity", I(120)}});
+  Row os_offering = plant("Course_Offering", {{"course_id", os_course[0]},
+                                              {"term_id", fall23[0]},
+                                              {"capacity", I(90)}});
+  Row monday = plant("Weekday", {{"label", S("Monday")}});
+  Row db_section = plant("Section", {{"offering_id", db_offering[0]},
+                                     {"room_id", room101[0]},
+                                     {"weekday_id", monday[0]},
+                                     {"start_hour", I(10)}});
+  plant("Teaching",
+        {{"instructor_id", rossi[0]}, {"offering_id", db_offering[0]}});
+  plant("Teaching",
+        {{"instructor_id", rossi[0]}, {"offering_id", os_offering[0]}});
+  Row grade_a =
+      plant("Grade_Scale", {{"letter", S("A")}, {"points", D(4.0)}});
+  plant("Enrollment", {{"student_id", priya[0]},
+                       {"section_id", db_section[0]},
+                       {"grade_id", grade_a[0]},
+                       {"enroll_year", I(2023)}});
+  plant("Prerequisite",
+        {{"course_id", db_course[0]}, {"prereq_course_id", os_course[0]}});
+  Row abiteboul = plant("Author", {{"name", S("Serge Abiteboul")}});
+  Row awp = plant("Publisher", {{"name", S("Addison Wesley")}});
+  Row found_db = plant("Textbook", {{"title", S("Foundations of Databases")},
+                                    {"author_id", abiteboul[0]},
+                                    {"publisher_id", awp[0]},
+                                    {"price", D(119.0)}});
+  plant("Course_Textbook",
+        {{"course_id", db_course[0]}, {"textbook_id", found_db[0]}});
+  Row cs_major = plant("Major", {{"name", S("Data Science")}, {"dept_id", cs[0]}});
+  plant("Student_Major", {{"student_id", priya[0]}, {"major_id", cs_major[0]}});
+  plant("Advising", {{"student_id", priya[0]}, {"instructor_id", rossi[0]}});
+  plant("Course_TA", {{"student_id", priya[0]},
+                      {"offering_id", os_offering[0]},
+                      {"weekly_hours", I(10)}});
+  Row acme = plant("Sponsor", {{"name", S("Acme Foundation")}});
+  Row merit = plant("Scholarship", {{"name", S("Merit Award")},
+                                    {"amount", I(5000)},
+                                    {"sponsor_id", acme[0]}});
+  plant("Student_Scholarship", {{"student_id", priya[0]},
+                                {"scholarship_id", merit[0]},
+                                {"award_year", I(2022)}});
+  Row chess = plant("Club", {{"name", S("Chess Club")},
+                             {"advisor_instructor_id", rossi[0]}});
+  plant("Club_Member", {{"student_id", priya[0]},
+                        {"club_id", chess[0]},
+                        {"join_year", I(2021)}});
+  plant("Course_Review", {{"student_id", priya[0]},
+                          {"course_id", db_course[0]},
+                          {"rating_score", D(9.5)},
+                          {"review_year", I(2023)}});
+  plant("Exam", {{"offering_id", db_offering[0]},
+                 {"exam_date", S("2023-12-15")},
+                 {"room_id", room101[0]}});
+  Row hw1 = plant("Assignment", {{"offering_id", db_offering[0]},
+                                 {"title", S("Query Optimizer")},
+                                 {"due_date", S("2023-10-01")}});
+  plant("Submission", {{"assignment_id", hw1[0]},
+                       {"student_id", priya[0]},
+                       {"submit_date", S("2023-09-30")},
+                       {"points_score", D(95.0)}});
+  Row ds_group = plant("Research_Group", {{"name", S("Data Systems Lab")},
+                                          {"dept_id", cs[0]},
+                                          {"leader_instructor_id", rossi[0]}});
+  plant("Group_Member", {{"group_id", ds_group[0]}, {"student_id", priya[0]}});
+  Row pub = plant("Publication", {{"title", S("Adaptive Query Processing")},
+                                  {"publication_year", I(2022)},
+                                  {"group_id", ds_group[0]}});
+  plant("Publication_Author",
+        {{"publication_id", pub[0]}, {"instructor_id", rossi[0]}});
+  Row initech = plant("Employer", {{"name", S("Initech")}, {"city", S("Austin")}});
+  plant("Internship", {{"student_id", priya[0]},
+                       {"employer_id", initech[0]},
+                       {"intern_year", I(2023)}});
+  plant("Club_Event", {{"name", S("Winter Tournament")},
+                       {"club_id", chess[0]},
+                       {"room_id", room101[0]},
+                       {"event_date", S("2023-12-02")}});
+  return db;
+}
+
+std::unique_ptr<Database> BuildCourse21(uint64_t seed, int rows_per_relation) {
+  auto db = std::make_unique<Database>(BuildCourse21Catalog());
+  SFSQL_CHECK(db->catalog().num_relations() == kCourse21Relations);
+
+  DataGenerator gen(seed);
+  SFSQL_CHECK(gen.Populate(db.get(), rows_per_relation).ok());
+
+  auto S = [](const char* s) { return Value::String(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+  auto D = [](double v) { return Value::Double(v); };
+  auto plant = [&](std::string_view rel,
+                   std::map<std::string, Value> values) -> Row {
+    Result<Row> row = gen.Plant(db.get(), rel, values);
+    SFSQL_CHECK(row.ok());
+    return *row;
+  };
+
+  Row cs = plant("Department",
+                 {{"name", S("Computer Science")}, {"building", S("Turing Hall")}});
+  Row rossi = plant("Instructor", {{"name", S("Elena Rossi")},
+                                   {"dept_id", cs[0]},
+                                   {"title", S("Professor")}});
+  Row priya = plant("Student", {{"name", S("Priya Patel")},
+                                {"gender", S("female")},
+                                {"admission_year", I(2021)},
+                                {"program", S("Computer Science MS")},
+                                {"advisor_id", rossi[0]}});
+  Row db_course = plant("Course", {{"title", S("Database Systems")},
+                                   {"credits", I(4)},
+                                   {"dept_id", cs[0]},
+                                   {"level", S("graduate")}});
+  Row os_course = plant("Course", {{"title", S("Operating Systems")},
+                                   {"credits", I(4)},
+                                   {"dept_id", cs[0]},
+                                   {"level", S("graduate")}});
+  Row db_offering = plant("Offering", {{"course_id", db_course[0]},
+                                       {"term_name", S("Fall")},
+                                       {"term_year", I(2023)},
+                                       {"instructor_id", rossi[0]},
+                                       {"room", S("Turing 101")},
+                                       {"capacity", I(120)}});
+  Row os_offering = plant("Offering", {{"course_id", os_course[0]},
+                                       {"term_name", S("Fall")},
+                                       {"term_year", I(2023)},
+                                       {"instructor_id", rossi[0]},
+                                       {"room", S("Turing 102")},
+                                       {"capacity", I(90)}});
+  plant("Enrollment", {{"student_id", priya[0]},
+                       {"offering_id", db_offering[0]},
+                       {"grade", S("A")},
+                       {"enroll_year", I(2023)}});
+  plant("Prerequisite",
+        {{"course_id", db_course[0]}, {"prereq_course_id", os_course[0]}});
+  Row found_db = plant("Textbook", {{"title", S("Foundations of Databases")},
+                                    {"author", S("Serge Abiteboul")},
+                                    {"publisher", S("Addison Wesley")},
+                                    {"price", D(119.0)}});
+  plant("Course_Textbook",
+        {{"course_id", db_course[0]}, {"textbook_id", found_db[0]}});
+  plant("Course_TA", {{"student_id", priya[0]},
+                      {"offering_id", os_offering[0]},
+                      {"weekly_hours", I(10)}});
+  Row merit = plant("Scholarship", {{"name", S("Merit Award")},
+                                    {"amount", I(5000)},
+                                    {"sponsor", S("Acme Foundation")}});
+  plant("Student_Scholarship", {{"student_id", priya[0]},
+                                {"scholarship_id", merit[0]},
+                                {"award_year", I(2022)}});
+  Row chess = plant("Club", {{"name", S("Chess Club")}, {"advisor_id", rossi[0]}});
+  plant("Club_Member", {{"student_id", priya[0]},
+                        {"club_id", chess[0]},
+                        {"join_year", I(2021)}});
+  plant("Course_Review", {{"student_id", priya[0]},
+                          {"course_id", db_course[0]},
+                          {"rating_score", D(9.5)},
+                          {"review_year", I(2023)}});
+  plant("Exam", {{"offering_id", db_offering[0]},
+                 {"exam_date", S("2023-12-15")},
+                 {"room", S("Turing 101")}});
+  Row hw1 = plant("Assignment", {{"offering_id", db_offering[0]},
+                                 {"title", S("Query Optimizer")},
+                                 {"due_date", S("2023-10-01")}});
+  plant("Submission", {{"assignment_id", hw1[0]},
+                       {"student_id", priya[0]},
+                       {"points_score", D(95.0)}});
+  Row ds_group = plant("Research_Group", {{"name", S("Data Systems Lab")},
+                                          {"dept_id", cs[0]},
+                                          {"leader_id", rossi[0]}});
+  plant("Group_Member", {{"group_id", ds_group[0]}, {"student_id", priya[0]}});
+  plant("Internship", {{"student_id", priya[0]},
+                       {"employer", S("Initech")},
+                       {"intern_year", I(2023)}});
+  return db;
+}
+
+}  // namespace sfsql::workloads

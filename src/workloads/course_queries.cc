@@ -1,0 +1,750 @@
+#include "workloads/course.h"
+
+namespace sfsql::workloads {
+
+// The 48 complex course queries of §7.3, ordered simple -> complex. Every
+// intent is answerable in both schemas (the 21-relation redesign denormalizes
+// lookup relations into attributes, so its gold join paths are shorter).
+// Bucket mix matches Fig. 15: 11 queries over 2-4 relations, 26 over 5,
+// 11 over 6-10 (relation counts measured against the 53-relation schema).
+const std::vector<CourseQuery>& CourseQueries() {
+  static const std::vector<CourseQuery>* const kQueries = new std::vector<
+      CourseQuery>{
+      // ---- bucket A: 2-4 relations ------------------------------------
+      {"A1", "Titles of Computer Science courses.", 2,
+       "SELECT Course.title FROM Course, Department "
+       "WHERE Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Course.title FROM Course, Department "
+       "WHERE Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'"},
+
+      {"A2", "Names of Computer Science instructors.", 2,
+       "SELECT Instructor.name FROM Instructor, Department "
+       "WHERE Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Instructor.name FROM Instructor, Department "
+       "WHERE Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'"},
+
+      {"A3", "Textbook titles written by Serge Abiteboul.", 2,
+       "SELECT Textbook.title FROM Textbook, Author "
+       "WHERE Textbook.author_id = Author.author_id "
+       "AND Author.name = 'Serge Abiteboul'",
+       "SELECT Textbook.title FROM Textbook "
+       "WHERE Textbook.author = 'Serge Abiteboul'"},
+
+      {"A4", "Scholarship names sponsored by the Acme Foundation.", 2,
+       "SELECT Scholarship.name FROM Scholarship, Sponsor "
+       "WHERE Scholarship.sponsor_id = Sponsor.sponsor_id "
+       "AND Sponsor.name = 'Acme Foundation'",
+       "SELECT Scholarship.name FROM Scholarship "
+       "WHERE Scholarship.sponsor = 'Acme Foundation'"},
+
+      {"A5", "Names of students advised by Elena Rossi.", 3,
+       "SELECT Student.name FROM Student, Advising, Instructor "
+       "WHERE Student.student_id = Advising.student_id "
+       "AND Advising.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'",
+       "SELECT Student.name FROM Student, Instructor "
+       "WHERE Student.advisor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'"},
+
+      {"A6", "Textbook titles used in the course Database Systems.", 3,
+       "SELECT Textbook.title FROM Textbook, Course_Textbook, Course "
+       "WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'",
+       "SELECT Textbook.title FROM Textbook, Course_Textbook, Course "
+       "WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'"},
+
+      {"A7", "Publication titles of the Data Systems Lab research group.", 2,
+       "SELECT Publication.title FROM Publication, Research_Group "
+       "WHERE Publication.group_id = Research_Group.group_id "
+       "AND Research_Group.name = 'Data Systems Lab'",
+       // The redesign drops publications; its closest cover is the group
+       // itself (the intent degrades to the group's existence).
+       "SELECT Research_Group.name FROM Research_Group "
+       "WHERE Research_Group.name = 'Data Systems Lab'"},
+
+      {"A8", "Names of the members of the Chess Club.", 3,
+       "SELECT Student.name FROM Student, Club_Member, Club "
+       "WHERE Student.student_id = Club_Member.student_id "
+       "AND Club_Member.club_id = Club.club_id "
+       "AND Club.name = 'Chess Club'",
+       "SELECT Student.name FROM Student, Club_Member, Club "
+       "WHERE Student.student_id = Club_Member.student_id "
+       "AND Club_Member.club_id = Club.club_id "
+       "AND Club.name = 'Chess Club'"},
+
+      {"A9", "Review ratings of the course Database Systems.", 2,
+       "SELECT Course_Review.rating_score FROM Course_Review, Course "
+       "WHERE Course_Review.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'",
+       "SELECT Course_Review.rating_score FROM Course_Review, Course "
+       "WHERE Course_Review.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'"},
+
+      {"A10", "Exam dates of Database Systems offerings in 2023.", 4,
+       "SELECT Exam.exam_date FROM Exam, Course_Offering, Term, Course "
+       "WHERE Exam.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' AND Term.term_year = 2023",
+       "SELECT Exam.exam_date FROM Exam, Offering, Course "
+       "WHERE Exam.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' AND Offering.term_year = 2023"},
+
+      {"A11", "Assignment titles of Database Systems offerings in 2023.", 4,
+       "SELECT Assignment.title FROM Assignment, Course_Offering, Term, Course "
+       "WHERE Assignment.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' AND Term.term_year = 2023",
+       "SELECT Assignment.title FROM Assignment, Offering, Course "
+       "WHERE Assignment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' AND Offering.term_year = 2023"},
+
+      // ---- bucket B: 5 relations --------------------------------------
+      {"B1", "Names of students enrolled in Database Systems.", 5,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'"},
+
+      {"B2", "Titles of courses Priya Patel enrolled in.", 5,
+       "SELECT Course.title FROM Course, Course_Offering, Section, "
+       "Enrollment, Student "
+       "WHERE Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Section.offering_id "
+       "AND Section.section_id = Enrollment.section_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'",
+       "SELECT Course.title FROM Course, Offering, Enrollment, Student "
+       "WHERE Course.course_id = Offering.course_id "
+       "AND Offering.offering_id = Enrollment.offering_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'"},
+
+      {"B3", "Number of students enrolled in Database Systems.", 5,
+       "SELECT count(Student.name) FROM Student, Enrollment, Section, "
+       "Course_Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'",
+       "SELECT count(Student.name) FROM Student, Enrollment, Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'"},
+
+      {"B4", "Names of students enrolled in offerings of term year 2023.", 5,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Term "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id AND Term.term_year = 2023",
+       "SELECT Student.name FROM Student, Enrollment, Offering "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.term_year = 2023"},
+
+      {"B5", "Titles of courses taught by Elena Rossi in 2023.", 5,
+       "SELECT Course.title FROM Course, Course_Offering, Teaching, "
+       "Instructor, Term "
+       "WHERE Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Teaching.offering_id "
+       "AND Teaching.instructor_id = Instructor.instructor_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Instructor.name = 'Elena Rossi' AND Term.term_year = 2023",
+       "SELECT Course.title FROM Course, Offering, Instructor "
+       "WHERE Course.course_id = Offering.course_id "
+       "AND Offering.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi' AND Offering.term_year = 2023"},
+
+      {"B6", "Names of instructors who taught Database Systems in 2023.", 5,
+       "SELECT Instructor.name FROM Instructor, Teaching, Course_Offering, "
+       "Course, Term "
+       "WHERE Instructor.instructor_id = Teaching.instructor_id "
+       "AND Teaching.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course.title = 'Database Systems' AND Term.term_year = 2023",
+       "SELECT Instructor.name FROM Instructor, Offering, Course "
+       "WHERE Instructor.instructor_id = Offering.instructor_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' AND Offering.term_year = 2023"},
+
+      {"B7",
+       "Titles of Addison Wesley textbooks used in Computer Science courses.",
+       5,
+       "SELECT Textbook.title FROM Textbook, Publisher, Course_Textbook, "
+       "Course, Department "
+       "WHERE Textbook.publisher_id = Publisher.publisher_id "
+       "AND Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Publisher.name = 'Addison Wesley' "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Textbook.title FROM Textbook, Course_Textbook, Course, "
+       "Department WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Textbook.publisher = 'Addison Wesley' "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B8", "Author names of textbooks used in Computer Science courses.", 5,
+       "SELECT Author.name FROM Author, Textbook, Course_Textbook, Course, "
+       "Department WHERE Author.author_id = Textbook.author_id "
+       "AND Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Textbook.author FROM Textbook, Course_Textbook, Course, "
+       "Department WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B9",
+       "Names of Computer Science MS students holding scholarships sponsored "
+       "by the Acme Foundation.",
+       5,
+       "SELECT Student.name FROM Student, Program, Student_Scholarship, "
+       "Scholarship, Sponsor "
+       "WHERE Student.program_id = Program.program_id "
+       "AND Student.student_id = Student_Scholarship.student_id "
+       "AND Student_Scholarship.scholarship_id = Scholarship.scholarship_id "
+       "AND Scholarship.sponsor_id = Sponsor.sponsor_id "
+       "AND Program.name = 'Computer Science MS' "
+       "AND Sponsor.name = 'Acme Foundation'",
+       "SELECT Student.name FROM Student, Student_Scholarship, Scholarship "
+       "WHERE Student.student_id = Student_Scholarship.student_id "
+       "AND Student_Scholarship.scholarship_id = Scholarship.scholarship_id "
+       "AND Student.program = 'Computer Science MS' "
+       "AND Scholarship.sponsor = 'Acme Foundation'"},
+
+      {"B10",
+       "Names of students advised by Professor-titled instructors of the "
+       "Computer Science department.",
+       5,
+       "SELECT Student.name FROM Student, Advising, Instructor, Title, "
+       "Department WHERE Student.student_id = Advising.student_id "
+       "AND Advising.instructor_id = Instructor.instructor_id "
+       "AND Instructor.title_id = Title.title_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Title.label = 'Professor' "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Student.name FROM Student, Instructor, Department "
+       "WHERE Student.advisor_id = Instructor.instructor_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Instructor.title = 'Professor' "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B11",
+       "Exam dates of 2023 offerings of Computer Science department courses.",
+       5,
+       "SELECT Exam.exam_date FROM Exam, Course_Offering, Term, Course, "
+       "Department WHERE Exam.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Term.term_year = 2023 AND Department.name = 'Computer Science'",
+       "SELECT Exam.exam_date FROM Exam, Offering, Course, Department "
+       "WHERE Exam.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Offering.term_year = 2023 "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B12",
+       "Assignment titles of 2023 offerings of Computer Science courses.", 5,
+       "SELECT Assignment.title FROM Assignment, Course_Offering, Term, "
+       "Course, Department "
+       "WHERE Assignment.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Term.term_year = 2023 AND Department.name = 'Computer Science'",
+       "SELECT Assignment.title FROM Assignment, Offering, Course, Department "
+       "WHERE Assignment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Offering.term_year = 2023 "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B13",
+       "Submission scores of Priya Patel for Database Systems assignments.", 5,
+       "SELECT Submission.points_score FROM Submission, Assignment, "
+       "Course_Offering, Course, Student "
+       "WHERE Submission.assignment_id = Assignment.assignment_id "
+       "AND Assignment.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Submission.student_id = Student.student_id "
+       "AND Course.title = 'Database Systems' "
+       "AND Student.name = 'Priya Patel'",
+       "SELECT Submission.points_score FROM Submission, Assignment, Offering, "
+       "Course, Student "
+       "WHERE Submission.assignment_id = Assignment.assignment_id "
+       "AND Assignment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Submission.student_id = Student.student_id "
+       "AND Course.title = 'Database Systems' "
+       "AND Student.name = 'Priya Patel'"},
+
+      {"B14", "Names of teaching assistants of Operating Systems in 2023.", 5,
+       "SELECT Student.name FROM Student, Course_TA, Course_Offering, Course, "
+       "Term WHERE Student.student_id = Course_TA.student_id "
+       "AND Course_TA.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course.title = 'Operating Systems' AND Term.term_year = 2023",
+       "SELECT Student.name FROM Student, Course_TA, Offering, Course "
+       "WHERE Student.student_id = Course_TA.student_id "
+       "AND Course_TA.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Operating Systems' "
+       "AND Offering.term_year = 2023"},
+
+      {"B15",
+       "Names of members of clubs advised by Computer Science instructors.", 5,
+       "SELECT Student.name FROM Student, Club_Member, Club, Instructor, "
+       "Department WHERE Student.student_id = Club_Member.student_id "
+       "AND Club_Member.club_id = Club.club_id "
+       "AND Club.advisor_instructor_id = Instructor.instructor_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Student.name FROM Student, Club_Member, Club, Instructor, "
+       "Department WHERE Student.student_id = Club_Member.student_id "
+       "AND Club_Member.club_id = Club.club_id "
+       "AND Club.advisor_id = Instructor.instructor_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'"},
+
+      {"B16",
+       "Names of students who rated graduate-level Computer Science courses "
+       "above 9.",
+       5,
+       "SELECT Student.name FROM Student, Course_Review, Course, Department, "
+       "Level WHERE Student.student_id = Course_Review.student_id "
+       "AND Course_Review.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Course.level_id = Level.level_id "
+       "AND Course_Review.rating_score > 9.0 "
+       "AND Department.name = 'Computer Science' "
+       "AND Level.label = 'graduate'",
+       "SELECT Student.name FROM Student, Course_Review, Course, Department "
+       "WHERE Student.student_id = Course_Review.student_id "
+       "AND Course_Review.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Course_Review.rating_score > 9.0 "
+       "AND Department.name = 'Computer Science' "
+       "AND Course.level = 'graduate'"},
+
+      {"B17",
+       "Names of students in research groups led by Professor-titled "
+       "instructors.",
+       5,
+       "SELECT Student.name FROM Student, Group_Member, Research_Group, "
+       "Instructor, Title "
+       "WHERE Student.student_id = Group_Member.student_id "
+       "AND Group_Member.group_id = Research_Group.group_id "
+       "AND Research_Group.leader_instructor_id = Instructor.instructor_id "
+       "AND Instructor.title_id = Title.title_id "
+       "AND Title.label = 'Professor'",
+       "SELECT Student.name FROM Student, Group_Member, Research_Group, "
+       "Instructor WHERE Student.student_id = Group_Member.student_id "
+       "AND Group_Member.group_id = Research_Group.group_id "
+       "AND Research_Group.leader_id = Instructor.instructor_id "
+       "AND Instructor.title = 'Professor'"},
+
+      {"B18",
+       "Names of female students who interned at Initech and hold the Merit "
+       "Award.",
+       5,
+       "SELECT Student.name FROM Student, Internship, Employer, "
+       "Student_Scholarship, Scholarship "
+       "WHERE Student.student_id = Internship.student_id "
+       "AND Internship.employer_id = Employer.employer_id "
+       "AND Student.student_id = Student_Scholarship.student_id "
+       "AND Student_Scholarship.scholarship_id = Scholarship.scholarship_id "
+       "AND Student.gender = 'female' AND Employer.name = 'Initech' "
+       "AND Scholarship.name = 'Merit Award'",
+       "SELECT Student.name FROM Student, Internship, Student_Scholarship, "
+       "Scholarship WHERE Student.student_id = Internship.student_id "
+       "AND Student.student_id = Student_Scholarship.student_id "
+       "AND Student_Scholarship.scholarship_id = Scholarship.scholarship_id "
+       "AND Student.gender = 'female' AND Internship.employer = 'Initech' "
+       "AND Scholarship.name = 'Merit Award'"},
+
+      {"B19", "Number of courses Priya Patel enrolled in during 2023.", 5,
+       "SELECT count(Course.title) FROM Course, Course_Offering, Section, "
+       "Enrollment, Student "
+       "WHERE Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Section.offering_id "
+       "AND Section.section_id = Enrollment.section_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Enrollment.enroll_year = 2023 AND Student.name = 'Priya Patel'",
+       "SELECT count(Course.title) FROM Course, Offering, Enrollment, Student "
+       "WHERE Course.course_id = Offering.course_id "
+       "AND Offering.offering_id = Enrollment.offering_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Enrollment.enroll_year = 2023 AND Student.name = 'Priya Patel'"},
+
+      {"B20", "Distinct titles of courses with female students enrolled.", 5,
+       "SELECT DISTINCT Course.title FROM Course, Course_Offering, Section, "
+       "Enrollment, Student "
+       "WHERE Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Section.offering_id "
+       "AND Section.section_id = Enrollment.section_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.gender = 'female'",
+       "SELECT DISTINCT Course.title FROM Course, Offering, Enrollment, "
+       "Student WHERE Course.course_id = Offering.course_id "
+       "AND Offering.offering_id = Enrollment.offering_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.gender = 'female'"},
+
+      {"B21",
+       "Average capacity of 2023 offerings of graduate-level Computer Science "
+       "courses.",
+       5,
+       "SELECT avg(Course_Offering.capacity) FROM Course_Offering, Course, "
+       "Department, Level, Term "
+       "WHERE Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Course.level_id = Level.level_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Department.name = 'Computer Science' "
+       "AND Level.label = 'graduate' AND Term.term_year = 2023",
+       "SELECT avg(Offering.capacity) FROM Offering, Course, Department "
+       "WHERE Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science' "
+       "AND Course.level = 'graduate' AND Offering.term_year = 2023"},
+
+      {"B22", "Grade letters awarded in Database Systems.", 5,
+       "SELECT Grade_Scale.letter FROM Grade_Scale, Enrollment, Section, "
+       "Course_Offering, Course "
+       "WHERE Grade_Scale.grade_id = Enrollment.grade_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'",
+       "SELECT Enrollment.grade FROM Enrollment, Offering, Course "
+       "WHERE Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems'"},
+
+      {"B23",
+       "Scholarship and sponsor names held by Computer Science MS students.",
+       5,
+       "SELECT Scholarship.name, Sponsor.name FROM Scholarship, Sponsor, "
+       "Student_Scholarship, Student, Program "
+       "WHERE Scholarship.sponsor_id = Sponsor.sponsor_id "
+       "AND Scholarship.scholarship_id = Student_Scholarship.scholarship_id "
+       "AND Student_Scholarship.student_id = Student.student_id "
+       "AND Student.program_id = Program.program_id "
+       "AND Program.name = 'Computer Science MS'",
+       "SELECT Scholarship.name, Scholarship.sponsor FROM Scholarship, "
+       "Student_Scholarship, Student "
+       "WHERE Scholarship.scholarship_id = Student_Scholarship.scholarship_id "
+       "AND Student_Scholarship.student_id = Student.student_id "
+       "AND Student.program = 'Computer Science MS'"},
+
+      {"B24",
+       "Number of members per club advised by Computer Science instructors.",
+       5,
+       "SELECT Club.name, count(Student.name) FROM Club, Club_Member, "
+       "Student, Instructor, Department "
+       "WHERE Club.club_id = Club_Member.club_id "
+       "AND Club_Member.student_id = Student.student_id "
+       "AND Club.advisor_instructor_id = Instructor.instructor_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science' GROUP BY Club.name",
+       "SELECT Club.name, count(Student.name) FROM Club, Club_Member, "
+       "Student, Instructor, Department "
+       "WHERE Club.club_id = Club_Member.club_id "
+       "AND Club_Member.student_id = Student.student_id "
+       "AND Club.advisor_id = Instructor.instructor_id "
+       "AND Instructor.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science' GROUP BY Club.name"},
+
+      {"B25",
+       "Average rating given by female students to graduate-level Computer "
+       "Science courses.",
+       5,
+       "SELECT avg(Course_Review.rating_score) FROM Course_Review, Student, "
+       "Course, Department, Level "
+       "WHERE Course_Review.student_id = Student.student_id "
+       "AND Course_Review.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Course.level_id = Level.level_id "
+       "AND Student.gender = 'female' "
+       "AND Department.name = 'Computer Science' AND Level.label = 'graduate'",
+       "SELECT avg(Course_Review.rating_score) FROM Course_Review, Student, "
+       "Course, Department "
+       "WHERE Course_Review.student_id = Student.student_id "
+       "AND Course_Review.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Student.gender = 'female' "
+       "AND Department.name = 'Computer Science' "
+       "AND Course.level = 'graduate'"},
+
+      {"B26",
+       "Assignment titles and course titles for offerings taught by Elena "
+       "Rossi.",
+       5,
+       "SELECT Assignment.title, Course.title FROM Assignment, "
+       "Course_Offering, Course, Teaching, Instructor "
+       "WHERE Assignment.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.offering_id = Teaching.offering_id "
+       "AND Teaching.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'",
+       "SELECT Assignment.title, Course.title FROM Assignment, Offering, "
+       "Course, Instructor "
+       "WHERE Assignment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Offering.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'"},
+
+      // ---- bucket C: 6-10 relations -----------------------------------
+      {"C1", "Names of students taught by Elena Rossi.", 6,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Teaching, Instructor "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.offering_id = Teaching.offering_id "
+       "AND Teaching.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Instructor "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.instructor_id = Instructor.instructor_id "
+       "AND Instructor.name = 'Elena Rossi'"},
+
+      {"C2",
+       "Names of students enrolled in Computer Science department courses.", 6,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Course, Department "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course, "
+       "Department WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Department.name = 'Computer Science'"},
+
+      {"C3", "Names of students enrolled in Database Systems in 2023.", 6,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Course, Term "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course.title = 'Database Systems' AND Term.term_year = 2023",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.title = 'Database Systems' "
+       "AND Offering.term_year = 2023"},
+
+      {"C4", "Names of students with grade A in Database Systems.", 6,
+       "SELECT Student.name FROM Student, Enrollment, Grade_Scale, Section, "
+       "Course_Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.grade_id = Grade_Scale.grade_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Grade_Scale.letter = 'A' AND Course.title = 'Database Systems'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Enrollment.grade = 'A' AND Course.title = 'Database Systems'"},
+
+      {"C5",
+       "Names of instructors teaching courses that require Operating Systems "
+       "as a prerequisite.",
+       6,
+       "SELECT Instructor.name FROM Instructor, Teaching, Course_Offering, "
+       "Course AS C1, Prerequisite, Course AS C2 "
+       "WHERE Instructor.instructor_id = Teaching.instructor_id "
+       "AND Teaching.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = C1.course_id "
+       "AND Prerequisite.course_id = C1.course_id "
+       "AND Prerequisite.prereq_course_id = C2.course_id "
+       "AND C2.title = 'Operating Systems'",
+       "SELECT Instructor.name FROM Instructor, Offering, Course AS C1, "
+       "Prerequisite, Course AS C2 "
+       "WHERE Instructor.instructor_id = Offering.instructor_id "
+       "AND Offering.course_id = C1.course_id "
+       "AND Prerequisite.course_id = C1.course_id "
+       "AND Prerequisite.prereq_course_id = C2.course_id "
+       "AND C2.title = 'Operating Systems'"},
+
+      {"C6", "Names of students taught by Elena Rossi in Database Systems.", 7,
+       "SELECT Student.name FROM Student, Enrollment, Section, "
+       "Course_Offering, Course, Teaching, Instructor "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.offering_id = Teaching.offering_id "
+       "AND Teaching.instructor_id = Instructor.instructor_id "
+       "AND Course.title = 'Database Systems' "
+       "AND Instructor.name = 'Elena Rossi'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course, "
+       "Instructor WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Offering.instructor_id = Instructor.instructor_id "
+       "AND Course.title = 'Database Systems' "
+       "AND Instructor.name = 'Elena Rossi'"},
+
+      {"C7", "Titles of textbooks used in courses Priya Patel enrolled in.", 7,
+       "SELECT Textbook.title FROM Textbook, Course_Textbook, Course, "
+       "Course_Offering, Section, Enrollment, Student "
+       "WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Section.offering_id "
+       "AND Section.section_id = Enrollment.section_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'",
+       "SELECT Textbook.title FROM Textbook, Course_Textbook, Course, "
+       "Offering, Enrollment, Student "
+       "WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.course_id = Offering.course_id "
+       "AND Offering.offering_id = Enrollment.offering_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'"},
+
+      {"C8",
+       "Names of authors of textbooks used in courses Priya Patel enrolled "
+       "in.",
+       8,
+       "SELECT Author.name FROM Author, Textbook, Course_Textbook, Course, "
+       "Course_Offering, Section, Enrollment, Student "
+       "WHERE Author.author_id = Textbook.author_id "
+       "AND Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.course_id = Course_Offering.course_id "
+       "AND Course_Offering.offering_id = Section.offering_id "
+       "AND Section.section_id = Enrollment.section_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'",
+       "SELECT Textbook.author FROM Textbook, Course_Textbook, Course, "
+       "Offering, Enrollment, Student "
+       "WHERE Textbook.textbook_id = Course_Textbook.textbook_id "
+       "AND Course_Textbook.course_id = Course.course_id "
+       "AND Course.course_id = Offering.course_id "
+       "AND Offering.offering_id = Enrollment.offering_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Student.name = 'Priya Patel'"},
+
+      {"C9",
+       "Grade letters Priya Patel received in 2023 offerings of Database "
+       "Systems.",
+       7,
+       "SELECT Grade_Scale.letter FROM Grade_Scale, Enrollment, Student, "
+       "Section, Course_Offering, Course, Term "
+       "WHERE Grade_Scale.grade_id = Enrollment.grade_id "
+       "AND Enrollment.student_id = Student.student_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Student.name = 'Priya Patel' "
+       "AND Course.title = 'Database Systems' AND Term.term_year = 2023",
+       "SELECT Enrollment.grade FROM Enrollment, Student, Offering, Course "
+       "WHERE Enrollment.student_id = Student.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Student.name = 'Priya Patel' "
+       "AND Course.title = 'Database Systems' "
+       "AND Offering.term_year = 2023"},
+
+      {"C10",
+       "Names of female students with grade A in 2023 offerings of Computer "
+       "Science courses.",
+       8,
+       "SELECT Student.name FROM Student, Enrollment, Grade_Scale, Section, "
+       "Course_Offering, Term, Course, Department "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.grade_id = Grade_Scale.grade_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Student.gender = 'female' AND Grade_Scale.letter = 'A' "
+       "AND Term.term_year = 2023 AND Department.name = 'Computer Science'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course, "
+       "Department WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Student.gender = 'female' AND Enrollment.grade = 'A' "
+       "AND Offering.term_year = 2023 "
+       "AND Department.name = 'Computer Science'"},
+
+      {"C11",
+       "Names of students with grade A in 2023 Computer Science offerings "
+       "taught by Elena Rossi.",
+       10,
+       "SELECT Student.name FROM Student, Enrollment, Grade_Scale, Section, "
+       "Course_Offering, Term, Course, Department, Teaching, Instructor "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.grade_id = Grade_Scale.grade_id "
+       "AND Enrollment.section_id = Section.section_id "
+       "AND Section.offering_id = Course_Offering.offering_id "
+       "AND Course_Offering.term_id = Term.term_id "
+       "AND Course_Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Course_Offering.offering_id = Teaching.offering_id "
+       "AND Teaching.instructor_id = Instructor.instructor_id "
+       "AND Grade_Scale.letter = 'A' AND Term.term_year = 2023 "
+       "AND Department.name = 'Computer Science' "
+       "AND Instructor.name = 'Elena Rossi'",
+       "SELECT Student.name FROM Student, Enrollment, Offering, Course, "
+       "Department, Instructor "
+       "WHERE Student.student_id = Enrollment.student_id "
+       "AND Enrollment.offering_id = Offering.offering_id "
+       "AND Offering.course_id = Course.course_id "
+       "AND Course.dept_id = Department.dept_id "
+       "AND Offering.instructor_id = Instructor.instructor_id "
+       "AND Enrollment.grade = 'A' AND Offering.term_year = 2023 "
+       "AND Department.name = 'Computer Science' "
+       "AND Instructor.name = 'Elena Rossi'"},
+  };
+  return *kQueries;
+}
+
+}  // namespace sfsql::workloads

@@ -1,0 +1,54 @@
+#ifndef SFSQL_WORKLOADS_DATAGEN_H_
+#define SFSQL_WORKLOADS_DATAGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace sfsql::workloads {
+
+/// Seeded, FK-consistent synthetic data population for the evaluation schemas
+/// (the stand-in for the proprietary Yahoo-Movie and CourseRank data sets; see
+/// DESIGN.md §2). The translator only consults the data for condition
+/// satisfiability, so what matters is that
+///  * foreign keys reference existing rows,
+///  * name-like string attributes draw from realistic vocabulary pools, and
+///  * year/score-like numeric attributes cover plausible ranges.
+class DataGenerator {
+ public:
+  explicit DataGenerator(uint64_t seed) : state_(seed ? seed : 1) {}
+
+  /// Fills every relation of `db` with `rows_per_relation` tuples (overridable
+  /// per relation via `overrides` keyed by relation name). Relations are
+  /// populated in FK-dependency order; single-column integer primary keys are
+  /// sequential, composite keys are de-duplicated random FK combinations.
+  Status Populate(storage::Database* db, int rows_per_relation,
+                  const std::map<std::string, int>& overrides = {});
+
+  /// Injects a specific well-known tuple by (attribute -> value) map — used by
+  /// workloads to plant the entities their queries mention (e.g. a person
+  /// named "James Cameron"). Unspecified attributes are generated (foreign
+  /// keys reference existing rows). Returns the inserted row so callers can
+  /// link junction tuples to its primary key.
+  Result<storage::Row> Plant(storage::Database* db, std::string_view relation,
+                             const std::map<std::string, storage::Value>& values);
+
+  /// Deterministic value for an attribute, chosen by name heuristics: word
+  /// pools for *name*/*title*-ish strings, 1950-2024 for *year*-ish ints,
+  /// 0-100 scores, small ints otherwise.
+  storage::Value ValueFor(const catalog::Attribute& attr, int64_t row_index);
+
+ private:
+  uint64_t Next();
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  uint64_t state_;
+};
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_DATAGEN_H_

@@ -1,0 +1,140 @@
+#include "workloads/deriver.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/macros.h"
+#include "common/strings.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace sfsql::workloads {
+
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectStatement;
+
+namespace {
+
+void Conjuncts(ExprPtr e, std::vector<ExprPtr>& out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kBinary && e->bop == sql::BinaryOp::kAnd) {
+    Conjuncts(std::move(e->lhs), out);
+    Conjuncts(std::move(e->rhs), out);
+    return;
+  }
+  out.push_back(std::move(e));
+}
+
+Status DeriveBlock(const catalog::Catalog& catalog, SelectStatement& stmt) {
+  // Binding -> relation id for this block.
+  std::map<std::string, int> binding_to_rel;
+  for (const sql::TableRef& ref : stmt.from) {
+    if (!ref.relation.exact()) {
+      return Status::InvalidArgument("gold SQL must be fully specified");
+    }
+    SFSQL_ASSIGN_OR_RETURN(int rel, catalog.FindRelation(ref.relation.name));
+    binding_to_rel[ToLower(ref.BindingName())] = rel;
+  }
+
+  // Split WHERE and identify FK-PK join conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  Conjuncts(std::move(stmt.where), conjuncts);
+  auto resolve = [&](const Expr& col) -> std::pair<int, int> {
+    if (!col.relation.exact()) return {-1, -1};
+    auto it = binding_to_rel.find(ToLower(col.relation.name));
+    if (it == binding_to_rel.end()) return {-1, -1};
+    int attr = catalog.relation(it->second).AttributeIndex(col.attribute.name);
+    return {it->second, attr};
+  };
+  auto is_fk_join = [&](const Expr& e) {
+    if (e.kind != ExprKind::kBinary || e.bop != sql::BinaryOp::kEq ||
+        e.lhs->kind != ExprKind::kColumnRef ||
+        e.rhs->kind != ExprKind::kColumnRef) {
+      return false;
+    }
+    auto [ra, aa] = resolve(*e.lhs);
+    auto [rb, ab] = resolve(*e.rhs);
+    if (ra < 0 || rb < 0 || aa < 0 || ab < 0) return false;
+    for (int f = 0; f < catalog.num_foreign_keys(); ++f) {
+      const catalog::ForeignKey& fk = catalog.foreign_key(f);
+      if ((fk.from_relation == ra && fk.from_attribute == aa &&
+           fk.to_relation == rb && fk.to_attribute == ab) ||
+          (fk.from_relation == rb && fk.from_attribute == ab &&
+           fk.to_relation == ra && fk.to_attribute == aa)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<ExprPtr> retained;
+  for (ExprPtr& c : conjuncts) {
+    if (!is_fk_join(*c)) retained.push_back(std::move(c));
+  }
+
+  // End relations: bindings referenced by any retained (non-join) column.
+  std::set<std::string> end_bindings;
+  std::function<void(Expr&)> mark = [&](Expr& e) {
+    if (e.kind == ExprKind::kColumnRef || e.kind == ExprKind::kStar) {
+      if (e.relation.exact() &&
+          binding_to_rel.count(ToLower(e.relation.name)) > 0) {
+        end_bindings.insert(ToLower(e.relation.name));
+      } else if (!e.relation.specified() && e.attribute.exact()) {
+        // Unqualified: attribute's unique owner among the FROM relations.
+        std::string owner;
+        for (const auto& [binding, rel] : binding_to_rel) {
+          if (catalog.relation(rel).AttributeIndex(e.attribute.name) >= 0) {
+            owner = owner.empty() ? binding : owner;
+          }
+        }
+        if (!owner.empty()) end_bindings.insert(owner);
+      }
+    }
+    if (e.lhs) mark(*e.lhs);
+    if (e.rhs) mark(*e.rhs);
+    for (ExprPtr& a : e.args) mark(*a);
+    if (e.subquery) {
+      // Recurse into the inner block on its own terms.
+      (void)DeriveBlock(catalog, *e.subquery);
+    }
+  };
+  for (sql::SelectItem& item : stmt.select_items) mark(*item.expr);
+  for (ExprPtr& c : retained) mark(*c);
+  for (ExprPtr& g : stmt.group_by) mark(*g);
+  if (stmt.having) mark(*stmt.having);
+  for (sql::OrderItem& o : stmt.order_by) mark(*o.expr);
+
+  // FROM keeps only end relations.
+  std::vector<sql::TableRef> kept;
+  for (sql::TableRef& ref : stmt.from) {
+    if (end_bindings.count(ToLower(ref.BindingName())) > 0) {
+      kept.push_back(std::move(ref));
+    }
+  }
+  stmt.from = std::move(kept);
+
+  // Rebuild WHERE from the retained conjuncts.
+  ExprPtr where;
+  for (ExprPtr& c : retained) {
+    where = where ? Expr::Binary(sql::BinaryOp::kAnd, std::move(where),
+                                 std::move(c))
+                  : std::move(c);
+  }
+  stmt.where = std::move(where);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> DeriveSchemaFree(const catalog::Catalog& catalog,
+                                     std::string_view gold_sql) {
+  SFSQL_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(gold_sql));
+  SFSQL_RETURN_IF_ERROR(DeriveBlock(catalog, *stmt));
+  return sql::PrintSelect(*stmt);
+}
+
+}  // namespace sfsql::workloads

@@ -1,0 +1,27 @@
+#ifndef SFSQL_WORKLOADS_DERIVER_H_
+#define SFSQL_WORKLOADS_DERIVER_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace sfsql::workloads {
+
+/// Mechanically derives a Schema-free SQL query from gold full SQL, exactly as
+/// §7.3 generated the course query set:
+///  * every FK-PK join predicate in WHERE is deleted,
+///  * FROM keeps only the *end relations* — relations referenced by some
+///    non-join column (selection or projection); intermediate relations that
+///    exist purely to route the join path disappear,
+///  * everything else (clauses, conditions, qualifications) is untouched.
+///
+/// The result is what a user who can express selections and projections but
+/// not join paths would write. Nested blocks are processed recursively.
+Result<std::string> DeriveSchemaFree(const catalog::Catalog& catalog,
+                                     std::string_view gold_sql);
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_DERIVER_H_

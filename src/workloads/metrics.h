@@ -1,0 +1,60 @@
+#ifndef SFSQL_WORKLOADS_METRICS_H_
+#define SFSQL_WORKLOADS_METRICS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "core/engine.h"
+#include "storage/database.h"
+
+namespace sfsql::workloads {
+
+/// Information-unit costs (§7.1). A schema element (relation or attribute
+/// name) is one information unit; approximately specified elements count as a
+/// full unit (the paper's deliberate overestimate of Schema-free SQL's cost).
+///
+/// The three interface models measured:
+///  * Schema-free SQL — the user types only the names they guess: cost is the
+///    number of *distinct* schema-element names mentioned (Example 11 counts
+///    the Fig. 2 query as 6: actor, gender, name, director_name, year,
+///    produce_company). ?x / ? placeholders convey no schema name and cost 0.
+///  * Full SQL — the user types every relation mention in FROM and every
+///    attribute mention everywhere, join conditions included.
+///  * Visual query builder (GUI) — the user drags every relation of the join
+///    network and fills in the selection/projection attributes; join columns
+///    are completed by the tool.
+struct InfoUnitCosts {
+  double sfsql = 0;
+  double gui = 0;
+  double full_sql = 0;
+};
+
+/// Distinct schema-element names mentioned in a schema-free query
+/// (subqueries included).
+Result<int> SchemaFreeInfoUnits(std::string_view sfsql);
+
+/// Total schema-element mentions in full SQL: one per FROM item plus one per
+/// column reference (subqueries included).
+Result<int> FullSqlInfoUnits(std::string_view sql);
+
+/// GUI cost for the gold query: FROM mentions plus non-join column mentions
+/// (FK-PK join predicates are excluded — the builder completes them).
+Result<int> GuiInfoUnits(const catalog::Catalog& catalog, std::string_view sql);
+
+/// The structural reading of a gold query's outermost block: its relation
+/// multiset and FK-join multiset — the reference the translator must hit.
+Result<core::NetworkSummary> AnalyzeGold(const catalog::Catalog& catalog,
+                                         std::string_view gold_sql);
+
+/// Effectiveness judgment: the translation is correct when its join network
+/// matches the gold query's (relation and FK multisets) and, as a semantic
+/// backstop, both produce identical result rows on `db`.
+Result<bool> TranslationMatchesGold(const storage::Database& db,
+                                    const core::Translation& translation,
+                                    std::string_view gold_sql);
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_METRICS_H_

@@ -1,0 +1,300 @@
+#include "workloads/movie43.h"
+
+#include "common/macros.h"
+#include "workloads/datagen.h"
+#include "workloads/schema_builder.h"
+
+namespace sfsql::workloads {
+
+using storage::Database;
+using storage::Row;
+using storage::Value;
+
+namespace {
+
+catalog::Catalog BuildMovie43Catalog() {
+  SchemaBuilder b;
+  // Entity relations.
+  b.Rel("Person", "person_id:int*, name:str, gender:str, birth_year:int, "
+                  "birth_country_id:int");
+  b.Rel("Movie", "movie_id:int*, title:str, release_year:int, runtime:int, "
+                 "budget:int, sequel_of:int, primary_language_id:int");
+  b.Rel("Company", "company_id:int*, name:str, founded_year:int, country_id:int");
+  b.Rel("Genre", "genre_id:int*, name:str, parent_genre_id:int");
+  b.Rel("Country", "country_id:int*, name:str");
+  b.Rel("Language", "language_id:int*, name:str");
+  b.Rel("Award", "award_id:int*, name:str, category:str");
+  b.Rel("Keyword", "keyword_id:int*, word:str");
+  b.Rel("Reviewer", "reviewer_id:int*, nickname:str, join_year:int, "
+                    "country_id:int, favorite_genre_id:int");
+  b.Rel("Location", "location_id:int*, city:str, country_id:int");
+  b.Rel("Studio", "studio_id:int*, name:str, company_id:int");
+  b.Rel("Series", "series_id:int*, name:str, company_id:int");
+  b.Rel("Film_Character", "character_id:int*, name:str");
+  b.Rel("Rating_Source", "source_id:int*, name:str");
+  b.Rel("Certification", "cert_id:int*, label:str, country_id:int");
+
+  // Role relations (Person x Movie).
+  b.Rel("Actor", "person_id:int*, movie_id:int*");
+  b.Rel("Director", "person_id:int*, movie_id:int*");
+  b.Rel("Producer", "person_id:int*, movie_id:int*");
+  b.Rel("Writer", "person_id:int*, movie_id:int*");
+  b.Rel("Cinematographer", "person_id:int*, movie_id:int*");
+  b.Rel("Film_Composer", "person_id:int*, movie_id:int*");
+  b.Rel("Editor", "person_id:int*, movie_id:int*");
+
+  // Company involvement.
+  b.Rel("Movie_Producer", "movie_id:int*, company_id:int*");
+  b.Rel("Movie_Distributor", "movie_id:int*, company_id:int*");
+  b.Rel("Movie_Financer", "movie_id:int*, company_id:int*");
+
+  // Movie attributes spread by normalization.
+  b.Rel("Movie_Genre", "movie_id:int*, genre_id:int*");
+  b.Rel("Movie_Country", "movie_id:int*, country_id:int*");
+  b.Rel("Movie_Language", "movie_id:int*, language_id:int*");
+  b.Rel("Movie_Award", "movie_id:int*, award_id:int*, award_year:int, "
+                       "result:str");
+  b.Rel("Person_Award", "person_id:int*, award_id:int*, award_year:int, "
+                        "result:str");
+  b.Rel("Movie_Keyword", "movie_id:int*, keyword_id:int*");
+  b.Rel("Review", "review_id:int*, reviewer_id:int, movie_id:int, score:double, "
+                  "review_year:int");
+  b.Rel("Movie_Location", "movie_id:int*, location_id:int*");
+  b.Rel("Movie_Studio", "movie_id:int*, studio_id:int*");
+  b.Rel("Movie_Series", "movie_id:int*, series_id:int*, sequence_number:int");
+  b.Rel("Cast_Character", "person_id:int*, movie_id:int*, character_id:int*");
+  b.Rel("Trailer", "trailer_id:int*, movie_id:int, duration:int, "
+                   "language_id:int");
+  b.Rel("Poster", "poster_id:int*, movie_id:int, width:int, height:int");
+  b.Rel("Movie_Rating", "movie_id:int*, source_id:int*, score:double, "
+                        "votes:int");
+  b.Rel("Movie_Certification", "movie_id:int*, cert_id:int*, country_id:int*");
+  b.Rel("Soundtrack", "track_id:int*, movie_id:int, title:str, "
+                      "composer_person_id:int, language_id:int");
+  b.Rel("Box_Office", "movie_id:int*, country_id:int*, gross:int, "
+                      "distributor_company_id:int");
+  b.Rel("Movie_Release", "release_id:int*, movie_id:int, country_id:int, "
+                         "release_date:str, cert_id:int");
+
+  // 71 FK-PK pairs.
+  b.Fk("Person.birth_country_id", "Country.country_id");        // 1
+  b.Fk("Movie.sequel_of", "Movie.movie_id");                    // 2
+  b.Fk("Movie.primary_language_id", "Language.language_id");    // 3
+  b.Fk("Company.country_id", "Country.country_id");             // 4
+  b.Fk("Genre.parent_genre_id", "Genre.genre_id");              // 5
+  b.Fk("Reviewer.country_id", "Country.country_id");            // 6
+  b.Fk("Location.country_id", "Country.country_id");            // 7
+  b.Fk("Studio.company_id", "Company.company_id");              // 8
+  b.Fk("Series.company_id", "Company.company_id");              // 9
+  b.Fk("Certification.country_id", "Country.country_id");       // 10
+  b.Fk("Actor.person_id", "Person.person_id");                  // 11
+  b.Fk("Actor.movie_id", "Movie.movie_id");                     // 12
+  b.Fk("Director.person_id", "Person.person_id");               // 13
+  b.Fk("Director.movie_id", "Movie.movie_id");                  // 14
+  b.Fk("Producer.person_id", "Person.person_id");               // 15
+  b.Fk("Producer.movie_id", "Movie.movie_id");                  // 16
+  b.Fk("Writer.person_id", "Person.person_id");                 // 17
+  b.Fk("Writer.movie_id", "Movie.movie_id");                    // 18
+  b.Fk("Cinematographer.person_id", "Person.person_id");        // 19
+  b.Fk("Cinematographer.movie_id", "Movie.movie_id");           // 20
+  b.Fk("Film_Composer.person_id", "Person.person_id");          // 21
+  b.Fk("Film_Composer.movie_id", "Movie.movie_id");             // 22
+  b.Fk("Editor.person_id", "Person.person_id");                 // 23
+  b.Fk("Editor.movie_id", "Movie.movie_id");                    // 24
+  b.Fk("Movie_Producer.movie_id", "Movie.movie_id");            // 25
+  b.Fk("Movie_Producer.company_id", "Company.company_id");      // 26
+  b.Fk("Movie_Distributor.movie_id", "Movie.movie_id");         // 27
+  b.Fk("Movie_Distributor.company_id", "Company.company_id");   // 28
+  b.Fk("Movie_Financer.movie_id", "Movie.movie_id");            // 29
+  b.Fk("Movie_Financer.company_id", "Company.company_id");      // 30
+  b.Fk("Movie_Genre.movie_id", "Movie.movie_id");               // 31
+  b.Fk("Movie_Genre.genre_id", "Genre.genre_id");               // 32
+  b.Fk("Movie_Country.movie_id", "Movie.movie_id");             // 33
+  b.Fk("Movie_Country.country_id", "Country.country_id");       // 34
+  b.Fk("Movie_Language.movie_id", "Movie.movie_id");            // 35
+  b.Fk("Movie_Language.language_id", "Language.language_id");   // 36
+  b.Fk("Movie_Award.movie_id", "Movie.movie_id");               // 37
+  b.Fk("Movie_Award.award_id", "Award.award_id");               // 38
+  b.Fk("Person_Award.person_id", "Person.person_id");           // 39
+  b.Fk("Person_Award.award_id", "Award.award_id");              // 40
+  b.Fk("Movie_Keyword.movie_id", "Movie.movie_id");             // 41
+  b.Fk("Movie_Keyword.keyword_id", "Keyword.keyword_id");       // 42
+  b.Fk("Review.reviewer_id", "Reviewer.reviewer_id");           // 43
+  b.Fk("Review.movie_id", "Movie.movie_id");                    // 44
+  b.Fk("Movie_Location.movie_id", "Movie.movie_id");            // 45
+  b.Fk("Movie_Location.location_id", "Location.location_id");   // 46
+  b.Fk("Movie_Studio.movie_id", "Movie.movie_id");              // 47
+  b.Fk("Movie_Studio.studio_id", "Studio.studio_id");           // 48
+  b.Fk("Movie_Series.movie_id", "Movie.movie_id");              // 49
+  b.Fk("Movie_Series.series_id", "Series.series_id");           // 50
+  b.Fk("Cast_Character.person_id", "Person.person_id");         // 51
+  b.Fk("Cast_Character.movie_id", "Movie.movie_id");            // 52
+  b.Fk("Cast_Character.character_id", "Film_Character.character_id");  // 53
+  b.Fk("Trailer.movie_id", "Movie.movie_id");                   // 54
+  b.Fk("Trailer.language_id", "Language.language_id");          // 55
+  b.Fk("Poster.movie_id", "Movie.movie_id");                    // 56
+  b.Fk("Movie_Rating.movie_id", "Movie.movie_id");              // 57
+  b.Fk("Movie_Rating.source_id", "Rating_Source.source_id");    // 58
+  b.Fk("Movie_Certification.movie_id", "Movie.movie_id");       // 59
+  b.Fk("Movie_Certification.cert_id", "Certification.cert_id"); // 60
+  b.Fk("Movie_Certification.country_id", "Country.country_id"); // 61
+  b.Fk("Soundtrack.movie_id", "Movie.movie_id");                // 62
+  b.Fk("Soundtrack.composer_person_id", "Person.person_id");    // 63
+  b.Fk("Soundtrack.language_id", "Language.language_id");       // 64
+  b.Fk("Box_Office.movie_id", "Movie.movie_id");                // 65
+  b.Fk("Box_Office.country_id", "Country.country_id");          // 66
+  b.Fk("Box_Office.distributor_company_id", "Company.company_id");  // 67
+  b.Fk("Movie_Release.movie_id", "Movie.movie_id");             // 68
+  b.Fk("Movie_Release.country_id", "Country.country_id");       // 69
+  b.Fk("Movie_Release.cert_id", "Certification.cert_id");       // 70
+  b.Fk("Reviewer.favorite_genre_id", "Genre.genre_id");         // 71
+  return b.Build();
+}
+
+}  // namespace
+
+std::unique_ptr<Database> BuildMovie43(uint64_t seed, int rows_per_relation) {
+  auto db = std::make_unique<Database>(BuildMovie43Catalog());
+  SFSQL_CHECK(db->catalog().num_relations() == kMovie43Relations);
+  SFSQL_CHECK(db->catalog().num_foreign_keys() == kMovie43ForeignKeys);
+
+  DataGenerator gen(seed);
+  SFSQL_CHECK(gen.Populate(db.get(), rows_per_relation).ok());
+
+  auto S = [](const char* s) { return Value::String(s); };
+  auto I = [](int64_t v) { return Value::Int(v); };
+  auto plant = [&](std::string_view rel,
+                   std::map<std::string, Value> values) -> Row {
+    Result<Row> row = gen.Plant(db.get(), rel, values);
+    SFSQL_CHECK(row.ok());
+    return *row;
+  };
+
+  // --- People ---
+  auto person = [&](const char* name, const char* gender) {
+    return plant("Person", {{"name", S(name)}, {"gender", S(gender)}})[0];
+  };
+  Value cameron = person("James Cameron", "male");
+  Value hanks = person("Tom Hanks", "male");
+  Value jackson = person("Peter Jackson", "male");
+  Value spielberg = person("Steven Spielberg", "male");
+  Value allen = person("Woody Allen", "male");
+  Value jaziri = person("Fahdel Jaziri", "male");
+  Value gaghan = person("Stephen Gaghan", "male");
+  Value dicaprio = person("Leonardo DiCaprio", "male");
+  Value winslet = person("Kate Winslet", "female");
+  Value johansson = person("Scarlett Johansson", "female");
+  Value williams = person("John Williams", "male");
+
+  // --- Companies, genres, sources ---
+  auto company = [&](const char* name) {
+    return plant("Company", {{"name", S(name)}})[0];
+  };
+  Value fox = company("20th Century Fox");
+  Value carthago = company("Carthago Films");
+  Value apollo = company("Apollo Films");
+  Value llc = company("LLC");
+  Value dream = company("DreamPictures");
+
+  Value drama = plant("Genre", {{"name", S("Drama")}})[0];
+  Value action_adv = plant("Genre", {{"name", S("Action Adventure")}})[0];
+  Value imdb = plant("Rating_Source", {{"name", S("IMDb")}})[0];
+  Value kyoto = plant("Location", {{"city", S("Kyoto")}})[0];
+  Value oscar =
+      plant("Award", {{"name", S("Academy Award")}, {"category", S("Best Actor")}})[0];
+  Value critic = plant("Reviewer", {{"nickname", S("moviebuff99")}})[0];
+
+  // --- Movies with their role/company/genre links ---
+  auto movie = [&](const char* title, int64_t year) {
+    return plant("Movie", {{"title", S(title)}, {"release_year", I(year)}})[0];
+  };
+  auto link2 = [&](const char* rel, const char* a_name, Value a,
+                   const char* b_name, Value b) {
+    plant(rel, {{a_name, a}, {b_name, b}});
+  };
+  auto directs = [&](Value p, Value m) {
+    link2("Director", "person_id", p, "movie_id", m);
+  };
+  auto acts = [&](Value p, Value m) {
+    link2("Actor", "person_id", p, "movie_id", m);
+  };
+  auto produced_by = [&](Value m, Value c) {
+    link2("Movie_Producer", "movie_id", m, "company_id", c);
+  };
+  auto distributed_by = [&](Value m, Value c) {
+    link2("Movie_Distributor", "movie_id", m, "company_id", c);
+  };
+  auto financed_by = [&](Value m, Value c) {
+    link2("Movie_Financer", "movie_id", m, "company_id", c);
+  };
+  auto has_genre = [&](Value m, Value g) {
+    link2("Movie_Genre", "movie_id", m, "genre_id", g);
+  };
+
+  Value titanic = movie("Titanic", 1997);
+  directs(cameron, titanic);
+  acts(dicaprio, titanic);
+  acts(winslet, titanic);
+  acts(hanks, titanic);
+  produced_by(titanic, fox);
+  has_genre(titanic, drama);
+  plant("Movie_Rating", {{"movie_id", titanic},
+                         {"source_id", imdb},
+                         {"score", Value::Double(8.5)},
+                         {"votes", I(900000)}});
+  plant("Movie_Location", {{"movie_id", titanic}, {"location_id", kyoto}});
+  plant("Soundtrack", {{"movie_id", titanic},
+                       {"title", S("My Heart Will Go On")},
+                       {"composer_person_id", williams}});
+  plant("Review", {{"reviewer_id", critic},
+                   {"movie_id", titanic},
+                   {"score", Value::Double(9.0)},
+                   {"review_year", I(1998)}});
+
+  Value avatar = movie("Avatar", 2009);
+  directs(cameron, avatar);
+  acts(winslet, avatar);
+  produced_by(avatar, fox);
+
+  Value catch_me = movie("Catch Me If You Can", 2002);
+  directs(spielberg, catch_me);
+  acts(dicaprio, catch_me);
+  acts(hanks, catch_me);
+  produced_by(catch_me, dream);
+  has_genre(catch_me, drama);
+
+  Value lovely_bones = movie("The Lovely Bones", 2009);
+  directs(jackson, lovely_bones);
+  has_genre(lovely_bones, drama);
+
+  Value dancing_dust = movie("Dancing Dust", 2005);
+  directs(jaziri, dancing_dust);
+  produced_by(dancing_dust, carthago);
+  distributed_by(dancing_dust, apollo);
+
+  Value syriana = movie("Syriana", 2005);
+  directs(gaghan, syriana);
+  has_genre(syriana, drama);
+  financed_by(syriana, llc);
+
+  // Woody Allen's four Action Adventure movies, all with Scarlett Johansson —
+  // feeds the HAVING count(*) > 3 query (S5).
+  const char* allen_titles[] = {"Night Circus", "Night Circus Returns",
+                                "Night Circus Forever", "Night Circus Finale"};
+  for (int i = 0; i < 4; ++i) {
+    Value m = movie(allen_titles[i], 2004 + i);
+    directs(allen, m);
+    acts(johansson, m);
+    has_genre(m, action_adv);
+  }
+
+  // Tom Hanks' Academy Award, for the award queries.
+  plant("Person_Award", {{"person_id", hanks},
+                         {"award_id", oscar},
+                         {"award_year", I(1994)},
+                         {"result", S("won")}});
+
+  return db;
+}
+
+}  // namespace sfsql::workloads

@@ -1,0 +1,52 @@
+#ifndef SFSQL_WORKLOADS_MOVIE43_H_
+#define SFSQL_WORKLOADS_MOVIE43_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace sfsql::workloads {
+
+/// A benchmark query: the user-facing intent, the schema-free SQL a user
+/// would write, and the gold full SQL it must translate to.
+struct BenchQuery {
+  std::string id;           ///< "T1".."T17" (textbook) or "S1".."S6" (Fig. 14)
+  std::string description;  ///< natural-language intent
+  std::string sfsql;        ///< schema-free SQL
+  std::string gold_sql;     ///< the correct full SQL
+};
+
+/// Number of relations (43) and FK-PK pairs (71) in the synthetic Yahoo-Movie
+/// stand-in, matching the counts the paper reports for the real database.
+inline constexpr int kMovie43Relations = 43;
+inline constexpr int kMovie43ForeignKeys = 71;
+
+/// Builds the 43-relation movie database with `rows_per_relation` generated
+/// tuples per relation (seeded) plus a planted cluster of the entities the
+/// benchmark queries mention (James Cameron, 20th Century Fox, Drama, ...).
+std::unique_ptr<storage::Database> BuildMovie43(uint64_t seed = 42,
+                                                int rows_per_relation = 60);
+
+/// The 17 textbook-style queries of §7.2 / Fig. 13: single-relation queries,
+/// multi-relation joins, nested subqueries, and aggregations, written in the
+/// style of the Ullman–Widom exercises (the originals are not redistributable)
+/// with schema-free versions produced by the paper's preprocessing (join paths
+/// and FROM relations deleted, column names merged with guessed relation
+/// names).
+const std::vector<BenchQuery>& TextbookQueries();
+
+/// The six sophisticated queries of Fig. 14 (join paths over more than five
+/// relations), with the canonical schema-free phrasing.
+const std::vector<BenchQuery>& SophisticatedQueries();
+
+/// Five simulated users' schema-free phrasings of sophisticated query
+/// `query_index` (0-5): different synonym choices, qualification habits, and
+/// verbosity, standing in for the paper's five recruited students.
+std::vector<std::string> UserVariants(int query_index);
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_MOVIE43_H_

@@ -1,0 +1,342 @@
+#include "workloads/movie43.h"
+
+namespace sfsql::workloads {
+
+// The 17 textbook-style queries (Fig. 13's workload). Gold SQL is against the
+// 43-relation schema of movie43.cc; the schema-free versions follow the
+// paper's preprocessing (join paths and FROM deleted, column names merged with
+// guessed relation names) and are what a SQL-literate user without schema
+// knowledge would plausibly type.
+const std::vector<BenchQuery>& TextbookQueries() {
+  static const std::vector<BenchQuery>* const kQueries = new std::vector<
+      BenchQuery>{
+      {"T1", "Titles of movies released after 2000.",
+       "SELECT title? WHERE year? > 2000",
+       "SELECT title FROM Movie WHERE release_year > 2000"},
+
+      {"T2", "Names of female persons.",
+       "SELECT name? WHERE gender? = 'female'",
+       "SELECT name FROM Person WHERE gender = 'female'"},
+
+      {"T3", "Titles of Drama movies.",
+       "SELECT movie?.title? WHERE genre? = 'Drama'",
+       "SELECT Movie.title FROM Movie, Movie_Genre, Genre "
+       "WHERE Movie.movie_id = Movie_Genre.movie_id "
+       "AND Movie_Genre.genre_id = Genre.genre_id AND Genre.name = 'Drama'"},
+
+      {"T4", "Names of the directors of Titanic.",
+       "SELECT director?.name? WHERE title? = 'Titanic'",
+       "SELECT Person.name FROM Person, Director, Movie "
+       "WHERE Person.person_id = Director.person_id "
+       "AND Director.movie_id = Movie.movie_id AND Movie.title = 'Titanic'"},
+
+      {"T5", "Number of movies per genre.",
+       "SELECT genre?.name?, count(movie_id?) GROUP BY genre?.name?",
+       "SELECT Genre.name, count(Movie_Genre.movie_id) FROM Genre, Movie_Genre "
+       "WHERE Genre.genre_id = Movie_Genre.genre_id GROUP BY Genre.name"},
+
+      {"T6", "Average runtime of movies released after 2000.",
+       "SELECT avg(runtime?) WHERE year? > 2000",
+       "SELECT avg(runtime) FROM Movie WHERE release_year > 2000"},
+
+      {"T7", "Titles of movies reviewer moviebuff99 scored above 8.",
+       "SELECT title? WHERE score? > 8.0 AND nickname? = 'moviebuff99'",
+       "SELECT Movie.title FROM Movie, Review, Reviewer "
+       "WHERE Movie.movie_id = Review.movie_id "
+       "AND Review.reviewer_id = Reviewer.reviewer_id "
+       "AND Reviewer.nickname = 'moviebuff99' AND Review.score > 8.0"},
+
+      {"T8", "Names of people who acted in a 2002 movie directed by Steven "
+             "Spielberg.",
+       "SELECT actor?.name? WHERE director_name? = 'Steven Spielberg' "
+       "AND year? = 2002",
+       "SELECT P1.name FROM Person AS P1, Actor, Movie, Director, Person AS P2 "
+       "WHERE P1.person_id = Actor.person_id "
+       "AND Actor.movie_id = Movie.movie_id "
+       "AND Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = P2.person_id "
+       "AND P2.name = 'Steven Spielberg' AND Movie.release_year = 2002"},
+
+      {"T9", "Names of people who never acted.",
+       "SELECT name? FROM Person WHERE NOT EXISTS (SELECT * FROM actor? WHERE "
+       "actor?.person_id? = Person.person_id)",
+       "SELECT name FROM Person WHERE NOT EXISTS (SELECT * FROM Actor WHERE "
+       "Actor.person_id = Person.person_id)"},
+
+      {"T10", "Title of the most recent movie.",
+       "SELECT movie?.title? WHERE movie?.year? = (SELECT max(movie?.year?))",
+       "SELECT title FROM Movie WHERE release_year = "
+       "(SELECT max(release_year) FROM Movie)"},
+
+      {"T11", "Number of awards of Tom Hanks.",
+       "SELECT count(award?.name?) WHERE person_name? = 'Tom Hanks'",
+       "SELECT count(Award.name) FROM Award, Person_Award, Person "
+       "WHERE Award.award_id = Person_Award.award_id "
+       "AND Person_Award.person_id = Person.person_id "
+       "AND Person.name = 'Tom Hanks'"},
+
+      {"T12", "Companies that produced more than 2 movies.",
+       "SELECT produce_company?.name? GROUP BY produce_company?.name? "
+       "HAVING count(movie_id?) > 2",
+       "SELECT Company.name FROM Company, Movie_Producer "
+       "WHERE Company.company_id = Movie_Producer.company_id "
+       "GROUP BY Company.name HAVING count(Movie_Producer.movie_id) > 2"},
+
+      {"T13", "Reviewer nicknames and scores of the reviews of Titanic.",
+       "SELECT reviewer?.nickname?, review?.score? "
+       "WHERE movie_title? = 'Titanic'",
+       "SELECT Reviewer.nickname, Review.score FROM Reviewer, Review, Movie "
+       "WHERE Reviewer.reviewer_id = Review.reviewer_id "
+       "AND Review.movie_id = Movie.movie_id AND Movie.title = 'Titanic'"},
+
+      {"T14", "Titles of movies filmed in Kyoto.",
+       "SELECT title? WHERE city? = 'Kyoto'",
+       "SELECT Movie.title FROM Movie, Movie_Location, Location "
+       "WHERE Movie.movie_id = Movie_Location.movie_id "
+       "AND Movie_Location.location_id = Location.location_id "
+       "AND Location.city = 'Kyoto'"},
+
+      {"T15", "Soundtrack titles of Titanic.",
+       "SELECT soundtrack?.title? WHERE movie_title? = 'Titanic'",
+       "SELECT Soundtrack.title FROM Soundtrack, Movie "
+       "WHERE Soundtrack.movie_id = Movie.movie_id "
+       "AND Movie.title = 'Titanic'"},
+
+      {"T16", "Distinct genres of movies with Leonardo DiCaprio.",
+       "SELECT DISTINCT genre?.name? WHERE actor_name? = 'Leonardo DiCaprio'",
+       "SELECT DISTINCT Genre.name FROM Genre, Movie_Genre, Movie, Actor, "
+       "Person WHERE Genre.genre_id = Movie_Genre.genre_id "
+       "AND Movie_Genre.movie_id = Movie.movie_id "
+       "AND Movie.movie_id = Actor.movie_id "
+       "AND Actor.person_id = Person.person_id "
+       "AND Person.name = 'Leonardo DiCaprio'"},
+
+      {"T17", "Number of male actors in 20th Century Fox movies between 1995 "
+              "and 2005.",
+       "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' "
+       "AND produce_company? = '20th Century Fox' "
+       "AND year? BETWEEN 1995 AND 2005",
+       "SELECT count(P.name) FROM Person AS P, Actor, Movie, Movie_Producer, "
+       "Company WHERE P.person_id = Actor.person_id "
+       "AND Actor.movie_id = Movie.movie_id "
+       "AND Movie.movie_id = Movie_Producer.movie_id "
+       "AND Movie_Producer.company_id = Company.company_id "
+       "AND P.gender = 'male' AND Company.name = '20th Century Fox' "
+       "AND Movie.release_year BETWEEN 1995 AND 2005"},
+  };
+  return *kQueries;
+}
+
+// The six sophisticated queries of Fig. 14 (join paths over five or more
+// relations), phrased as in the paper.
+const std::vector<BenchQuery>& SophisticatedQueries() {
+  static const std::vector<BenchQuery>* const kQueries = new std::vector<
+      BenchQuery>{
+      {"S1",
+       "Male actors cooperated with director James Cameron in the movies "
+       "produced by company 20th Century Fox from 1995 to 2010.",
+       "SELECT actor?.name? WHERE actor?.gender? = 'male' "
+       "AND director_name? = 'James Cameron' "
+       "AND produce_company? = '20th Century Fox' "
+       "AND year? > 1995 AND year? < 2010",
+       "SELECT P1.name FROM Person AS P1, Person AS P2, Actor, Director, "
+       "Movie, Movie_Producer, Company "
+       "WHERE P1.person_id = Actor.person_id "
+       "AND Actor.movie_id = Movie.movie_id "
+       "AND Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = P2.person_id "
+       "AND Movie.movie_id = Movie_Producer.movie_id "
+       "AND Movie_Producer.company_id = Company.company_id "
+       "AND P1.gender = 'male' AND P2.name = 'James Cameron' "
+       "AND Company.name = '20th Century Fox' "
+       "AND Movie.release_year > 1995 AND Movie.release_year < 2010"},
+
+      {"S2", "Movies with genre Drama and director Peter Jackson.",
+       "SELECT movie?.title? WHERE genre? = 'Drama' "
+       "AND director_name? = 'Peter Jackson'",
+       "SELECT Movie.title FROM Movie, Movie_Genre, Genre, Director, Person "
+       "WHERE Movie.movie_id = Movie_Genre.movie_id "
+       "AND Movie_Genre.genre_id = Genre.genre_id "
+       "AND Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = Person.person_id "
+       "AND Genre.name = 'Drama' AND Person.name = 'Peter Jackson'"},
+
+      {"S3",
+       "Movies produced by company Carthago Films, distributed by company "
+       "Apollo Films, and directed by director Fahdel Jaziri.",
+       "SELECT movie?.title? WHERE produce_company? = 'Carthago Films' "
+       "AND distribute_company? = 'Apollo Films' "
+       "AND director_name? = 'Fahdel Jaziri'",
+       "SELECT Movie.title FROM Movie, Movie_Producer, Company AS C1, "
+       "Movie_Distributor, Company AS C2, Director, Person "
+       "WHERE Movie.movie_id = Movie_Producer.movie_id "
+       "AND Movie_Producer.company_id = C1.company_id "
+       "AND Movie.movie_id = Movie_Distributor.movie_id "
+       "AND Movie_Distributor.company_id = C2.company_id "
+       "AND Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = Person.person_id "
+       "AND C1.name = 'Carthago Films' AND C2.name = 'Apollo Films' "
+       "AND Person.name = 'Fahdel Jaziri'"},
+
+      {"S4",
+       "The number of movies directed by Steven Spielberg and acted by Tom "
+       "Hanks.",
+       "SELECT count(movie?.title?) WHERE director_name? = 'Steven Spielberg' "
+       "AND actor_name? = 'Tom Hanks'",
+       "SELECT count(Movie.title) FROM Movie, Director, Person AS P1, Actor, "
+       "Person AS P2 WHERE Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = P1.person_id "
+       "AND Movie.movie_id = Actor.movie_id "
+       "AND Actor.person_id = P2.person_id "
+       "AND P1.name = 'Steven Spielberg' AND P2.name = 'Tom Hanks'"},
+
+      {"S5",
+       "Actors acted in more than 3 movies with genre Action Adventure "
+       "directed by Woody Allen.",
+       "SELECT actor?.name? WHERE genre? = 'Action Adventure' "
+       "AND director_name? = 'Woody Allen' "
+       "GROUP BY actor?.name? HAVING count(movie?.title?) > 3",
+       "SELECT P2.name FROM Person AS P1, Director, Movie, Movie_Genre, "
+       "Genre, Actor, Person AS P2 "
+       "WHERE P1.person_id = Director.person_id "
+       "AND Director.movie_id = Movie.movie_id "
+       "AND Movie.movie_id = Movie_Genre.movie_id "
+       "AND Movie_Genre.genre_id = Genre.genre_id "
+       "AND Movie.movie_id = Actor.movie_id "
+       "AND Actor.person_id = P2.person_id "
+       "AND Genre.name = 'Action Adventure' AND P1.name = 'Woody Allen' "
+       "GROUP BY P2.name HAVING count(Movie.title) > 3"},
+
+      {"S6",
+       "Movies with genre Drama, financed by company LLC, directed by Stephen "
+       "Gaghan.",
+       "SELECT movie?.title? WHERE genre? = 'Drama' "
+       "AND finance_company? = 'LLC' AND director_name? = 'Stephen Gaghan'",
+       "SELECT Movie.title FROM Movie, Movie_Genre, Genre, Movie_Financer, "
+       "Company, Director, Person "
+       "WHERE Movie.movie_id = Movie_Genre.movie_id "
+       "AND Movie_Genre.genre_id = Genre.genre_id "
+       "AND Movie.movie_id = Movie_Financer.movie_id "
+       "AND Movie_Financer.company_id = Company.company_id "
+       "AND Movie.movie_id = Director.movie_id "
+       "AND Director.person_id = Person.person_id "
+       "AND Genre.name = 'Drama' AND Company.name = 'LLC' "
+       "AND Person.name = 'Stephen Gaghan'"},
+  };
+  return *kQueries;
+}
+
+// Five simulated users per sophisticated query: different synonym choices,
+// qualification habits, and verbosity (the stand-in for the paper's five
+// recruited information-science students). The variations are syntactic —
+// compound guesses, plural relation names, alternative qualifications — which
+// is what SQL-literate users produce; the similarity machinery is purely
+// string-based, so true synonyms (film for movie) are out of scope.
+std::vector<std::string> UserVariants(int query_index) {
+  static const std::vector<std::vector<std::string>>* const kVariants =
+      new std::vector<std::vector<std::string>>{
+          // S1
+          {
+              "SELECT actor?.name? WHERE actor?.gender? = 'male' AND "
+              "director_name? = 'James Cameron' AND produce_company? = "
+              "'20th Century Fox' AND year? > 1995 AND year? < 2010",
+              "SELECT actor?.name? WHERE actor?.gender? = 'male' AND "
+              "director?.name? = 'James Cameron' AND produce_company? = "
+              "'20th Century Fox' AND release_year? > 1995 AND release_year? "
+              "< 2010",
+              "SELECT actors?.name? WHERE actors?.gender? = 'male' AND "
+              "director_name? = 'James Cameron' AND producer_company? = "
+              "'20th Century Fox' AND year? > 1995 AND year? < 2010",
+              "SELECT actor?.name? WHERE actor?.gender? = 'male' AND "
+              "director_name? = 'James Cameron' AND produce_company_name? = "
+              "'20th Century Fox' AND release_year? > 1995 AND release_year? "
+              "< 2010",
+              "SELECT actor?.name? WHERE actor?.gender? = 'male' AND "
+              "director?.name? = 'James Cameron' AND produce_company? = "
+              "'20th Century Fox' AND year? BETWEEN 1996 AND 2009",
+          },
+          // S2
+          {
+              "SELECT movie?.title? WHERE genre? = 'Drama' AND "
+              "director_name? = 'Peter Jackson'",
+              "SELECT movie?.title? WHERE genre?.name? = 'Drama' AND "
+              "director_name? = 'Peter Jackson'",
+              "SELECT movies?.title? WHERE genre? = 'Drama' AND "
+              "director?.name? = 'Peter Jackson'",
+              "SELECT movie?.movie_title? WHERE genre? = 'Drama' AND "
+              "director_name? = 'Peter Jackson'",
+              "SELECT movie?.title? WHERE genre_name? = 'Drama' AND "
+              "director_name? = 'Peter Jackson'",
+          },
+          // S3
+          {
+              "SELECT movie?.title? WHERE produce_company? = 'Carthago "
+              "Films' AND distribute_company? = 'Apollo Films' AND "
+              "director_name? = 'Fahdel Jaziri'",
+              "SELECT movie?.title? WHERE producer_company? = 'Carthago "
+              "Films' AND distributor_company? = 'Apollo Films' AND "
+              "director?.name? = 'Fahdel Jaziri'",
+              "SELECT movies?.title? WHERE produce_company? = 'Carthago "
+              "Films' AND distribute_company? = 'Apollo Films' AND "
+              "director_name? = 'Fahdel Jaziri'",
+              "SELECT movie?.movie_title? WHERE produce_company_name? = "
+              "'Carthago Films' AND distribute_company_name? = 'Apollo "
+              "Films' AND director_name? = 'Fahdel Jaziri'",
+              "SELECT movie?.title? WHERE produced_company? = 'Carthago "
+              "Films' AND distributed_company? = 'Apollo Films' AND "
+              "director_name? = 'Fahdel Jaziri'",
+          },
+          // S4
+          {
+              "SELECT count(movie?.title?) WHERE director_name? = 'Steven "
+              "Spielberg' AND actor_name? = 'Tom Hanks'",
+              "SELECT count(movies?.title?) WHERE director_name? = 'Steven "
+              "Spielberg' AND actor_name? = 'Tom Hanks'",
+              "SELECT count(movie?.title?) WHERE director?.name? = 'Steven "
+              "Spielberg' AND actor?.name? = 'Tom Hanks'",
+              "SELECT count(movie?.movie_title?) WHERE director_name? = "
+              "'Steven Spielberg' AND actor_name? = 'Tom Hanks'",
+              "SELECT count(movie?.title?) WHERE director_person_name? = "
+              "'Steven Spielberg' AND actor_person_name? = 'Tom Hanks'",
+          },
+          // S5
+          {
+              "SELECT actor?.name? WHERE genre? = 'Action Adventure' AND "
+              "director_name? = 'Woody Allen' GROUP BY actor?.name? HAVING "
+              "count(movie?.title?) > 3",
+              "SELECT actor?.name? WHERE genre?.name? = 'Action Adventure' "
+              "AND director_name? = 'Woody Allen' GROUP BY actor?.name? "
+              "HAVING count(movie?.title?) > 3",
+              "SELECT actors?.name? WHERE genre? = 'Action Adventure' AND "
+              "director?.name? = 'Woody Allen' GROUP BY actors?.name? HAVING "
+              "count(movie?.title?) > 3",
+              "SELECT actor?.name? WHERE genre_name? = 'Action Adventure' "
+              "AND director_name? = 'Woody Allen' GROUP BY actor?.name? "
+              "HAVING count(movie?.movie_title?) > 3",
+              "SELECT actor?.name? WHERE genre? = 'Action Adventure' AND "
+              "director?.name? = 'Woody Allen' GROUP BY actor?.name? HAVING "
+              "count(movie?.title?) > 3",
+          },
+          // S6
+          {
+              "SELECT movie?.title? WHERE genre? = 'Drama' AND "
+              "finance_company? = 'LLC' AND director_name? = 'Stephen "
+              "Gaghan'",
+              "SELECT movie?.title? WHERE genre?.name? = 'Drama' AND "
+              "financer_company? = 'LLC' AND director?.name? = 'Stephen "
+              "Gaghan'",
+              "SELECT movies?.title? WHERE genre? = 'Drama' AND "
+              "finance_company? = 'LLC' AND director_name? = 'Stephen "
+              "Gaghan'",
+              "SELECT movie?.movie_title? WHERE genre_name? = 'Drama' AND "
+              "finance_company_name? = 'LLC' AND director_name? = 'Stephen "
+              "Gaghan'",
+              "SELECT movie?.title? WHERE genre? = 'Drama' AND "
+              "financed_company? = 'LLC' AND director_name? = 'Stephen "
+              "Gaghan'",
+          },
+      };
+  return (*kVariants)[query_index];
+}
+
+}  // namespace sfsql::workloads

@@ -1,0 +1,157 @@
+#include "workloads/movie6.h"
+
+#include "common/macros.h"
+
+namespace sfsql::workloads {
+
+using catalog::Attribute;
+using catalog::Catalog;
+using catalog::ForeignKey;
+using catalog::Relation;
+using catalog::ValueType;
+using storage::Database;
+using storage::Value;
+
+std::unique_ptr<Database> BuildMovie6() {
+  Catalog c;
+
+  Relation person;
+  person.name = "Person";
+  person.attributes = {{"person_id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"gender", ValueType::kString}};
+  person.primary_key = {0};
+  int person_id = *c.AddRelation(person);
+
+  Relation movie;
+  movie.name = "Movie";
+  movie.attributes = {{"movie_id", ValueType::kInt64},
+                      {"title", ValueType::kString},
+                      {"release_year", ValueType::kInt64}};
+  movie.primary_key = {0};
+  int movie_id = *c.AddRelation(movie);
+
+  Relation actor;
+  actor.name = "Actor";
+  actor.attributes = {{"person_id", ValueType::kInt64},
+                      {"movie_id", ValueType::kInt64}};
+  actor.primary_key = {0, 1};
+  int actor_id = *c.AddRelation(actor);
+
+  Relation director;
+  director.name = "Director";
+  director.attributes = {{"person_id", ValueType::kInt64},
+                         {"movie_id", ValueType::kInt64}};
+  director.primary_key = {0, 1};
+  int director_id = *c.AddRelation(director);
+
+  Relation movie_producer;
+  movie_producer.name = "Movie_Producer";
+  movie_producer.attributes = {{"movie_id", ValueType::kInt64},
+                               {"company_id", ValueType::kInt64}};
+  movie_producer.primary_key = {0, 1};
+  int movie_producer_id = *c.AddRelation(movie_producer);
+
+  Relation company;
+  company.name = "Company";
+  company.attributes = {{"company_id", ValueType::kInt64},
+                        {"name", ValueType::kString}};
+  company.primary_key = {0};
+  int company_id = *c.AddRelation(company);
+
+  SFSQL_CHECK(c.AddForeignKey(ForeignKey{actor_id, 0, person_id, 0}).ok());
+  SFSQL_CHECK(c.AddForeignKey(ForeignKey{actor_id, 1, movie_id, 0}).ok());
+  SFSQL_CHECK(c.AddForeignKey(ForeignKey{director_id, 0, person_id, 0}).ok());
+  SFSQL_CHECK(c.AddForeignKey(ForeignKey{director_id, 1, movie_id, 0}).ok());
+  SFSQL_CHECK(
+      c.AddForeignKey(ForeignKey{movie_producer_id, 0, movie_id, 0}).ok());
+  SFSQL_CHECK(
+      c.AddForeignKey(ForeignKey{movie_producer_id, 1, company_id, 0}).ok());
+
+  auto db = std::make_unique<Database>(std::move(c));
+
+  auto P = [&](int64_t id, const char* name, const char* gender) {
+    SFSQL_CHECK(db->Insert(person_id, {Value::Int(id), Value::String(name),
+                                       Value::String(gender)})
+                    .ok());
+  };
+  P(1, "James Cameron", "male");
+  P(2, "Leonardo DiCaprio", "male");
+  P(3, "Kate Winslet", "female");
+  P(4, "Bill Paxton", "male");
+  P(5, "Sigourney Weaver", "female");
+  P(6, "Tom Hanks", "male");
+  P(7, "Steven Spielberg", "male");
+
+  auto M = [&](int64_t id, const char* title, int64_t year) {
+    SFSQL_CHECK(db->Insert(movie_id, {Value::Int(id), Value::String(title),
+                                      Value::Int(year)})
+                    .ok());
+  };
+  M(10, "Titanic", 1997);       // Cameron, Fox
+  M(11, "Avatar", 2009);        // Cameron, Fox — outside 1995-2005
+  M(12, "Aliens", 1986);        // Cameron, Fox — outside 1995-2005
+  M(13, "The Terminal", 2004);  // Spielberg, DreamPictures
+
+  auto A = [&](int64_t p, int64_t m) {
+    SFSQL_CHECK(db->Insert(actor_id, {Value::Int(p), Value::Int(m)}).ok());
+  };
+  A(2, 10);  // DiCaprio in Titanic (male, 1997, Fox) -> counts
+  A(3, 10);  // Winslet in Titanic (female)
+  A(4, 10);  // Paxton in Titanic (male) -> counts
+  A(5, 11);  // Weaver in Avatar (2009, excluded by year)
+  A(5, 12);  // Weaver in Aliens (1986, excluded by year)
+  A(6, 13);  // Hanks in The Terminal (Spielberg, not Cameron)
+
+  auto D = [&](int64_t p, int64_t m) {
+    SFSQL_CHECK(db->Insert(director_id, {Value::Int(p), Value::Int(m)}).ok());
+  };
+  D(1, 10);
+  D(1, 11);
+  D(1, 12);
+  D(7, 13);
+
+  auto CO = [&](int64_t id, const char* name) {
+    SFSQL_CHECK(
+        db->Insert(company_id, {Value::Int(id), Value::String(name)}).ok());
+  };
+  CO(20, "20th Century Fox");
+  CO(21, "DreamPictures");
+
+  auto MP = [&](int64_t m, int64_t co) {
+    SFSQL_CHECK(
+        db->Insert(movie_producer_id, {Value::Int(m), Value::Int(co)}).ok());
+  };
+  MP(10, 20);
+  MP(11, 20);
+  MP(12, 20);
+  MP(13, 21);
+
+  return db;
+}
+
+const char* Movie6GoldSql() {
+  return "SELECT count(Person_1.name) "
+         "FROM Person AS Person_1, Person AS Person_2, Actor, Director, Movie, "
+         "Movie_Producer, Company "
+         "WHERE Person_1.gender = 'male' "
+         "AND Person_2.name = 'James Cameron' "
+         "AND Company.name = '20th Century Fox' "
+         "AND Movie.release_year > 1995 AND Movie.release_year < 2005 "
+         "AND Person_1.person_id = Actor.person_id "
+         "AND Actor.movie_id = Movie.movie_id "
+         "AND Movie.movie_id = Director.movie_id "
+         "AND Director.person_id = Person_2.person_id "
+         "AND Movie.movie_id = Movie_Producer.movie_id "
+         "AND Movie_Producer.company_id = Company.company_id";
+}
+
+const char* Movie6SchemaFreeSql() {
+  return "SELECT count(actor?.name?) "
+         "WHERE actor?.gender? = 'male' "
+         "AND director_name? = 'James Cameron' "
+         "AND produce_company? = '20th Century Fox' "
+         "AND year? > 1995 AND year? < 2005";
+}
+
+}  // namespace sfsql::workloads

@@ -1,0 +1,32 @@
+#ifndef SFSQL_WORKLOADS_MOVIE6_H_
+#define SFSQL_WORKLOADS_MOVIE6_H_
+
+#include <memory>
+
+#include "storage/database.h"
+
+namespace sfsql::workloads {
+
+/// The paper's running example (Fig. 1): a movie database normalized into six
+/// relations —
+///   Person(person_id, name, gender)
+///   Movie(movie_id, title, release_year)
+///   Actor(person_id -> Person, movie_id -> Movie)
+///   Director(person_id -> Person, movie_id -> Movie)
+///   Movie_Producer(movie_id -> Movie, company_id -> Company)
+///   Company(company_id, name)
+/// populated with a small hand-authored data set in which the Fig. 2 query
+/// ("male actors who cooperated with director James Cameron in a production by
+/// 20th Century Fox from 1995 to 2005") has a known answer.
+std::unique_ptr<storage::Database> BuildMovie6();
+
+/// The full SQL the paper derives for the Fig. 2 query (Fig. 12), against the
+/// BuildMovie6 schema.
+const char* Movie6GoldSql();
+
+/// The schema-free form of the query (Fig. 2).
+const char* Movie6SchemaFreeSql();
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_MOVIE6_H_

@@ -1,0 +1,70 @@
+#include "workloads/schema_builder.h"
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace sfsql::workloads {
+
+using catalog::Attribute;
+using catalog::ForeignKey;
+using catalog::Relation;
+using catalog::ValueType;
+
+int SchemaBuilder::Rel(std::string_view name, std::string_view attr_spec) {
+  Relation rel;
+  rel.name = std::string(name);
+  for (const std::string& piece : Split(attr_spec, ',')) {
+    std::string_view spec = Trim(piece);
+    SFSQL_CHECK(!spec.empty());
+    bool pk = spec.back() == '*';
+    if (pk) spec.remove_suffix(1);
+    size_t colon = spec.find(':');
+    SFSQL_CHECK(colon != std::string_view::npos);
+    std::string attr_name(Trim(spec.substr(0, colon)));
+    std::string type_name(Trim(spec.substr(colon + 1)));
+    ValueType type;
+    if (type_name == "int") {
+      type = ValueType::kInt64;
+    } else if (type_name == "double") {
+      type = ValueType::kDouble;
+    } else if (type_name == "str") {
+      type = ValueType::kString;
+    } else if (type_name == "bool") {
+      type = ValueType::kBool;
+    } else {
+      SFSQL_CHECK(false && "unknown attribute type");
+      type = ValueType::kString;
+    }
+    if (pk) rel.primary_key.push_back(static_cast<int>(rel.attributes.size()));
+    rel.attributes.push_back(Attribute{std::move(attr_name), type});
+  }
+  Result<int> id = catalog_.AddRelation(std::move(rel));
+  SFSQL_CHECK(id.ok());
+  return *id;
+}
+
+int SchemaBuilder::Fk(std::string_view from, std::string_view to) {
+  auto parse = [&](std::string_view qualified, int* rel, int* attr) {
+    size_t dot = qualified.find('.');
+    SFSQL_CHECK(dot != std::string_view::npos);
+    Result<int> r = catalog_.FindRelation(qualified.substr(0, dot));
+    SFSQL_CHECK(r.ok());
+    *rel = *r;
+    *attr = catalog_.relation(*rel).AttributeIndex(qualified.substr(dot + 1));
+    SFSQL_CHECK(*attr >= 0);
+  };
+  ForeignKey fk;
+  parse(from, &fk.from_relation, &fk.from_attribute);
+  parse(to, &fk.to_relation, &fk.to_attribute);
+  Result<int> id = catalog_.AddForeignKey(fk);
+  SFSQL_CHECK(id.ok());
+  return *id;
+}
+
+catalog::Catalog SchemaBuilder::Build() {
+  catalog::Catalog out = std::move(catalog_);
+  catalog_ = catalog::Catalog();
+  return out;
+}
+
+}  // namespace sfsql::workloads

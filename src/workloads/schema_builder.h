@@ -1,0 +1,42 @@
+#ifndef SFSQL_WORKLOADS_SCHEMA_BUILDER_H_
+#define SFSQL_WORKLOADS_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace sfsql::workloads {
+
+/// Terse declarative construction of the synthetic evaluation schemas.
+///
+///   SchemaBuilder b;
+///   b.Rel("Person", "person_id:int*, name:str, gender:str");
+///   b.Rel("Actor", "person_id:int*, movie_id:int*");
+///   b.Fk("Actor.person_id", "Person.person_id");
+///   catalog::Catalog cat = b.Build();
+///
+/// Attribute specs are comma-separated `name:type` with type one of
+/// int, double, str, bool; a trailing '*' marks a primary-key member.
+/// Declaration errors crash (SFSQL_CHECK) — schemas are compiled-in data.
+class SchemaBuilder {
+ public:
+  /// Declares a relation; returns its id.
+  int Rel(std::string_view name, std::string_view attr_spec);
+
+  /// Declares a FK-PK edge "Child.fk_attr" -> "Parent.pk_attr"; returns fk id.
+  int Fk(std::string_view from, std::string_view to);
+
+  /// Finalizes and returns the catalog (builder is left empty).
+  catalog::Catalog Build();
+
+  const catalog::Catalog& catalog() const { return catalog_; }
+
+ private:
+  catalog::Catalog catalog_;
+};
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_SCHEMA_BUILDER_H_

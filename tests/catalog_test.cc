@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace sfsql::catalog {
+namespace {
+
+Relation MakeRelation(std::string name, std::vector<std::string> attrs,
+                      std::vector<int> pk = {0}) {
+  Relation r;
+  r.name = std::move(name);
+  for (std::string& a : attrs) {
+    r.attributes.push_back(Attribute{std::move(a), ValueType::kString});
+  }
+  r.primary_key = std::move(pk);
+  return r;
+}
+
+TEST(CatalogTest, AddAndFindRelation) {
+  Catalog c;
+  auto id = c.AddRelation(MakeRelation("Person", {"person_id", "name"}));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  EXPECT_EQ(c.num_relations(), 1);
+  auto found = c.FindRelation("person");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+  EXPECT_FALSE(c.FindRelation("nope").ok());
+}
+
+TEST(CatalogTest, RejectsDuplicateRelation) {
+  Catalog c;
+  ASSERT_TRUE(c.AddRelation(MakeRelation("Person", {"id"})).ok());
+  auto dup = c.AddRelation(MakeRelation("PERSON", {"id"}));
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, RejectsBadRelations) {
+  Catalog c;
+  EXPECT_FALSE(c.AddRelation(MakeRelation("", {"id"})).ok());
+  Relation no_attrs;
+  no_attrs.name = "Empty";
+  EXPECT_FALSE(c.AddRelation(no_attrs).ok());
+  EXPECT_FALSE(c.AddRelation(MakeRelation("Dup", {"a", "A"})).ok());
+  EXPECT_FALSE(c.AddRelation(MakeRelation("BadPk", {"a"}, {5})).ok());
+}
+
+TEST(CatalogTest, AttributeIndexIsCaseInsensitive) {
+  Relation r = MakeRelation("Movie", {"movie_id", "title"});
+  EXPECT_EQ(r.AttributeIndex("TITLE"), 1);
+  EXPECT_EQ(r.AttributeIndex("nope"), -1);
+}
+
+class SchemaGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    person_ = *catalog_.AddRelation(MakeRelation("Person", {"person_id", "name"}));
+    movie_ = *catalog_.AddRelation(MakeRelation("Movie", {"movie_id", "title"}));
+    actor_ = *catalog_.AddRelation(
+        MakeRelation("Actor", {"person_id", "movie_id"}, {0, 1}));
+    fk_ap_ = *catalog_.AddForeignKey(ForeignKey{actor_, 0, person_, 0});
+    fk_am_ = *catalog_.AddForeignKey(ForeignKey{actor_, 1, movie_, 0});
+  }
+  Catalog catalog_;
+  int person_, movie_, actor_;
+  int fk_ap_, fk_am_;
+};
+
+TEST_F(SchemaGraphTest, NeighborsAreSymmetric) {
+  auto actor_neighbors = catalog_.Neighbors(actor_);
+  ASSERT_EQ(actor_neighbors.size(), 2u);
+  EXPECT_EQ(actor_neighbors[0].neighbor, person_);
+  EXPECT_EQ(actor_neighbors[1].neighbor, movie_);
+  auto person_neighbors = catalog_.Neighbors(person_);
+  ASSERT_EQ(person_neighbors.size(), 1u);
+  EXPECT_EQ(person_neighbors[0].neighbor, actor_);
+  EXPECT_EQ(person_neighbors[0].fk_id, fk_ap_);
+}
+
+TEST_F(SchemaGraphTest, EdgesBetween) {
+  auto edges = catalog_.EdgesBetween(actor_, person_);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0], fk_ap_);
+  EXPECT_TRUE(catalog_.EdgesBetween(person_, movie_).empty());
+}
+
+TEST_F(SchemaGraphTest, RejectsFkNotIntoPrimaryKey) {
+  // Movie.title is not part of a primary key.
+  auto bad = catalog_.AddForeignKey(ForeignKey{actor_, 1, movie_, 1});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(SchemaGraphTest, RejectsFkWithBadIds) {
+  EXPECT_FALSE(catalog_.AddForeignKey(ForeignKey{99, 0, person_, 0}).ok());
+  EXPECT_FALSE(catalog_.AddForeignKey(ForeignKey{actor_, 9, person_, 0}).ok());
+  EXPECT_FALSE(catalog_.AddForeignKey(ForeignKey{actor_, 0, person_, 9}).ok());
+}
+
+}  // namespace
+}  // namespace sfsql::catalog

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace sfsql {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "parse error: bad token");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::TypeError("m").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Status::ExecutionError("m").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  SFSQL_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return half + 1;
+}
+
+TEST(MacrosTest, AssignOrReturnPropagates) {
+  Result<int> ok = UseAssignOrReturn(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  Result<int> err = UseAssignOrReturn(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MoViE_Id"), "movie_id");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+}
+
+TEST(StringsTest, SplitIdentifierWords) {
+  EXPECT_EQ(SplitIdentifierWords("produce_company"),
+            (std::vector<std::string>{"produce", "company"}));
+  EXPECT_EQ(SplitIdentifierWords("releaseYear"),
+            (std::vector<std::string>{"release", "year"}));
+  EXPECT_EQ(SplitIdentifierWords("Movie_Producer"),
+            (std::vector<std::string>{"movie", "producer"}));
+  EXPECT_EQ(SplitIdentifierWords("name"), (std::vector<std::string>{"name"}));
+  EXPECT_TRUE(SplitIdentifierWords("").empty());
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Person", "PERSON"));
+  EXPECT_FALSE(EqualsIgnoreCase("Person", "Persons"));
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+}  // namespace
+}  // namespace sfsql

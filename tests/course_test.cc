@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "workloads/course.h"
+#include "workloads/deriver.h"
+#include "workloads/metrics.h"
+
+namespace sfsql::workloads {
+namespace {
+
+class CourseTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db53_ = BuildCourse53().release();
+    db21_ = BuildCourse21().release();
+  }
+  static void TearDownTestSuite() {
+    delete db53_;
+    delete db21_;
+    db53_ = nullptr;
+    db21_ = nullptr;
+  }
+
+  static storage::Database* db53_;
+  static storage::Database* db21_;
+};
+
+storage::Database* CourseTest::db53_ = nullptr;
+storage::Database* CourseTest::db21_ = nullptr;
+
+TEST_F(CourseTest, SchemaCountsMatchThePaper) {
+  EXPECT_EQ(db53_->catalog().num_relations(), kCourse53Relations);
+  EXPECT_EQ(db21_->catalog().num_relations(), kCourse21Relations);
+}
+
+TEST_F(CourseTest, QuerySetHasFig15BucketMix) {
+  int small = 0, five = 0, large = 0;
+  for (const CourseQuery& q : CourseQueries()) {
+    if (q.relations53 <= 4) ++small;
+    else if (q.relations53 == 5) ++five;
+    else ++large;
+  }
+  EXPECT_EQ(small, 11);
+  EXPECT_EQ(five, 26);
+  EXPECT_EQ(large, 11);
+  EXPECT_EQ(CourseQueries().size(), 48u);
+}
+
+TEST_F(CourseTest, GoldQueriesExecuteOnBothSchemas) {
+  exec::Executor e53(db53_);
+  exec::Executor e21(db21_);
+  for (const CourseQuery& q : CourseQueries()) {
+    auto r53 = e53.ExecuteSql(q.gold_sql53);
+    ASSERT_TRUE(r53.ok()) << q.id << "/53: " << r53.status().ToString();
+    EXPECT_FALSE(r53->rows.empty()) << q.id << "/53 returned nothing";
+    auto r21 = e21.ExecuteSql(q.gold_sql21);
+    ASSERT_TRUE(r21.ok()) << q.id << "/21: " << r21.status().ToString();
+    EXPECT_FALSE(r21->rows.empty()) << q.id << "/21 returned nothing";
+  }
+}
+
+TEST_F(CourseTest, GoldRelationCountsAreDeclaredCorrectly) {
+  for (const CourseQuery& q : CourseQueries()) {
+    auto gold = AnalyzeGold(db53_->catalog(), q.gold_sql53);
+    ASSERT_TRUE(gold.ok()) << q.id;
+    EXPECT_EQ(static_cast<int>(gold->relations.size()), q.relations53) << q.id;
+    // The join graph is a spanning tree.
+    EXPECT_EQ(gold->fk_edges.size(), gold->relations.size() - 1) << q.id;
+  }
+}
+
+TEST_F(CourseTest, DeriverDropsJoinsAndIntermediates) {
+  // B1: Student ... Course with three intermediates; the schema-free version
+  // keeps only the end relations and the value condition.
+  const CourseQuery& b1 = CourseQueries()[11];
+  ASSERT_EQ(b1.id, "B1");
+  auto sf = DeriveSchemaFree(db53_->catalog(), b1.gold_sql53);
+  ASSERT_TRUE(sf.ok()) << sf.status().ToString();
+  EXPECT_EQ(*sf,
+            "SELECT Student.name FROM Student, Course WHERE Course.title = "
+            "'Database Systems'");
+}
+
+TEST_F(CourseTest, DeriverKeepsNonJoinPredicatesAndAliases) {
+  const CourseQuery& c5 = CourseQueries()[41];
+  ASSERT_EQ(c5.id, "C5");
+  auto sf = DeriveSchemaFree(db53_->catalog(), c5.gold_sql53);
+  ASSERT_TRUE(sf.ok());
+  // The self-join aliases C1/C2 collapse to the referenced end relations.
+  EXPECT_NE(sf->find("Instructor"), std::string::npos);
+  EXPECT_NE(sf->find("'Operating Systems'"), std::string::npos);
+  EXPECT_EQ(sf->find("prereq_course_id ="), std::string::npos);
+}
+
+TEST_F(CourseTest, SimpleBucketTranslatesTop1On53) {
+  core::SchemaFreeEngine engine(db53_);
+  for (const CourseQuery& q : CourseQueries()) {
+    if (q.relations53 > 4) continue;
+    auto sf = DeriveSchemaFree(db53_->catalog(), q.gold_sql53);
+    ASSERT_TRUE(sf.ok()) << q.id;
+    auto best = engine.TranslateBest(*sf);
+    ASSERT_TRUE(best.ok()) << q.id << ": " << best.status().ToString();
+    auto match = TranslationMatchesGold(*db53_, *best, q.gold_sql53);
+    ASSERT_TRUE(match.ok()) << q.id;
+    EXPECT_TRUE(*match) << q.id << "\n sf: " << *sf << "\n -> " << best->sql;
+  }
+}
+
+TEST_F(CourseTest, ViewGraphLiftsComplexQueries) {
+  // The Fig. 15 protocol in miniature: translate C6 (7 relations) without
+  // views, then again after registering the simpler B1/C1 gold queries as
+  // query-log views; the with-views translation must be correct.
+  core::SchemaFreeEngine engine(db53_);
+  const CourseQuery& c6 = CourseQueries()[42];
+  ASSERT_EQ(c6.id, "C6");
+  auto sf = DeriveSchemaFree(db53_->catalog(), c6.gold_sql53);
+  ASSERT_TRUE(sf.ok());
+
+  ASSERT_TRUE(engine.AddViewFromSql(CourseQueries()[11].gold_sql53).ok());
+  ASSERT_TRUE(engine.AddViewFromSql(CourseQueries()[37].gold_sql53).ok());
+  auto best = engine.TranslateBest(*sf);
+  ASSERT_TRUE(best.ok()) << best.status().ToString();
+  auto match = TranslationMatchesGold(*db53_, *best, c6.gold_sql53);
+  ASSERT_TRUE(match.ok());
+  EXPECT_TRUE(*match) << "sf: " << *sf << "\n -> " << best->sql;
+}
+
+TEST_F(CourseTest, CrossSchemaTranslationWorksForSimpleQueries) {
+  // The same schema-free text (derived from the 53-relation gold) translated
+  // over the 21-relation redesign must match that schema's gold for the easy
+  // bucket (the paper reports near-identical effectiveness there).
+  core::SchemaFreeEngine engine(db21_);
+  int correct = 0, total = 0;
+  for (const CourseQuery& q : CourseQueries()) {
+    if (q.relations53 > 4) continue;
+    ++total;
+    auto sf = DeriveSchemaFree(db53_->catalog(), q.gold_sql53);
+    ASSERT_TRUE(sf.ok()) << q.id;
+    auto best = engine.TranslateBest(*sf);
+    if (!best.ok()) continue;
+    auto match = TranslationMatchesGold(*db21_, *best, q.gold_sql21);
+    if (match.ok() && *match) ++correct;
+  }
+  // Three intents degrade on the redesign: A7 by construction, and A3/A4
+  // because the redesign demotes the Author/Sponsor *relations* to Textbook/
+  // Scholarship *attributes* — a relation-to-attribute translation the
+  // technique does not model (SchemaSQL territory, §8). The paper's own
+  // Fig. 15 reports 8/11 top-1 for this bucket on the redesigned schema.
+  EXPECT_GE(correct, 8) << correct << "/" << total;
+}
+
+}  // namespace
+}  // namespace sfsql::workloads

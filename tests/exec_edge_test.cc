@@ -1,0 +1,191 @@
+// Edge-case coverage for the execution engine: NULL propagation, degenerate
+// inputs, join corner cases, and aggregate quirks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/executor.h"
+#include "workloads/datagen.h"
+#include "workloads/movie6.h"
+#include "workloads/schema_builder.h"
+
+namespace sfsql::exec {
+namespace {
+
+using storage::Database;
+using storage::Value;
+
+class ExecEdgeTest : public ::testing::Test {
+ protected:
+  ExecEdgeTest() : db_(workloads::BuildMovie6()), exec_(db_.get()) {}
+
+  QueryResult Run(const std::string& sql) {
+    auto r = exec_.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << sql;
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+  Executor exec_;
+};
+
+TEST_F(ExecEdgeTest, SelectWithoutFrom) {
+  QueryResult r = Run("SELECT 1 + 2, 'x', 3.5, TRUE");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsString(), "x");
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 3.5);
+  EXPECT_TRUE(r.rows[0][3].AsBool());
+}
+
+TEST_F(ExecEdgeTest, CrossJoinWithoutPredicate) {
+  QueryResult r = Run("SELECT p.name, m.title FROM Person p, Movie m");
+  EXPECT_EQ(r.rows.size(), 7u * 4u);
+}
+
+TEST_F(ExecEdgeTest, LimitZeroAndOversized) {
+  EXPECT_TRUE(Run("SELECT name FROM Person LIMIT 0").rows.empty());
+  EXPECT_EQ(Run("SELECT name FROM Person LIMIT 9999").rows.size(), 7u);
+}
+
+TEST_F(ExecEdgeTest, ArithmeticNullAndDivision) {
+  QueryResult r = Run("SELECT 4 / 2, 5 % 3, 1 / 0, 3 % 0, NULL + 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_TRUE(r.rows[0][2].is_null());  // division by zero -> NULL
+  EXPECT_TRUE(r.rows[0][3].is_null());
+  EXPECT_TRUE(r.rows[0][4].is_null());
+}
+
+TEST_F(ExecEdgeTest, StringConcatViaPlus) {
+  QueryResult r = Run("SELECT 'a' + 'b'");
+  EXPECT_EQ(r.rows[0][0].AsString(), "ab");
+}
+
+TEST_F(ExecEdgeTest, MixedIntDoubleComparison) {
+  QueryResult r =
+      Run("SELECT count(*) FROM Movie WHERE release_year > 1996.5 AND "
+          "release_year < 2005.5");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);  // 1997, 2004
+}
+
+TEST_F(ExecEdgeTest, HavingWithoutGroupBy) {
+  // A global aggregate with HAVING filters the single group.
+  QueryResult keep = Run("SELECT count(*) FROM Person HAVING count(*) > 3");
+  EXPECT_EQ(keep.rows.size(), 1u);
+  QueryResult drop = Run("SELECT count(*) FROM Person HAVING count(*) > 100");
+  EXPECT_TRUE(drop.rows.empty());
+}
+
+TEST_F(ExecEdgeTest, OrderByMultipleMixedDirections) {
+  QueryResult r = Run(
+      "SELECT gender, name FROM Person ORDER BY gender DESC, name ASC");
+  ASSERT_EQ(r.rows.size(), 7u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "male");
+  EXPECT_EQ(r.rows[0][1].AsString(), "Bill Paxton");
+  EXPECT_EQ(r.rows.back()[0].AsString(), "female");
+}
+
+TEST_F(ExecEdgeTest, OrderByExpression) {
+  QueryResult r = Run("SELECT release_year FROM Movie ORDER BY 0 - release_year");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2009);
+}
+
+TEST_F(ExecEdgeTest, DuplicateAggregateExpressions) {
+  QueryResult r = Run("SELECT count(*), count(*), sum(release_year), "
+                      "sum(release_year) FROM Movie");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_TRUE(r.rows[0][0].Equals(r.rows[0][1]));
+  EXPECT_TRUE(r.rows[0][2].Equals(r.rows[0][3]));
+}
+
+TEST_F(ExecEdgeTest, AggregateOfExpression) {
+  QueryResult r = Run("SELECT sum(release_year + 1) FROM Movie");
+  QueryResult base = Run("SELECT sum(release_year) FROM Movie");
+  EXPECT_EQ(r.rows[0][0].AsInt(), base.rows[0][0].AsInt() + 4);
+}
+
+TEST_F(ExecEdgeTest, GroupByExpression) {
+  // Group movies by decade.
+  QueryResult r = Run(
+      "SELECT release_year / 10, count(*) FROM Movie GROUP BY "
+      "release_year / 10 ORDER BY release_year / 10");
+  ASSERT_GE(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 198);  // Aliens, 1986
+}
+
+TEST_F(ExecEdgeTest, NestedSubqueryThreeLevels) {
+  QueryResult r = Run(
+      "SELECT name FROM Person WHERE person_id IN (SELECT person_id FROM "
+      "Director WHERE movie_id IN (SELECT movie_id FROM Movie WHERE "
+      "release_year = (SELECT max(release_year) FROM Movie)))");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "James Cameron");
+}
+
+TEST_F(ExecEdgeTest, CorrelatedSubqueryInHavingFreeQuery) {
+  // Correlation from a scalar subquery used in a projection under grouping's
+  // absence.
+  QueryResult r = Run(
+      "SELECT name, (SELECT count(*) FROM Actor WHERE Actor.person_id = "
+      "Person.person_id) FROM Person ORDER BY name LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Bill Paxton");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+}
+
+TEST_F(ExecEdgeTest, InSubqueryWithNullSubject) {
+  ASSERT_TRUE(
+      db_->Insert(0, {Value::Int(99), Value::Null_(), Value::String("male")})
+          .ok());
+  // NULL IN (...) is false; NULL NOT IN (...) is true under the engine's
+  // documented two-valued logic.
+  QueryResult in = Run("SELECT count(*) FROM Person WHERE name IN (SELECT "
+                       "name FROM Person)");
+  EXPECT_EQ(in.rows[0][0].AsInt(), 7);
+  QueryResult not_in = Run("SELECT count(*) FROM Person WHERE name NOT IN "
+                           "(SELECT name FROM Person)");
+  EXPECT_EQ(not_in.rows[0][0].AsInt(), 1);  // only the NULL-named row
+}
+
+TEST(HashJoinTest, SkipsNullKeys) {
+  workloads::SchemaBuilder b;
+  b.Rel("L", "id:int*, k:int");
+  b.Rel("R", "id:int*, k:int");
+  Database db(b.Build());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::Int(10)}).ok());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(2), Value::Null_()}).ok());
+  ASSERT_TRUE(db.Insert(1, {Value::Int(1), Value::Int(10)}).ok());
+  ASSERT_TRUE(db.Insert(1, {Value::Int(2), Value::Null_()}).ok());
+  Executor executor(&db);
+  auto r = executor.ExecuteSql("SELECT L.id, R.id FROM L, R WHERE L.k = R.k");
+  ASSERT_TRUE(r.ok());
+  // Only the 10 = 10 pair joins; NULL keys never match.
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(ExecEdgeTest, EmptyTableAggregatesAndJoins) {
+  workloads::SchemaBuilder b;
+  b.Rel("Empty", "id:int*, v:int");
+  Database db(b.Build());
+  Executor executor(&db);
+  auto agg = executor.ExecuteSql("SELECT count(*), sum(v), min(v) FROM Empty");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg->rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(agg->rows[0][1].is_null());
+  auto group = executor.ExecuteSql(
+      "SELECT v, count(*) FROM Empty GROUP BY v");
+  ASSERT_TRUE(group.ok());
+  EXPECT_TRUE(group->rows.empty());
+}
+
+TEST_F(ExecEdgeTest, DistinctOnExpressions) {
+  QueryResult r = Run("SELECT DISTINCT release_year / 100 FROM Movie");
+  EXPECT_EQ(r.rows.size(), 2u);  // 19 and 20
+}
+
+}  // namespace
+}  // namespace sfsql::exec

@@ -1,0 +1,287 @@
+// Property-based tests on randomized schemas and queries: the top-k generator
+// is checked against the exhaustive oracle, canonical signatures against
+// construction order, and the executor against join-order permutations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/engine.h"
+#include "core/mtjn_generator.h"
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "text/similarity.h"
+#include "workloads/datagen.h"
+#include "workloads/movie6.h"
+#include "workloads/schema_builder.h"
+
+namespace sfsql {
+namespace {
+
+using workloads::DataGenerator;
+using workloads::SchemaBuilder;
+
+/// Builds a random acyclic schema: `n` entity relations, each non-root with a
+/// FK to some earlier relation, plus a few extra cross FKs.
+storage::Database RandomDatabase(std::mt19937_64& rng, int n) {
+  SchemaBuilder b;
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) {
+    std::string name = "R" + std::to_string(i);
+    std::string spec = name + "_id:int*, name:str, val:int";
+    if (i > 0) spec += ", ref:int";
+    b.Rel(name, spec);
+    names.push_back(name);
+  }
+  for (int i = 1; i < n; ++i) {
+    int target = static_cast<int>(rng() % i);
+    b.Fk(names[i] + ".ref", names[target] + "." + names[target] + "_id");
+  }
+  storage::Database db(b.Build());
+  DataGenerator gen(rng());
+  EXPECT_TRUE(gen.Populate(&db, 12).ok());
+  return db;
+}
+
+TEST(GeneratorPropertyTest, TopKMatchesOracleOnRandomSchemas) {
+  std::mt19937_64 rng(20140622);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 4 + static_cast<int>(rng() % 4);  // 4..7 relations
+    storage::Database db = RandomDatabase(rng, n);
+
+    // A query touching two or three random relations by exact name.
+    std::vector<int> rels;
+    for (int r = 0; r < db.catalog().num_relations(); ++r) rels.push_back(r);
+    std::shuffle(rels.begin(), rels.end(), rng);
+    int l = 2 + static_cast<int>(rng() % 2);
+    std::string sf = "SELECT ";
+    for (int i = 0; i < l; ++i) {
+      if (i) sf += ", ";
+      sf += db.catalog().relation(rels[i]).name + ".name";
+    }
+
+    auto stmt = sql::ParseSelect(sf);
+    ASSERT_TRUE(stmt.ok()) << sf;
+    auto extraction = core::ExtractRelationTrees(**stmt);
+    ASSERT_TRUE(extraction.ok());
+    core::RelationTreeMapper mapper(&db, core::SimilarityConfig{});
+    std::vector<core::MappingSet> mappings;
+    for (const core::RelationTree& rt : extraction->trees) {
+      mappings.push_back(mapper.Map(rt));
+      ASSERT_FALSE(mappings.back().candidates.empty());
+    }
+    core::ViewGraph views(&db.catalog());
+    core::GeneratorConfig config;
+    config.max_jn_nodes = n + 1;
+    auto graph = core::ExtendedViewGraph::Build(db, views, extraction->trees,
+                                                mappings, mapper, config);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    core::MtjnGenerator generator(&*graph, config);
+
+    auto oracle = generator.EnumerateAll(config.max_jn_nodes);
+    auto ours = generator.TopK(3);
+    auto rightmost = generator.TopKRightmost(3);
+    auto regular = generator.TopKRegular(3);
+
+    if (oracle.empty()) {
+      EXPECT_TRUE(ours.empty()) << "trial " << trial << " query " << sf;
+      continue;
+    }
+    ASSERT_FALSE(ours.empty()) << "trial " << trial << " query " << sf;
+    // The three strategies and the oracle agree on the best network.
+    EXPECT_EQ(ours[0].network.CanonicalSignature(),
+              oracle[0].network.CanonicalSignature())
+        << "trial " << trial << " query " << sf << "\nours: "
+        << ours[0].network.ToString()
+        << "\noracle: " << oracle[0].network.ToString();
+    EXPECT_NEAR(ours[0].weight, oracle[0].weight, 1e-9);
+    ASSERT_FALSE(rightmost.empty());
+    ASSERT_FALSE(regular.empty());
+    EXPECT_NEAR(rightmost[0].weight, oracle[0].weight, 1e-9);
+    EXPECT_NEAR(regular[0].weight, oracle[0].weight, 1e-9);
+    // Every returned network is minimal and total.
+    for (const core::ScoredNetwork& s : ours) {
+      EXPECT_TRUE(s.network.IsTotal());
+      EXPECT_TRUE(s.network.IsMinimal());
+    }
+    // Weights are sorted and within (0, 1].
+    for (size_t i = 0; i < ours.size(); ++i) {
+      EXPECT_GT(ours[i].weight, 0.0);
+      EXPECT_LE(ours[i].weight, 1.0 + 1e-12);
+      if (i > 0) EXPECT_LE(ours[i].weight, ours[i - 1].weight + 1e-12);
+    }
+  }
+}
+
+TEST(GeneratorPropertyTest, PotentialUpperBoundsDescendantsOnPaths) {
+  // On the movie6 graph, the potential of every ancestor prefix of the best
+  // network must be at least the final weight.
+  auto db = workloads::BuildMovie6();
+  auto stmt = sql::ParseSelect(workloads::Movie6SchemaFreeSql());
+  ASSERT_TRUE(stmt.ok());
+  auto extraction = core::ExtractRelationTrees(**stmt);
+  ASSERT_TRUE(extraction.ok());
+  core::RelationTreeMapper mapper(db.get(), core::SimilarityConfig{});
+  std::vector<core::MappingSet> mappings;
+  for (const core::RelationTree& rt : extraction->trees) {
+    mappings.push_back(mapper.Map(rt));
+  }
+  core::ViewGraph views(&db->catalog());
+  auto graph = core::ExtendedViewGraph::Build(
+      *db, views, extraction->trees, mappings, mapper, core::GeneratorConfig{});
+  ASSERT_TRUE(graph.ok());
+  core::MtjnGenerator generator(&*graph, core::GeneratorConfig{});
+  auto best = generator.TopK(1);
+  ASSERT_FALSE(best.empty());
+  for (int rt0 : graph->NodesOfRt(0)) {
+    core::JoinNetwork seed(&*graph, rt0, true);
+    EXPECT_GE(generator.PotentialEstimate(seed) + 1e-9, best[0].weight);
+  }
+}
+
+TEST(SignaturePropertyTest, ConstructionOrderInvariance) {
+  // Build the same 3-node network in two different expansion orders on the
+  // movie6 graph and check the canonical signatures coincide.
+  auto db = workloads::BuildMovie6();
+  auto stmt = sql::ParseSelect("SELECT Person.name, Movie.title FROM Person, "
+                               "Movie");
+  ASSERT_TRUE(stmt.ok());
+  auto extraction = core::ExtractRelationTrees(**stmt);
+  ASSERT_TRUE(extraction.ok());
+  core::RelationTreeMapper mapper(db.get(), core::SimilarityConfig{});
+  std::vector<core::MappingSet> mappings;
+  for (const core::RelationTree& rt : extraction->trees) {
+    mappings.push_back(mapper.Map(rt));
+  }
+  core::ViewGraph views(&db->catalog());
+  auto graph = core::ExtendedViewGraph::Build(
+      *db, views, extraction->trees, mappings, mapper, core::GeneratorConfig{});
+  ASSERT_TRUE(graph.ok());
+
+  int person = -1, movie = -1, actor = -1;
+  for (int i = 0; i < graph->num_nodes(); ++i) {
+    const core::XNode& x = graph->node(i);
+    const std::string& name = db->catalog().relation(x.relation_id).name;
+    if (name == "Person" && x.rt_id == 0) person = i;
+    if (name == "Movie" && x.rt_id == 1) movie = i;
+    if (name == "Actor" && x.rt_id < 0) actor = i;
+  }
+  ASSERT_GE(person, 0);
+  ASSERT_GE(movie, 0);
+  ASSERT_GE(actor, 0);
+
+  auto edge_between = [&](int a, int b) {
+    for (int e : graph->EdgesOf(a)) {
+      if (graph->edge(e).other(a) == b) return e;
+    }
+    return -1;
+  };
+  int pa = edge_between(person, actor);
+  int am = edge_between(actor, movie);
+  ASSERT_GE(pa, 0);
+  ASSERT_GE(am, 0);
+
+  // Person -> Actor -> Movie vs Movie -> Actor -> Person.
+  core::JoinNetwork a(&*graph, person, true);
+  auto a1 = a.ExpandByEdge(pa, 0, 5, false);
+  ASSERT_TRUE(a1.has_value());
+  auto a2 = a1->ExpandByEdge(am, 1, 5, false);
+  ASSERT_TRUE(a2.has_value());
+
+  core::JoinNetwork b(&*graph, movie, true);
+  auto b1 = b.ExpandByEdge(am, 0, 5, false);
+  ASSERT_TRUE(b1.has_value());
+  auto b2 = b1->ExpandByEdge(pa, 1, 5, false);
+  ASSERT_TRUE(b2.has_value());
+
+  EXPECT_EQ(a2->CanonicalSignature(), b2->CanonicalSignature());
+  EXPECT_NEAR(a2->weight(), b2->weight(), 1e-12);
+  EXPECT_TRUE(a2->IsTotal());
+  EXPECT_TRUE(a2->IsMinimal());
+}
+
+TEST(ExecutorPropertyTest, JoinOrderInvariance) {
+  // Shuffling the FROM order must not change the result multiset.
+  auto db = workloads::BuildMovie6();
+  exec::Executor executor(db.get());
+  const char* joins[] = {
+      "Person, Actor, Movie",    "Actor, Person, Movie",
+      "Movie, Actor, Person",    "Movie, Person, Actor",
+      "Actor, Movie, Person",    "Person, Movie, Actor",
+  };
+  exec::QueryResult reference;
+  for (size_t i = 0; i < std::size(joins); ++i) {
+    std::string sql =
+        std::string("SELECT Person.name, Movie.title FROM ") + joins[i] +
+        " WHERE Person.person_id = Actor.person_id AND Actor.movie_id = "
+        "Movie.movie_id";
+    auto result = executor.ExecuteSql(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    if (i == 0) {
+      reference = *result;
+      EXPECT_FALSE(reference.rows.empty());
+    } else {
+      EXPECT_TRUE(result->SameRows(reference)) << sql;
+    }
+  }
+}
+
+TEST(ExecutorPropertyTest, PredicateOrderInvariance) {
+  auto db = workloads::BuildMovie6();
+  exec::Executor executor(db.get());
+  auto a = executor.ExecuteSql(
+      "SELECT name FROM Person WHERE gender = 'male' AND person_id > 1");
+  auto b = executor.ExecuteSql(
+      "SELECT name FROM Person WHERE person_id > 1 AND gender = 'male'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->SameRows(*b));
+}
+
+TEST(ParserPropertyTest, PrintParseFixpoint) {
+  // print(parse(x)) is a fixpoint: parsing the printed form and printing again
+  // yields the same string, for a grab bag of queries.
+  const char* queries[] = {
+      workloads::Movie6SchemaFreeSql(),
+      workloads::Movie6GoldSql(),
+      "SELECT DISTINCT a?, count(*) FROM t? WHERE x IN (SELECT y FROM u WHERE "
+      "z BETWEEN 1 AND 2) GROUP BY a? HAVING count(*) > 1 ORDER BY a? DESC "
+      "LIMIT 3",
+      "SELECT ?x, ? WHERE ?x > 1.5 AND name? LIKE '%a%' AND b IS NOT NULL",
+      "SELECT a + b * c - -d FROM t WHERE NOT (x = 1 OR y = 2)",
+  };
+  for (const char* q : queries) {
+    auto first = sql::ParseSelect(q);
+    ASSERT_TRUE(first.ok()) << q;
+    std::string printed = sql::PrintSelect(**first);
+    auto second = sql::ParseSelect(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(printed, sql::PrintSelect(**second));
+  }
+}
+
+TEST(SimilarityPropertyTest, RangeAndSymmetry) {
+  std::mt19937_64 rng(7);
+  const char* pool[] = {"movie",   "movie_id",  "release_year", "person",
+                       "name",    "actor",     "director",     "company",
+                       "title",   "genre",     "a",            ""};
+  for (const char* a : pool) {
+    for (const char* b : pool) {
+      double j = text::QGramJaccard(a, b);
+      EXPECT_GE(j, 0.0);
+      EXPECT_LE(j, 1.0);
+      EXPECT_DOUBLE_EQ(j, text::QGramJaccard(b, a));
+      double s = text::SchemaNameSimilarity(a, b);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+      EXPECT_DOUBLE_EQ(s, text::SchemaNameSimilarity(b, a));
+      EXPECT_EQ(text::EditDistance(a, b), text::EditDistance(b, a));
+    }
+    EXPECT_DOUBLE_EQ(text::QGramJaccard(a, a), 1.0);
+  }
+  (void)rng;
+}
+
+}  // namespace
+}  // namespace sfsql

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace sfsql::storage {
+namespace {
+
+using catalog::Attribute;
+using catalog::Catalog;
+using catalog::Relation;
+using catalog::ValueType;
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null_().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Double(3.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Int(3).is_numeric());
+  EXPECT_TRUE(Value::Double(3.5).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, NumericCoercionInEquals) {
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::Double(3.5)));
+  EXPECT_TRUE(Value::Int(3).Equals(Value::Int(3)));
+  EXPECT_FALSE(Value::Int(3).Equals(Value::String("3")));
+}
+
+TEST(ValueTest, NullEquality) {
+  EXPECT_TRUE(Value::Null_().Equals(Value::Null_()));
+  EXPECT_FALSE(Value::Null_().Equals(Value::Int(0)));
+}
+
+TEST(ValueTest, CompareOrdersAcrossTypes) {
+  EXPECT_LT(Value::Null_().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(5).Compare(Value::String("a")), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int(3)), 0);
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  Row a{Value::Int(1), Value::String("x")};
+  Row b{Value::Double(1.0), Value::String("x")};
+  EXPECT_TRUE(RowEq{}(a, b));
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+}
+
+TEST(ValueTest, SqlLiteralRendering) {
+  EXPECT_EQ(Value::Null_().ToSqlLiteral(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToSqlLiteral(), "42");
+  EXPECT_EQ(Value::String("O'Brien").ToSqlLiteral(), "'O''Brien'");
+  EXPECT_EQ(Value::Bool(true).ToSqlLiteral(), "TRUE");
+}
+
+Catalog MovieCatalog() {
+  Catalog c;
+  Relation person;
+  person.name = "Person";
+  person.attributes = {{"person_id", ValueType::kInt64},
+                       {"name", ValueType::kString},
+                       {"gender", ValueType::kString}};
+  person.primary_key = {0};
+  EXPECT_TRUE(c.AddRelation(person).ok());
+  return c;
+}
+
+TEST(DatabaseTest, InsertChecksArityAndTypes) {
+  Database db(MovieCatalog());
+  EXPECT_TRUE(db.Insert(0, {Value::Int(1), Value::String("James Cameron"),
+                            Value::String("male")})
+                  .ok());
+  // Wrong arity.
+  EXPECT_FALSE(db.Insert(0, {Value::Int(1)}).ok());
+  // Wrong type.
+  EXPECT_FALSE(
+      db.Insert(0, {Value::String("x"), Value::String("y"), Value::String("z")})
+          .ok());
+  // NULLs always allowed.
+  EXPECT_TRUE(db.Insert(0, {Value::Int(2), Value::Null_(), Value::Null_()}).ok());
+  EXPECT_EQ(db.table(0).num_rows(), 2u);
+  EXPECT_EQ(db.TotalRows(), 2u);
+}
+
+TEST(DatabaseTest, IntAcceptedForDoubleColumn) {
+  Catalog c;
+  Relation r;
+  r.name = "T";
+  r.attributes = {{"x", ValueType::kDouble}};
+  r.primary_key = {0};
+  ASSERT_TRUE(c.AddRelation(r).ok());
+  Database db(std::move(c));
+  EXPECT_TRUE(db.Insert(0, {Value::Int(3)}).ok());
+}
+
+TEST(DatabaseTest, AnyTupleSatisfies) {
+  Database db(MovieCatalog());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::String("James Cameron"),
+                            Value::String("male")})
+                  .ok());
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 1, "=", Value::String("James Cameron")));
+  EXPECT_FALSE(db.AnyTupleSatisfies(0, 1, "=", Value::String("Tom Hanks")));
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 0, ">", Value::Int(0)));
+  EXPECT_FALSE(db.AnyTupleSatisfies(0, 0, "<", Value::Int(1)));
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 0, "<=", Value::Int(1)));
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 0, ">=", Value::Int(1)));
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 0, "<>", Value::Int(7)));
+  // Type-incompatible comparisons are unsatisfied.
+  EXPECT_FALSE(db.AnyTupleSatisfies(0, 1, ">", Value::Int(5)));
+  // Bad ordinals are unsatisfied rather than errors.
+  EXPECT_FALSE(db.AnyTupleSatisfies(0, 9, "=", Value::Int(1)));
+  EXPECT_FALSE(db.AnyTupleSatisfies(9, 0, "=", Value::Int(1)));
+}
+
+}  // namespace
+}  // namespace sfsql::storage

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "text/similarity.h"
+
+namespace sfsql::text {
+namespace {
+
+TEST(QGramsTest, BasicTrigramsWithPadding) {
+  auto grams = QGrams("ab", 3);
+  // padded: "##ab##" -> ##a, #ab, ab#, b##
+  EXPECT_EQ(grams.size(), 4u);
+  EXPECT_TRUE(grams.count("##a"));
+  EXPECT_TRUE(grams.count("#ab"));
+  EXPECT_TRUE(grams.count("ab#"));
+  EXPECT_TRUE(grams.count("b##"));
+}
+
+TEST(QGramsTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+  EXPECT_EQ(QGrams("a", 1).size(), 1u);
+}
+
+TEST(QGramsTest, CaseInsensitive) {
+  EXPECT_EQ(QGrams("Actor", 3), QGrams("actor", 3));
+}
+
+TEST(QGramJaccardTest, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("actor", "Actor"), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("", ""), 1.0);
+}
+
+TEST(QGramJaccardTest, DisjointIsZero) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("abc", ""), 0.0);
+}
+
+TEST(QGramJaccardTest, SimilarStringsScoreBetween) {
+  double s = QGramJaccard("director", "directors");
+  EXPECT_GT(s, 0.5);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(QGramJaccardTest, Symmetry) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("movie", "movies"),
+                   QGramJaccard("movies", "movie"));
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("ABC", "abc"), 0);  // case-insensitive
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  double s = EditSimilarity("movie", "movies");
+  EXPECT_GT(s, 0.8);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(SchemaNameSimilarityTest, ExactMatchesScoreOne) {
+  EXPECT_DOUBLE_EQ(SchemaNameSimilarity("actor", "Actor"), 1.0);
+}
+
+TEST(SchemaNameSimilarityTest, CompoundNamesMatchTheirWords) {
+  // "director_name" should be recognizably similar to "Director" and to "name".
+  EXPECT_GT(SchemaNameSimilarity("director_name", "Director"), 0.5);
+  EXPECT_GT(SchemaNameSimilarity("director_name", "name"), 0.5);
+  // "produce_company" should be similar to both "Company" and "Movie_Producer".
+  EXPECT_GT(SchemaNameSimilarity("produce_company", "Company"), 0.5);
+  EXPECT_GT(SchemaNameSimilarity("produce_company", "Movie_Producer"), 0.3);
+}
+
+TEST(SchemaNameSimilarityTest, WordHitNeverBeatsExactWholeName) {
+  double compound = SchemaNameSimilarity("director_name", "name");
+  EXPECT_LT(compound, 1.0);
+}
+
+TEST(SchemaNameSimilarityTest, UnrelatedNamesScoreLow) {
+  EXPECT_LT(SchemaNameSimilarity("gender", "movie_id"), 0.2);
+}
+
+}  // namespace
+}  // namespace sfsql::text

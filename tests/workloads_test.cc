@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "workloads/datagen.h"
+#include "workloads/metrics.h"
+#include "workloads/movie43.h"
+#include "workloads/schema_builder.h"
+
+namespace sfsql::workloads {
+namespace {
+
+TEST(SchemaBuilderTest, BuildsRelationsAndKeys) {
+  SchemaBuilder b;
+  int person = b.Rel("Person", "person_id:int*, name:str, score:double, ok:bool");
+  int actor = b.Rel("Actor", "person_id:int*, movie_id:int*");
+  int fk = b.Fk("Actor.person_id", "Person.person_id");
+  catalog::Catalog cat = b.Build();
+  EXPECT_EQ(cat.num_relations(), 2);
+  EXPECT_EQ(cat.num_foreign_keys(), 1);
+  EXPECT_EQ(cat.relation(person).attributes.size(), 4u);
+  EXPECT_EQ(cat.relation(person).attributes[2].type,
+            catalog::ValueType::kDouble);
+  EXPECT_EQ(cat.relation(person).primary_key, std::vector<int>{0});
+  EXPECT_EQ(cat.relation(actor).primary_key, (std::vector<int>{0, 1}));
+  EXPECT_EQ(cat.foreign_key(fk).from_relation, actor);
+}
+
+TEST(DataGeneratorTest, PopulateRespectsForeignKeys) {
+  SchemaBuilder b;
+  b.Rel("Person", "person_id:int*, name:str, birth_year:int");
+  b.Rel("Actor", "person_id:int*, movie_id:int*");
+  b.Rel("Movie", "movie_id:int*, title:str, release_year:int");
+  b.Fk("Actor.person_id", "Person.person_id");
+  b.Fk("Actor.movie_id", "Movie.movie_id");
+  storage::Database db(b.Build());
+  DataGenerator gen(7);
+  ASSERT_TRUE(gen.Populate(&db, 30).ok());
+  EXPECT_EQ(db.table(0).num_rows(), 30u);
+  EXPECT_EQ(db.table(2).num_rows(), 30u);
+  // Every Actor row references existing Person and Movie keys.
+  std::set<int64_t> people, movies;
+  for (const auto& row : db.table(0).rows()) people.insert(row[0].AsInt());
+  for (const auto& row : db.table(2).rows()) movies.insert(row[0].AsInt());
+  for (const auto& row : db.table(1).rows()) {
+    EXPECT_TRUE(people.count(row[0].AsInt()));
+    EXPECT_TRUE(movies.count(row[1].AsInt()));
+  }
+  // Birth years stay in the adult range.
+  for (const auto& row : db.table(0).rows()) {
+    EXPECT_GE(row[2].AsInt(), 1920);
+    EXPECT_LE(row[2].AsInt(), 1985);
+  }
+}
+
+TEST(DataGeneratorTest, Deterministic) {
+  SchemaBuilder b1, b2;
+  for (SchemaBuilder* b : {&b1, &b2}) {
+    b->Rel("T", "id:int*, name:str, year:int");
+  }
+  storage::Database a(b1.Build()), c(b2.Build());
+  DataGenerator g1(99), g2(99);
+  ASSERT_TRUE(g1.Populate(&a, 20).ok());
+  ASSERT_TRUE(g2.Populate(&c, 20).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(a.table(0).rows()[i][1].Equals(c.table(0).rows()[i][1]));
+  }
+}
+
+TEST(DataGeneratorTest, PlantOverridesAndLinks) {
+  SchemaBuilder b;
+  b.Rel("Person", "person_id:int*, name:str");
+  b.Rel("Pet", "pet_id:int*, owner_id:int, name:str");
+  b.Fk("Pet.owner_id", "Person.person_id");
+  storage::Database db(b.Build());
+  DataGenerator gen(3);
+  ASSERT_TRUE(gen.Populate(&db, 5).ok());
+  auto row = gen.Plant(&db, "Person", {{"name", storage::Value::String("Ada")}});
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsString(), "Ada");
+  auto pet = gen.Plant(&db, "Pet", {{"owner_id", (*row)[0]},
+                                    {"name", storage::Value::String("Rex")}});
+  ASSERT_TRUE(pet.ok());
+  EXPECT_TRUE((*pet)[1].Equals((*row)[0]));
+  // Unknown attribute rejected.
+  EXPECT_FALSE(gen.Plant(&db, "Pet", {{"nope", storage::Value::Int(1)}}).ok());
+}
+
+class Movie43Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = BuildMovie43(42, 60).release();
+    engine_ = new core::SchemaFreeEngine(db_);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete db_;
+    engine_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static storage::Database* db_;
+  static core::SchemaFreeEngine* engine_;
+};
+
+storage::Database* Movie43Test::db_ = nullptr;
+core::SchemaFreeEngine* Movie43Test::engine_ = nullptr;
+
+TEST_F(Movie43Test, SchemaCountsMatchThePaper) {
+  EXPECT_EQ(db_->catalog().num_relations(), kMovie43Relations);
+  EXPECT_EQ(db_->catalog().num_foreign_keys(), kMovie43ForeignKeys);
+  EXPECT_GT(db_->TotalRows(), 1000u);
+}
+
+TEST_F(Movie43Test, GoldQueriesExecuteAndAreNonEmpty) {
+  exec::Executor executor(db_);
+  for (const auto& queries : {TextbookQueries(), SophisticatedQueries()}) {
+    for (const BenchQuery& q : queries) {
+      auto result = executor.ExecuteSql(q.gold_sql);
+      ASSERT_TRUE(result.ok()) << q.id << ": " << result.status().ToString();
+      EXPECT_FALSE(result->rows.empty()) << q.id << " returned nothing";
+    }
+  }
+}
+
+TEST_F(Movie43Test, TextbookQueriesTranslateTop1) {
+  for (const BenchQuery& q : TextbookQueries()) {
+    auto best = engine_->TranslateBest(q.sfsql);
+    ASSERT_TRUE(best.ok()) << q.id << ": " << best.status().ToString();
+    auto match = TranslationMatchesGold(*db_, *best, q.gold_sql);
+    ASSERT_TRUE(match.ok()) << q.id << ": " << match.status().ToString();
+    EXPECT_TRUE(*match) << q.id << " translated to: " << best->sql
+                        << "\nnetwork: " << best->network_text;
+  }
+}
+
+TEST_F(Movie43Test, SophisticatedQueriesTranslateTop1) {
+  for (const BenchQuery& q : SophisticatedQueries()) {
+    auto best = engine_->TranslateBest(q.sfsql);
+    ASSERT_TRUE(best.ok()) << q.id << ": " << best.status().ToString();
+    auto match = TranslationMatchesGold(*db_, *best, q.gold_sql);
+    ASSERT_TRUE(match.ok()) << q.id << ": " << match.status().ToString();
+    EXPECT_TRUE(*match) << q.id << " translated to: " << best->sql
+                        << "\nnetwork: " << best->network_text;
+  }
+}
+
+TEST_F(Movie43Test, UserVariantsTranslateTop1) {
+  const auto& queries = SophisticatedQueries();
+  int correct = 0, total = 0;
+  for (int qi = 0; qi < static_cast<int>(queries.size()); ++qi) {
+    for (const std::string& variant : UserVariants(qi)) {
+      ++total;
+      auto best = engine_->TranslateBest(variant);
+      if (!best.ok()) continue;
+      auto match = TranslationMatchesGold(*db_, *best, queries[qi].gold_sql);
+      if (match.ok() && *match) {
+        ++correct;
+      } else {
+        ADD_FAILURE() << queries[qi].id << " variant failed: " << variant
+                      << "\n -> " << best->sql;
+      }
+    }
+  }
+  EXPECT_EQ(correct, total);
+}
+
+TEST_F(Movie43Test, InfoUnitShapes) {
+  // SF-SQL must cost well below GUI, which costs below full SQL (Fig. 13/14).
+  for (const BenchQuery& q : SophisticatedQueries()) {
+    auto sf = SchemaFreeInfoUnits(q.sfsql);
+    auto gui = GuiInfoUnits(db_->catalog(), q.gold_sql);
+    auto full = FullSqlInfoUnits(q.gold_sql);
+    ASSERT_TRUE(sf.ok() && gui.ok() && full.ok()) << q.id;
+    EXPECT_LT(*sf, *gui) << q.id;
+    EXPECT_LT(*gui, *full) << q.id;
+  }
+}
+
+TEST_F(Movie43Test, InfoUnitExampleValue) {
+  // The Fig. 2 query costs 6 units (Example 11).
+  auto sf = SchemaFreeInfoUnits(
+      "SELECT count(actor?.name?) WHERE actor?.gender? = 'male' AND "
+      "director_name? = 'James Cameron' AND produce_company? = '20th Century "
+      "Fox' AND year? > 1995 AND year? < 2005");
+  ASSERT_TRUE(sf.ok());
+  EXPECT_EQ(*sf, 6);
+}
+
+TEST_F(Movie43Test, AnalyzeGoldReadsJoins) {
+  auto gold = AnalyzeGold(db_->catalog(), SophisticatedQueries()[0].gold_sql);
+  ASSERT_TRUE(gold.ok()) << gold.status().ToString();
+  EXPECT_EQ(gold->relations.size(), 7u);  // S1 joins 7 relations
+  EXPECT_EQ(gold->fk_edges.size(), 6u);
+}
+
+}  // namespace
+}  // namespace sfsql::workloads

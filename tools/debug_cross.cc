@@ -1,0 +1,20 @@
+#include <iostream>
+#include "core/engine.h"
+#include "workloads/course.h"
+#include "workloads/deriver.h"
+#include "workloads/metrics.h"
+using namespace sfsql;
+int main() {
+  auto db53 = workloads::BuildCourse53();
+  auto db21 = workloads::BuildCourse21();
+  core::SchemaFreeEngine engine(db21.get());
+  for (const auto& q : workloads::CourseQueries()) {
+    if (q.relations53 > 4) continue;
+    auto sf = workloads::DeriveSchemaFree(db53->catalog(), q.gold_sql53);
+    auto best = engine.TranslateBest(*sf);
+    if (!best.ok()) { std::cout << q.id << " ERR " << best.status().ToString() << "\n  sf: " << *sf << "\n"; continue; }
+    auto m = workloads::TranslationMatchesGold(*db21, *best, q.gold_sql21);
+    if (!(m.ok() && *m)) std::cout << q.id << " WRONG\n  sf: " << *sf << "\n  -> " << best->sql << "\n  gold: " << q.gold_sql21 << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include <cstdio>
+#include <iostream>
+#include "core/engine.h"
+#include "workloads/movie43.h"
+#include "workloads/metrics.h"
+using namespace sfsql;
+int main(int argc, char** argv) {
+  auto db = workloads::BuildMovie43(42, 60);
+  core::SchemaFreeEngine engine(db.get());
+  std::string q;
+  std::getline(std::cin, q);
+  auto trans = engine.Translate(q, argc > 1 ? atoi(argv[1]) : 3);
+  if (!trans.ok()) { std::cout << trans.status().ToString() << "\n"; return 1; }
+  for (auto& t : *trans) {
+    std::cout << "w=" << t.weight << "  " << t.network_text << "\n  " << t.sql << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include <iostream>
+#include "core/engine.h"
+#include "workloads/course.h"
+#include "workloads/deriver.h"
+#include "workloads/metrics.h"
+using namespace sfsql;
+using namespace sfsql::workloads;
+int main() {
+  auto db = BuildCourse53();
+  core::SchemaFreeEngine engine(db.get());
+  for (const auto& q : CourseQueries()) {
+    auto sf = DeriveSchemaFree(db->catalog(), q.gold_sql53);
+    auto trans = engine.Translate(*sf, 10);
+    bool top1 = false, top10 = false;
+    if (trans.ok()) {
+      for (size_t i = 0; i < trans->size(); ++i) {
+        auto m = TranslationMatchesGold(*db, (*trans)[i], q.gold_sql53);
+        if (m.ok() && *m) { top10 = true; if (i == 0) top1 = true; break; }
+      }
+    }
+    if (!top1) {
+      std::cout << q.id << " top10=" << top10;
+      if (trans.ok() && !trans->empty())
+        std::cout << "  -> " << (*trans)[0].network_text
+                  << "  (w=" << (*trans)[0].weight << ")";
+      std::cout << "\n";
+    }
+    (void)engine.AddViewFromSql(q.gold_sql53);
+  }
+  return 0;
+}
