@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_textbook"
+  "../bench/bench_fig13_textbook.pdb"
+  "CMakeFiles/bench_fig13_textbook.dir/bench_fig13_textbook.cc.o"
+  "CMakeFiles/bench_fig13_textbook.dir/bench_fig13_textbook.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_textbook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_sophisticated"
+  "../bench/bench_fig14_sophisticated.pdb"
+  "CMakeFiles/bench_fig14_sophisticated.dir/bench_fig14_sophisticated.cc.o"
+  "CMakeFiles/bench_fig14_sophisticated.dir/bench_fig14_sophisticated.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_sophisticated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

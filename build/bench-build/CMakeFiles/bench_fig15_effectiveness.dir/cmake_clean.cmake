@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_effectiveness"
+  "../bench/bench_fig15_effectiveness.pdb"
+  "CMakeFiles/bench_fig15_effectiveness.dir/bench_fig15_effectiveness.cc.o"
+  "CMakeFiles/bench_fig15_effectiveness.dir/bench_fig15_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

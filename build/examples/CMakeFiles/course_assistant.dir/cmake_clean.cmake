@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_assistant.dir/course_assistant.cpp.o"
+  "CMakeFiles/course_assistant.dir/course_assistant.cpp.o.d"
+  "course_assistant"
+  "course_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_repl.dir/sfsql_repl.cpp.o"
+  "CMakeFiles/sfsql_repl.dir/sfsql_repl.cpp.o.d"
+  "sfsql_repl"
+  "sfsql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_catalog.dir/catalog.cc.o"
+  "CMakeFiles/sfsql_catalog.dir/catalog.cc.o.d"
+  "libsfsql_catalog.a"
+  "libsfsql_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

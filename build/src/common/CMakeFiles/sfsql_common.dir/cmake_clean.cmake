@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_common.dir/status.cc.o"
+  "CMakeFiles/sfsql_common.dir/status.cc.o.d"
+  "CMakeFiles/sfsql_common.dir/strings.cc.o"
+  "CMakeFiles/sfsql_common.dir/strings.cc.o.d"
+  "libsfsql_common.a"
+  "libsfsql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composer.cc" "src/core/CMakeFiles/sfsql_core.dir/composer.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/composer.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/sfsql_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/join_network.cc" "src/core/CMakeFiles/sfsql_core.dir/join_network.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/join_network.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/core/CMakeFiles/sfsql_core.dir/mapper.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/mapper.cc.o.d"
+  "/root/repo/src/core/mtjn_generator.cc" "src/core/CMakeFiles/sfsql_core.dir/mtjn_generator.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/mtjn_generator.cc.o.d"
+  "/root/repo/src/core/relation_tree.cc" "src/core/CMakeFiles/sfsql_core.dir/relation_tree.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/relation_tree.cc.o.d"
+  "/root/repo/src/core/view_graph.cc" "src/core/CMakeFiles/sfsql_core.dir/view_graph.cc.o" "gcc" "src/core/CMakeFiles/sfsql_core.dir/view_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/sfsql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sfsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sfsql_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sfsql_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

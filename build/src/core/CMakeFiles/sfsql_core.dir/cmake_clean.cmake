@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_core.dir/composer.cc.o"
+  "CMakeFiles/sfsql_core.dir/composer.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/engine.cc.o"
+  "CMakeFiles/sfsql_core.dir/engine.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/join_network.cc.o"
+  "CMakeFiles/sfsql_core.dir/join_network.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/mapper.cc.o"
+  "CMakeFiles/sfsql_core.dir/mapper.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/mtjn_generator.cc.o"
+  "CMakeFiles/sfsql_core.dir/mtjn_generator.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/relation_tree.cc.o"
+  "CMakeFiles/sfsql_core.dir/relation_tree.cc.o.d"
+  "CMakeFiles/sfsql_core.dir/view_graph.cc.o"
+  "CMakeFiles/sfsql_core.dir/view_graph.cc.o.d"
+  "libsfsql_core.a"
+  "libsfsql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_exec.dir/executor.cc.o"
+  "CMakeFiles/sfsql_exec.dir/executor.cc.o.d"
+  "CMakeFiles/sfsql_exec.dir/like.cc.o"
+  "CMakeFiles/sfsql_exec.dir/like.cc.o.d"
+  "libsfsql_exec.a"
+  "libsfsql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_sql.dir/ast.cc.o"
+  "CMakeFiles/sfsql_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sfsql_sql.dir/lexer.cc.o"
+  "CMakeFiles/sfsql_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sfsql_sql.dir/parser.cc.o"
+  "CMakeFiles/sfsql_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sfsql_sql.dir/printer.cc.o"
+  "CMakeFiles/sfsql_sql.dir/printer.cc.o.d"
+  "libsfsql_sql.a"
+  "libsfsql_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsfsql_sql.a"
+)

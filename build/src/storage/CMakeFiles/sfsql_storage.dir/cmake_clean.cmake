@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_storage.dir/database.cc.o"
+  "CMakeFiles/sfsql_storage.dir/database.cc.o.d"
+  "CMakeFiles/sfsql_storage.dir/value.cc.o"
+  "CMakeFiles/sfsql_storage.dir/value.cc.o.d"
+  "libsfsql_storage.a"
+  "libsfsql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

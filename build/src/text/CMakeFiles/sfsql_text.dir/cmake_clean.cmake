@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_text.dir/similarity.cc.o"
+  "CMakeFiles/sfsql_text.dir/similarity.cc.o.d"
+  "libsfsql_text.a"
+  "libsfsql_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/course.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/course.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/course.cc.o.d"
+  "/root/repo/src/workloads/course_queries.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/course_queries.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/course_queries.cc.o.d"
+  "/root/repo/src/workloads/datagen.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/datagen.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/datagen.cc.o.d"
+  "/root/repo/src/workloads/deriver.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/deriver.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/deriver.cc.o.d"
+  "/root/repo/src/workloads/metrics.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/metrics.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/metrics.cc.o.d"
+  "/root/repo/src/workloads/movie43.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie43.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie43.cc.o.d"
+  "/root/repo/src/workloads/movie43_queries.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie43_queries.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie43_queries.cc.o.d"
+  "/root/repo/src/workloads/movie6.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie6.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/movie6.cc.o.d"
+  "/root/repo/src/workloads/schema_builder.cc" "src/workloads/CMakeFiles/sfsql_workloads.dir/schema_builder.cc.o" "gcc" "src/workloads/CMakeFiles/sfsql_workloads.dir/schema_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sfsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sfsql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sfsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sfsql_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sfsql_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfsql_workloads.dir/course.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/course.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/course_queries.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/course_queries.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/datagen.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/datagen.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/deriver.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/deriver.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/metrics.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/metrics.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/movie43.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/movie43.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/movie43_queries.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/movie43_queries.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/movie6.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/movie6.cc.o.d"
+  "CMakeFiles/sfsql_workloads.dir/schema_builder.cc.o"
+  "CMakeFiles/sfsql_workloads.dir/schema_builder.cc.o.d"
+  "libsfsql_workloads.a"
+  "libsfsql_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfsql_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

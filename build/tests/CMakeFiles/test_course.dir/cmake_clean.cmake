@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_course.dir/course_test.cc.o"
+  "CMakeFiles/test_course.dir/course_test.cc.o.d"
+  "test_course"
+  "test_course.pdb"
+  "test_course[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_course.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

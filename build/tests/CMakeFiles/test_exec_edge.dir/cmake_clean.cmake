@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_edge.dir/exec_edge_test.cc.o"
+  "CMakeFiles/test_exec_edge.dir/exec_edge_test.cc.o.d"
+  "test_exec_edge"
+  "test_exec_edge.pdb"
+  "test_exec_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

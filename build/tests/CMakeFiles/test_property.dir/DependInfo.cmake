@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/test_property.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/test_property.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/sfsql_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sfsql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sfsql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sfsql_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sfsql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/sfsql_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/sfsql_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sfsql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_cross.dir/debug_cross.cc.o"
+  "CMakeFiles/debug_cross.dir/debug_cross.cc.o.d"
+  "debug_cross"
+  "debug_cross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_cross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

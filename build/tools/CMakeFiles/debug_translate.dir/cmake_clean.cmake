@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_translate.dir/debug_translate.cc.o"
+  "CMakeFiles/debug_translate.dir/debug_translate.cc.o.d"
+  "debug_translate"
+  "debug_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_views.dir/debug_views.cc.o"
+  "CMakeFiles/debug_views.dir/debug_views.cc.o.d"
+  "debug_views"
+  "debug_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
