@@ -1,0 +1,150 @@
+// End-to-end translation throughput on movie43, isolating the two hot-path
+// optimizations this repo adds on top of the paper's algorithms:
+//   * the similarity + mapping caches (with precomputed schema-name
+//     profiles), and
+//   * the parallel per-root MTJN search (EngineConfig::num_threads).
+//
+// The workload is the full benchmark query mix (17 textbook + 6 sophisticated
+// + 30 user variants), translated at k = 5 for several rounds. Configurations:
+//   baseline   — cache capacity 0, 1 thread (the pre-optimization behavior)
+//   cache      — default cache, 1 thread
+//   cache+MT   — default cache, 4 threads
+// All three must produce identical translations; the bench cross-checks the
+// best SQL per query and aborts on any divergence.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "workloads/movie43.h"
+
+using namespace sfsql;             // NOLINT(build/namespaces)
+using namespace sfsql::workloads;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  int translated = 0;
+  core::TranslateStats total;  // phase sums over every call
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  std::vector<std::string> best_sql;  // per query, first round (for checking)
+};
+
+std::vector<std::string> Workload() {
+  std::vector<std::string> queries;
+  for (const BenchQuery& q : TextbookQueries()) queries.push_back(q.sfsql);
+  for (const BenchQuery& q : SophisticatedQueries()) queries.push_back(q.sfsql);
+  for (int i = 0; i < 6; ++i) {
+    for (const std::string& v : UserVariants(i)) queries.push_back(v);
+  }
+  return queries;
+}
+
+RunResult RunConfig(const storage::Database* db, const core::EngineConfig& cfg,
+                    const std::vector<std::string>& queries, int rounds,
+                    int k) {
+  core::SchemaFreeEngine engine(db, cfg);
+  RunResult out;
+  auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      core::TranslateStats stats;
+      auto result = engine.Translate(queries[i], k, &stats);
+      out.total.parse_seconds += stats.parse_seconds;
+      out.total.map_seconds += stats.map_seconds;
+      out.total.graph_seconds += stats.graph_seconds;
+      out.total.generate_seconds += stats.generate_seconds;
+      out.total.compose_seconds += stats.compose_seconds;
+      if (!result.ok()) {
+        if (round == 0) out.best_sql.push_back("<" + result.status().ToString() + ">");
+        continue;
+      }
+      ++out.translated;
+      if (round == 0) out.best_sql.push_back(result->front().sql);
+    }
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  text::SimilarityCache::Stats cs = engine.similarity_cache().stats();
+  out.cache_hits = cs.hits;
+  out.cache_misses = cs.misses;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (rounds <= 0) {
+    std::fprintf(stderr, "usage: bench_translate_throughput [rounds>=1]\n");
+    return 2;
+  }
+  const int k = 5;
+  auto db = BuildMovie43(42, 60);
+  std::vector<std::string> queries = Workload();
+
+  core::EngineConfig baseline;
+  baseline.similarity_cache_capacity = 0;
+  baseline.mapping_cache_capacity = 0;
+  baseline.num_threads = 1;
+  core::EngineConfig cached;
+  cached.num_threads = 1;
+  core::EngineConfig cached_mt;
+  cached_mt.num_threads = 4;
+
+  struct Config {
+    const char* name;
+    core::EngineConfig cfg;
+  } configs[] = {
+      {"baseline (no cache, 1 thread)", baseline},
+      {"cache (1 thread)", cached},
+      {"cache + 4 threads", cached_mt},
+  };
+
+  std::printf("translation throughput — movie43, %zu queries x %d rounds, "
+              "k = %d\n\n",
+              queries.size(), rounds, k);
+  std::printf("%-30s %9s %9s %8s %9s\n", "config", "total s", "q/s", "speedup",
+              "hit rate");
+
+  double baseline_qps = 0.0;
+  std::vector<RunResult> results;
+  for (const Config& c : configs) {
+    RunResult r = RunConfig(db.get(), c.cfg, queries, rounds, k);
+    double qps = r.translated / r.seconds;
+    if (results.empty()) baseline_qps = qps;
+    double hit_rate =
+        r.cache_hits + r.cache_misses == 0
+            ? 0.0
+            : static_cast<double>(r.cache_hits) / (r.cache_hits + r.cache_misses);
+    std::printf("%-30s %9.3f %9.1f %7.2fx %8.1f%%\n", c.name, r.seconds, qps,
+                qps / baseline_qps, 100.0 * hit_rate);
+    results.push_back(std::move(r));
+  }
+
+  // Per-phase wall clock (summed over all calls) for each configuration.
+  std::printf("\nper-phase seconds (parse / map / graph / generate / compose)\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const core::TranslateStats& t = results[i].total;
+    std::printf("%-30s %7.3f %7.3f %7.3f %7.3f %7.3f\n", configs[i].name,
+                t.parse_seconds, t.map_seconds, t.graph_seconds,
+                t.generate_seconds, t.compose_seconds);
+  }
+
+  // The optimizations must be invisible in the output.
+  bool identical = true;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].best_sql != results[0].best_sql) identical = false;
+  }
+  std::printf("\ntranslations identical across configs: %s\n",
+              identical ? "yes" : "NO — BUG");
+  std::printf("acceptance: cache + 4 threads >= 2x baseline q/s\n");
+  if (!identical) return 1;
+  return 0;
+}

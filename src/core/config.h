@@ -1,6 +1,8 @@
 #ifndef SFSQL_CORE_CONFIG_H_
 #define SFSQL_CORE_CONFIG_H_
 
+#include <cstddef>
+
 namespace sfsql::core {
 
 /// Tuning parameters of the translator. Defaults are the values the paper's
@@ -45,10 +47,20 @@ struct GeneratorConfig {
   /// Hard cap on join-network size (number of relation nodes); plays the role
   /// of the size threshold customary in schema-based keyword search.
   int max_jn_nodes = 12;
-  /// Safety cap on total expansions; generation stops (reporting what it has)
-  /// if exceeded. Mostly relevant to the Regular baseline, which has no
-  /// isomorphism avoidance and explodes combinatorially.
+  /// Safety cap on expansions *per root-relation search*; a root's search
+  /// stops (reporting what it has) if exceeded. Per-root rather than global so
+  /// truncation — and with it the result set — is deterministic regardless of
+  /// how the roots are scheduled across threads. Mostly relevant to the
+  /// Regular baseline, which has no isomorphism avoidance and explodes
+  /// combinatorially.
   long long max_expansions = 5'000'000;
+  /// Number of worker threads for the per-root best-first searches of TopK /
+  /// TopKRightmost / TopKRegular. Each root relation's search is independent
+  /// (Algorithm 1 removes earlier roots from the graph, which we express as a
+  /// per-root banned set), so roots parallelize embarrassingly; results are
+  /// merged through the canonical-signature dedup and are bit-identical to
+  /// the serial path. 1 = serial (the default); 0 also means serial.
+  int num_threads = 1;
   /// Multiply each rt-mapped node's contribution by its normalized mapping
   /// similarity, so networks that bind relation trees to better-matching
   /// relations outrank structurally identical ones. With exactly specified
@@ -61,6 +73,22 @@ struct EngineConfig {
   GeneratorConfig gen;
   /// Number of translations produced by default.
   int k = 10;
+  /// Worker threads for the per-root MTJN searches; copied into
+  /// gen.num_threads at engine construction (kept here so callers can tune
+  /// the whole engine from one knob). 1 = serial.
+  int num_threads = 1;
+  /// Capacity (entries) of the engine's name-similarity memo. Similarity
+  /// scores are pure functions of (name, name, q), so the cache is exact;
+  /// 0 disables caching (used by benchmarks to reproduce the uncached
+  /// baseline). ~100 schema names x a few hundred distinct query tokens fit
+  /// comfortably in the default.
+  size_t similarity_cache_capacity = 1 << 16;
+  /// Capacity (entries) of the engine's mapping memo: MAP(rt) keyed by the
+  /// relation tree's canonical printed form. Mapping is a pure function of the
+  /// tree and the (immutable) catalog, so the memo is exact; 0 disables it.
+  /// When full the memo is cleared wholesale — trees repeat across a workload
+  /// or not at all, so LRU bookkeeping buys nothing here.
+  size_t mapping_cache_capacity = 1 << 12;
 };
 
 }  // namespace sfsql::core

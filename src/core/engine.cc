@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 
@@ -42,7 +43,54 @@ void ForEachSubquery(sql::SelectStatement& stmt,
   sql::ForEachTopLevelExpr(stmt, [&](ExprPtr& e) { walk(*e); });
 }
 
+/// Stopwatch for the TranslateStats phase breakdown; a null stats sink keeps
+/// the hot path free of clock syscalls.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) last_ = std::chrono::steady_clock::now();
+  }
+
+  /// Accumulates the time since the previous Lap (or construction) into *sink.
+  void Lap(double* sink) {
+    if (!enabled_) return;
+    auto now = std::chrono::steady_clock::now();
+    *sink += std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point last_;
+};
+
 }  // namespace
+
+MappingSet SchemaFreeEngine::CachedMap(const RelationTree& rt) const {
+  if (config_.mapping_cache_capacity == 0) return mapper_.Map(rt);
+  const std::string key = rt.ToString();
+  {
+    std::lock_guard<std::mutex> lock(map_cache_mu_);
+    auto it = map_cache_.find(key);
+    if (it != map_cache_.end()) return it->second;
+  }
+  MappingSet ms = mapper_.Map(rt);
+  std::lock_guard<std::mutex> lock(map_cache_mu_);
+  if (map_cache_.size() >= config_.mapping_cache_capacity) map_cache_.clear();
+  map_cache_.emplace(key, ms);
+  return ms;
+}
+
+std::vector<std::string> SchemaFreeEngine::SchemaNames(
+    const catalog::Catalog& catalog) {
+  std::vector<std::string> names;
+  for (int r = 0; r < catalog.num_relations(); ++r) {
+    const catalog::Relation& rel = catalog.relation(r);
+    names.push_back(rel.name);
+    for (const auto& attr : rel.attributes) names.push_back(attr.name);
+  }
+  return names;
+}
 
 void SchemaFreeEngine::ConsolidateTrees(sql::SelectStatement& stmt,
                                         Extraction& extraction,
@@ -179,7 +227,7 @@ void SchemaFreeEngine::ConsolidateTrees(sql::SelectStatement& stmt,
   extraction.trees = std::move(merged);
   mappings.clear();
   for (const RelationTree& rt : extraction.trees) {
-    mappings.push_back(mapper_.Map(rt));
+    mappings.push_back(CachedMap(rt));
   }
 }
 
@@ -358,7 +406,8 @@ Status SchemaFreeEngine::TranslateSubqueries(
 
 Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
     sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
-    int k) const {
+    int k, TranslateStats* stats) const {
+  PhaseTimer timer(stats != nullptr);
   SFSQL_ASSIGN_OR_RETURN(Extraction extraction,
                          ExtractRelationTrees(stmt, outer_bindings));
 
@@ -377,7 +426,7 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
   std::vector<MappingSet> mappings;
   mappings.reserve(extraction.trees.size());
   for (const RelationTree& rt : extraction.trees) {
-    MappingSet ms = mapper_.Map(rt);
+    MappingSet ms = CachedMap(rt);
     if (ms.candidates.empty()) {
       return Status::NotFound(
           StrCat("no relation matches '", rt.ToString(), "'"));
@@ -386,15 +435,19 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
   }
 
   ConsolidateTrees(stmt, extraction, mappings);
+  if (stats != nullptr) timer.Lap(&stats->map_seconds);
 
   ViewGraph query_views = ViewsForQuery(extraction, mappings);
   SFSQL_ASSIGN_OR_RETURN(
       ExtendedViewGraph graph,
       ExtendedViewGraph::Build(*db_, query_views, extraction.trees, mappings,
                                mapper_, config_.gen));
+  if (stats != nullptr) timer.Lap(&stats->graph_seconds);
 
   MtjnGenerator generator(&graph, config_.gen);
-  std::vector<ScoredNetwork> networks = generator.TopK(k);
+  std::vector<ScoredNetwork> networks =
+      generator.TopK(k, stats != nullptr ? &stats->generator : nullptr);
+  if (stats != nullptr) timer.Lap(&stats->generate_seconds);
   if (networks.empty()) {
     return Status::ExecutionError(
         "no join network connects the query's relation trees");
@@ -416,6 +469,7 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
     t.network_text = scored.network.ToString();
     out.push_back(std::move(t));
   }
+  if (stats != nullptr) timer.Lap(&stats->compose_seconds);
   if (out.empty()) {
     return Status::ExecutionError("no join network could be composed");
   }
@@ -424,8 +478,26 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
 
 Result<std::vector<Translation>> SchemaFreeEngine::Translate(
     std::string_view sfsql, int k) const {
-  SFSQL_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sfsql));
-  return TranslateStatement(*stmt, {}, k);
+  return Translate(sfsql, k, nullptr);
+}
+
+Result<std::vector<Translation>> SchemaFreeEngine::Translate(
+    std::string_view sfsql, int k, TranslateStats* stats) const {
+  if (stats != nullptr) *stats = TranslateStats{};
+  text::SimilarityCache::Stats before;
+  if (stats != nullptr) before = sim_cache_.stats();
+  PhaseTimer timer(stats != nullptr);
+  Result<sql::SelectPtr> stmt = sql::ParseSelect(sfsql);
+  if (stats != nullptr) timer.Lap(&stats->parse_seconds);
+  if (!stmt.ok()) return stmt.status();
+  Result<std::vector<Translation>> out =
+      TranslateStatement(**stmt, {}, k, stats);
+  if (stats != nullptr) {
+    text::SimilarityCache::Stats after = sim_cache_.stats();
+    stats->cache_hits = static_cast<long long>(after.hits - before.hits);
+    stats->cache_misses = static_cast<long long>(after.misses - before.misses);
+  }
+  return out;
 }
 
 Result<Translation> SchemaFreeEngine::TranslateBest(

@@ -1,7 +1,9 @@
 #ifndef SFSQL_CORE_ENGINE_H_
 #define SFSQL_CORE_ENGINE_H_
 
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -35,6 +37,22 @@ struct Translation {
   std::string network_text;  ///< human-readable join network
 };
 
+/// Wall-clock phase breakdown and cache counters for one Translate call.
+/// Phases cover the outermost block; subquery translation (always k = 1) is
+/// folded into compose_seconds. Cache counters are deltas over the engine's
+/// shared similarity cache, so they attribute cross-query reuse to the call
+/// that benefited.
+struct TranslateStats {
+  double parse_seconds = 0.0;
+  double map_seconds = 0.0;       ///< tree extraction + mapping + consolidation
+  double graph_seconds = 0.0;     ///< query views + extended view graph build
+  double generate_seconds = 0.0;  ///< top-k MTJN generation
+  double compose_seconds = 0.0;   ///< SQL composition, subqueries, printing
+  long long cache_hits = 0;       ///< similarity-cache hits during the call
+  long long cache_misses = 0;     ///< similarity-cache misses during the call
+  GeneratorStats generator;       ///< counters/timings from the MTJN generator
+};
+
 /// The end-to-end Schema-free SQL system (Fig. 3): parser → relation tree
 /// mapper → network builder → standard SQL composer, with optional evaluation
 /// of the best translation on the in-memory database.
@@ -51,8 +69,10 @@ class SchemaFreeEngine {
   explicit SchemaFreeEngine(const storage::Database* db,
                             EngineConfig config = {})
       : db_(db),
-        config_(config),
-        mapper_(db, config.sim),
+        config_(ResolveConfig(config)),
+        name_index_(SchemaNames(db->catalog()), config.sim.qgram),
+        sim_cache_(config.similarity_cache_capacity),
+        mapper_(db, config.sim, &name_index_, &sim_cache_),
         views_(&db->catalog()) {}
 
   /// Registers a query-log entry: its join tree becomes a view (§5.1, Fig. 5).
@@ -65,12 +85,23 @@ class SchemaFreeEngine {
   void ClearViews() { views_.Clear(); }
   const ViewGraph& view_graph() const { return views_; }
   const RelationTreeMapper& mapper() const { return mapper_; }
+  /// The engine's name-similarity memo (for its hit/miss/eviction counters; a
+  /// capacity of 0 in EngineConfig makes it a counting pass-through).
+  const text::SimilarityCache& similarity_cache() const { return sim_cache_; }
+  /// Precomputed profiles of every relation and attribute name in the catalog.
+  const text::SchemaNameIndex& name_index() const { return name_index_; }
 
   /// Translates a schema-free SELECT into up to `k` full-SQL candidates,
   /// best first. Nested blocks are translated outermost-first (§2.2.5); inner
   /// blocks always take their best interpretation.
   Result<std::vector<Translation>> Translate(std::string_view sfsql,
                                              int k) const;
+
+  /// As above, but additionally fills `*stats` with the phase timings, the
+  /// generator's counters, and the similarity-cache hit/miss deltas of this
+  /// call.
+  Result<std::vector<Translation>> Translate(std::string_view sfsql, int k,
+                                             TranslateStats* stats) const;
 
   /// Translates with k = 1 and returns the single best interpretation.
   Result<Translation> TranslateBest(std::string_view sfsql) const;
@@ -79,9 +110,26 @@ class SchemaFreeEngine {
   Result<exec::QueryResult> Execute(std::string_view sfsql) const;
 
  private:
+  /// Copies the engine-level num_threads knob into the generator config so the
+  /// whole engine is tuned from one place.
+  static EngineConfig ResolveConfig(EngineConfig config) {
+    config.gen.num_threads = config.num_threads;
+    return config;
+  }
+
+  /// Every relation and attribute name of the catalog (the strings the mapper
+  /// compares every query token against).
+  static std::vector<std::string> SchemaNames(const catalog::Catalog& catalog);
+
+  /// Memoized MAP(rt): delegates to mapper_.Map and caches the result keyed by
+  /// the tree's canonical printed form (NameRef kinds, conditions and LIKE
+  /// escapes all round-trip through ToString, so equal keys imply equal
+  /// mappings). Disabled when config_.mapping_cache_capacity == 0.
+  MappingSet CachedMap(const RelationTree& rt) const;
+
   Result<std::vector<Translation>> TranslateStatement(
       sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
-      int k) const;
+      int k, TranslateStats* stats = nullptr) const;
 
   /// Merges relation trees that clearly denote the same relation instance:
   /// an unspecified-relation tree is absorbed into a FROM-clause tree whose
@@ -107,8 +155,17 @@ class SchemaFreeEngine {
 
   const storage::Database* db_;
   EngineConfig config_;
+  /// Declared before mapper_, which holds pointers into both. The cache is
+  /// mutable because memoization is not observable through the similarity
+  /// scores (and SimilarityCache is internally synchronized).
+  text::SchemaNameIndex name_index_;
+  mutable text::SimilarityCache sim_cache_;
   RelationTreeMapper mapper_;
   ViewGraph views_;
+  /// Memoized MAP(rt) results (see CachedMap). Guarded by map_cache_mu_ so a
+  /// const engine stays safe to Translate from several threads.
+  mutable std::mutex map_cache_mu_;
+  mutable std::unordered_map<std::string, MappingSet> map_cache_;
 };
 
 }  // namespace sfsql::core

@@ -8,10 +8,37 @@
 
 namespace sfsql::core {
 
+double RelationTreeMapper::CachedNameSimilarity(std::string_view a,
+                                                std::string_view b) const {
+  auto compute = [&] {
+    // Schema-side names hit the precomputed index; everything else (query
+    // tokens, stripped remainders) is profiled on the fly. The index is only
+    // trusted when it was built for our q-gram size.
+    const text::NameProfile* pa =
+        index_ != nullptr && index_->q() == config_.qgram ? index_->Find(a)
+                                                          : nullptr;
+    const text::NameProfile* pb =
+        index_ != nullptr && index_->q() == config_.qgram ? index_->Find(b)
+                                                          : nullptr;
+    text::NameProfile local_a, local_b;
+    if (pa == nullptr) {
+      local_a = text::BuildNameProfile(a, config_.qgram);
+      pa = &local_a;
+    }
+    if (pb == nullptr) {
+      local_b = text::BuildNameProfile(b, config_.qgram);
+      pb = &local_b;
+    }
+    return text::SchemaNameSimilarity(*pa, *pb);
+  };
+  if (cache_ != nullptr) return cache_->GetOrCompute(a, b, config_.qgram, compute);
+  return compute();
+}
+
 double RelationTreeMapper::NameSimilarity(const sql::NameRef& guess,
                                           std::string_view actual) const {
   if (guess.has_name_hint()) {
-    return text::SchemaNameSimilarity(guess.name, actual, config_.qgram);
+    return CachedNameSimilarity(guess.name, actual);
   }
   // ?x and ? carry no name information: neutral small default, letting the
   // condition-satisfaction factor and the join structure disambiguate.
@@ -62,9 +89,16 @@ bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
   if (cond.op == "like") {
     if (cond.values.empty() || !cond.values[0].is_string()) return false;
     const std::string& pattern = cond.values[0].AsString();
+    char escape = '\0';
+    if (cond.values.size() > 1 && cond.values[1].is_string() &&
+        !cond.values[1].AsString().empty()) {
+      escape = cond.values[1].AsString()[0];
+    }
     for (const storage::Row& row : db_->table(relation_id).rows()) {
       const storage::Value& v = row[attr_index];
-      if (v.is_string() && exec::LikeMatch(v.AsString(), pattern)) return true;
+      if (v.is_string() && exec::LikeMatch(v.AsString(), pattern, escape)) {
+        return true;
+      }
     }
     return false;
   }
@@ -143,9 +177,7 @@ double RelationTreeMapper::AttributeSimilarity(const AttributeTree& at,
           !stripped_guess.empty() &&
           !EqualsIgnoreCase(stripped_guess, ToLower(at.name.name));
       if (guess_was_qualified && !stripped_attr.empty()) {
-        raw = std::max(raw, text::SchemaNameSimilarity(stripped_guess,
-                                                       stripped_attr,
-                                                       config_.qgram));
+        raw = std::max(raw, CachedNameSimilarity(stripped_guess, stripped_attr));
       }
     }
     // Floor the name similarity at k_def: a compound guess like

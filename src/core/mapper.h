@@ -1,11 +1,14 @@
 #ifndef SFSQL_CORE_MAPPER_H_
 #define SFSQL_CORE_MAPPER_H_
 
+#include <string_view>
 #include <vector>
 
 #include "core/config.h"
 #include "core/relation_tree.h"
 #include "storage/database.h"
+#include "text/schema_name_index.h"
+#include "text/similarity_cache.h"
 
 namespace sfsql::core {
 
@@ -38,8 +41,14 @@ struct MappingSet {
 /// (the (m+1)/(n+1) factor of §4.3).
 class RelationTreeMapper {
  public:
-  RelationTreeMapper(const storage::Database* db, SimilarityConfig config)
-      : db_(db), config_(config) {}
+  /// `index` (precomputed profiles of every schema-element name) and `cache`
+  /// (memoized similarity scores) are optional accelerators owned by the
+  /// caller — SchemaFreeEngine builds both once per catalog. Either may be
+  /// null; scores are identical with or without them.
+  RelationTreeMapper(const storage::Database* db, SimilarityConfig config,
+                     const text::SchemaNameIndex* index = nullptr,
+                     text::SimilarityCache* cache = nullptr)
+      : db_(db), config_(config), index_(index), cache_(cache) {}
 
   /// Sim(rt, R) = Sim(n(rt), R) * prod_i Sim(at_i, R)  (§4.1).
   double Similarity(const RelationTree& rt, int relation_id) const;
@@ -69,8 +78,14 @@ class RelationTreeMapper {
   bool ConditionSatisfiable(int relation_id, int attr_index,
                             const Condition& cond) const;
 
+  /// SchemaNameSimilarity(a, b, qgram), memoized through `cache_` and fed
+  /// with precomputed profiles from `index_` when available.
+  double CachedNameSimilarity(std::string_view a, std::string_view b) const;
+
   const storage::Database* db_;
   SimilarityConfig config_;
+  const text::SchemaNameIndex* index_ = nullptr;
+  text::SimilarityCache* cache_ = nullptr;
 };
 
 }  // namespace sfsql::core

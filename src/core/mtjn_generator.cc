@@ -1,10 +1,14 @@
 #include "core/mtjn_generator.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <queue>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 
 namespace sfsql::core {
 
@@ -36,15 +40,16 @@ class TopKResults {
     std::string sig = jn.CanonicalSignature();
     auto it = by_signature_.find(sig);
     if (it == by_signature_.end()) {
-      by_signature_.emplace(sig, jn);
+      by_signature_.emplace(std::move(sig), jn);
     } else if (jn.weight() > it->second.weight()) {
       it->second = jn;
     }
   }
 
-  /// Weight of the kth best result, 0 if fewer than k exist yet.
+  /// Weight of the kth best result, 0 if fewer than k exist yet (k <= 0 means
+  /// "no bound": never prune).
   double KthWeight() const {
-    if (static_cast<int>(by_signature_.size()) < k_) return 0.0;
+    if (k_ <= 0 || static_cast<int>(by_signature_.size()) < k_) return 0.0;
     std::vector<double> weights;
     weights.reserve(by_signature_.size());
     for (const auto& [sig, jn] : by_signature_) weights.push_back(jn.weight());
@@ -53,58 +58,93 @@ class TopKResults {
     return weights[k_ - 1];
   }
 
-  std::vector<ScoredNetwork> Take() const {
-    std::vector<ScoredNetwork> out;
-    out.reserve(by_signature_.size());
-    for (const auto& [sig, jn] : by_signature_) {
-      out.push_back(ScoredNetwork{jn, jn.weight()});
-    }
-    std::sort(out.begin(), out.end(),
-              [](const ScoredNetwork& a, const ScoredNetwork& b) {
-                return a.weight > b.weight;
-              });
-    if (static_cast<int>(out.size()) > k_) out.erase(out.begin() + k_, out.end());
-    return out;
-  }
+  std::map<std::string, JoinNetwork>& by_signature() { return by_signature_; }
 
  private:
   int k_;
   std::map<std::string, JoinNetwork> by_signature_;
 };
 
+double Seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Deterministic result order: weight descending, canonical signature
+/// ascending. The signature tie-break keeps equal-weight networks (common —
+/// weights are products of a few config constants) in one stable order across
+/// runs, platforms, and thread counts.
+std::vector<ScoredNetwork> TakeTopK(
+    const std::map<std::string, JoinNetwork>& by_signature, int k) {
+  std::vector<std::pair<const std::string*, const JoinNetwork*>> items;
+  items.reserve(by_signature.size());
+  for (const auto& [sig, jn] : by_signature) items.push_back({&sig, &jn});
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second->weight() != b.second->weight()) {
+      return a.second->weight() > b.second->weight();
+    }
+    return *a.first < *b.first;
+  });
+  if (k >= 0 && static_cast<int>(items.size()) > k) items.resize(k);
+  std::vector<ScoredNetwork> out;
+  out.reserve(items.size());
+  for (const auto& [sig, jn] : items) {
+    out.push_back(ScoredNetwork{*jn, jn->weight()});
+  }
+  return out;
+}
+
 }  // namespace
 
 double MtjnGenerator::PotentialEstimate(const JoinNetwork& jn) const {
   double w = jn.weight();
   uint64_t covered = jn.rt_mask();
-  // The xnodes currently reachable as path targets (jn' in Algorithm 3).
-  std::vector<int> anchors;
-  anchors.reserve(jn.size());
-  for (const JnNode& n : jn.nodes()) anchors.push_back(n.xnode);
-
   const int total = graph_->num_rts();
+
+  // Candidate nodes of the still-uncovered relation trees, each carrying its
+  // best path weight to any anchor seen so far. Anchors only accumulate (the
+  // network's own nodes, then each greedily chosen node), so the max is
+  // maintained incrementally instead of rescanning every anchor per round —
+  // same values, same greedy choices, linear instead of quadratic in anchors.
+  struct Candidate {
+    int rt;
+    int node;
+    double best_path;  // max over anchors so far (no mapping factor)
+  };
+  std::vector<Candidate> candidates;
+  for (int rt = 0; rt < total; ++rt) {
+    if (covered & (1ull << rt)) continue;
+    for (int u : graph_->NodesOfRt(rt)) {
+      double d = 0.0;
+      for (const JnNode& n : jn.nodes()) {
+        d = std::max(d, graph_->PathWeight(u, n.xnode));
+      }
+      candidates.push_back(Candidate{rt, u, d});
+    }
+  }
+
   while (true) {
     double best = 0.0;
     int best_rt = -1;
     int best_node = -1;
-    for (int rt = 0; rt < total; ++rt) {
-      if (covered & (1ull << rt)) continue;
-      for (int u : graph_->NodesOfRt(rt)) {
-        double d = 0.0;
-        for (int v : anchors) d = std::max(d, graph_->PathWeight(u, v));
-        if (config_.use_mapping_scores) d *= graph_->node(u).mapping_factor;
-        if (d > best) {
-          best = d;
-          best_rt = rt;
-          best_node = u;
-        }
+    for (const Candidate& c : candidates) {
+      if (covered & (1ull << c.rt)) continue;
+      double d = c.best_path;
+      if (config_.use_mapping_scores) d *= graph_->node(c.node).mapping_factor;
+      if (d > best) {
+        best = d;
+        best_rt = c.rt;
+        best_node = c.node;
       }
     }
     if (best_rt < 0) break;  // all covered
     if (best == 0.0) return 0.0;  // some relation tree is unreachable
     w *= best;
     covered |= 1ull << best_rt;
-    anchors.push_back(best_node);
+    for (Candidate& c : candidates) {
+      if (covered & (1ull << c.rt)) continue;
+      c.best_path = std::max(c.best_path, graph_->PathWeight(c.node, best_node));
+    }
   }
   return w;
 }
@@ -115,61 +155,73 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
   GeneratorStats& st = stats != nullptr ? *stats : local;
   st = GeneratorStats{};
 
-  TopKResults results(k);
-  if (graph_->num_rts() == 0) return results.Take();
+  if (k == 0 || graph_->num_rts() == 0) return {};
 
   const bool legality = strategy != Strategy::kRegular;
   const bool pruning = strategy == Strategy::kOurs;
-  long long seq = 0;
 
   // Roots: the nodes mapped by the first relation tree (Algorithm 1), ordered
   // by decreasing potential. Every MTJN contains exactly one of them.
-  std::vector<int> roots = graph_->NodesOfRt(0);
+  auto rank_start = std::chrono::steady_clock::now();
   std::vector<std::pair<double, int>> ranked;
-  for (int r : roots) {
+  for (int r : graph_->NodesOfRt(0)) {
     JoinNetwork seed(graph_, r, config_.use_mapping_scores);
     ranked.push_back({PotentialEstimate(seed), r});
   }
   std::sort(ranked.begin(), ranked.end(), std::greater<>());
+  st.rank_seconds = Seconds(rank_start);
 
-  std::set<int> banned;  // earlier roots, removed from the graph (Alg. 1 line 5)
+  // One best-first search per root. Each search only sees its own pruning
+  // bound and its own expansion budget, so its outcome depends on nothing but
+  // (graph, root, banned set, initial_bound) — the prerequisite for running
+  // them on threads without losing determinism. `banned` holds all
+  // better-ranked roots (Algorithm 1 line 5 removes a finished root from the
+  // graph). `initial_bound` is a weight known to be no greater than the final
+  // global kth weight; anything strictly below it can never enter the top k.
+  auto search_root = [&](size_t rank_index, double initial_bound,
+                         GeneratorStats& rst)
+      -> std::map<std::string, JoinNetwork> {
+    const int root = ranked[rank_index].second;
+    std::set<int> banned;
+    for (size_t j = 0; j < rank_index; ++j) banned.insert(ranked[j].second);
 
-  auto contains_banned_new = [&](const JoinNetwork& before,
-                                 const JoinNetwork& after) {
-    for (int t = before.size(); t < after.size(); ++t) {
-      if (banned.count(after.node(t).xnode) > 0) return true;
-    }
-    return false;
-  };
-
-  for (auto [root_potential, root] : ranked) {
-    if (st.truncated) break;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare> queue;
+    TopKResults results(k);
     JoinNetwork seed(graph_, root, config_.use_mapping_scores);
     if (graph_->num_rts() == 1) {
       // A single relation tree: the seed itself is the MTJN.
-      ++st.emitted;
+      ++rst.emitted;
       results.Add(seed);
-      banned.insert(root);
-      continue;
+      return std::move(results.by_signature());
     }
-    queue.push(QueueEntry{pruning ? PotentialEstimate(seed) : seed.weight(),
+
+    auto contains_banned_new = [&](const JoinNetwork& before,
+                                   const JoinNetwork& after) {
+      for (int t = before.size(); t < after.size(); ++t) {
+        if (banned.count(after.node(t).xnode) > 0) return true;
+      }
+      return false;
+    };
+
+    long long seq = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare> queue;
+    queue.push(QueueEntry{pruning ? ranked[rank_index].first : seed.weight(),
                           seq++, std::move(seed)});
-    ++st.pushed;
+    ++rst.pushed;
 
     while (!queue.empty()) {
-      if (st.expansions > config_.max_expansions) {
-        st.truncated = true;
+      if (rst.expansions > config_.max_expansions) {
+        rst.truncated = true;
         break;
       }
       QueueEntry entry = queue.top();
       queue.pop();
-      ++st.popped;
-      // The priority upper-bounds every descendant: once it cannot beat the
-      // current kth weight, neither can anything left in the queue.
-      if (entry.priority <= results.KthWeight() && results.KthWeight() > 0.0) {
-        break;
-      }
+      ++rst.popped;
+      // The priority upper-bounds every descendant: once it falls *strictly*
+      // below the pruning bound, neither it nor anything left in the queue
+      // can reach the top k. (Strictly: an equal-weight network may still
+      // belong to the top k under the signature tie-break.)
+      double bound = std::max(initial_bound, results.KthWeight());
+      if (bound > 0.0 && entry.priority < bound) break;
       const JoinNetwork& jn = entry.jn;
 
       for (int t = 0; t < jn.size(); ++t) {
@@ -177,12 +229,12 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
         int xnode = jn.node(t).xnode;
 
         auto consider = [&](std::optional<JoinNetwork> expanded) {
-          ++st.expansions;
+          ++rst.expansions;
           if (!expanded.has_value()) return;
           if (contains_banned_new(jn, *expanded)) return;
           if (expanded->IsTotal()) {
             if (expanded->IsMinimal()) {
-              ++st.emitted;
+              ++rst.emitted;
               results.Add(*expanded);
             }
             return;  // total networks cannot grow into new MTJNs
@@ -190,13 +242,13 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
           if (legality && expanded->HasDeadBareLeaf()) return;  // Example 9
           double priority =
               pruning ? PotentialEstimate(*expanded) : expanded->weight();
-          if (pruning && results.KthWeight() > 0.0 &&
-              priority <= results.KthWeight()) {
-            ++st.pruned;
+          double kth = std::max(initial_bound, results.KthWeight());
+          if (pruning && kth > 0.0 && priority < kth) {
+            ++rst.pruned;
             return;
           }
           queue.push(QueueEntry{priority, seq++, std::move(*expanded)});
-          ++st.pushed;
+          ++rst.pushed;
         };
 
         for (int edge_id : graph_->EdgesOf(xnode)) {
@@ -212,9 +264,73 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
         }
       }
     }
-    banned.insert(root);
+    return std::move(results.by_signature());
+  };
+
+  auto search_start = std::chrono::steady_clock::now();
+  std::vector<std::map<std::string, JoinNetwork>> outcomes(ranked.size());
+  std::vector<GeneratorStats> root_stats(ranked.size());
+
+  // The best-ranked root searches first with no outside bound; its kth weight
+  // is a floor on the final global kth weight (its results all pool into the
+  // merge), so it safely seeds every other root's pruning bound. The seed is
+  // the same number regardless of scheduling, which keeps the parallel path
+  // bit-identical to the serial one.
+  outcomes[0] = search_root(0, 0.0, root_stats[0]);
+  double bound0 = 0.0;
+  if (k >= 1 && static_cast<int>(outcomes[0].size()) >= k) {
+    std::vector<double> weights;
+    weights.reserve(outcomes[0].size());
+    for (const auto& [sig, jn] : outcomes[0]) weights.push_back(jn.weight());
+    std::nth_element(weights.begin(), weights.begin() + (k - 1), weights.end(),
+                     std::greater<double>());
+    bound0 = weights[k - 1];
   }
-  return results.Take();
+
+  const size_t rest = ranked.size() - 1;
+  int num_threads = std::max(1, config_.num_threads);
+  num_threads = std::min<int>(num_threads, static_cast<int>(rest));
+  if (num_threads <= 1) {
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      outcomes[i] = search_root(i, bound0, root_stats[i]);
+    }
+  } else {
+    std::atomic<size_t> next{1};
+    auto worker = [&] {
+      for (size_t i = next.fetch_add(1); i < ranked.size();
+           i = next.fetch_add(1)) {
+        outcomes[i] = search_root(i, bound0, root_stats[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (int w = 0; w < num_threads; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Merge per-root results in rank order: canonical-signature dedup keeping
+  // the best construction weight, exactly as a shared accumulator would.
+  std::map<std::string, JoinNetwork> merged;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const GeneratorStats& rst = root_stats[i];
+    st.pushed += rst.pushed;
+    st.popped += rst.popped;
+    st.expansions += rst.expansions;
+    st.pruned += rst.pruned;
+    st.emitted += rst.emitted;
+    st.truncated = st.truncated || rst.truncated;
+    for (auto& [sig, jn] : outcomes[i]) {
+      auto it = merged.find(sig);
+      if (it == merged.end()) {
+        merged.emplace(sig, std::move(jn));
+      } else if (jn.weight() > it->second.weight()) {
+        it->second = std::move(jn);
+      }
+    }
+  }
+  st.roots = static_cast<int>(ranked.size());
+  st.search_seconds = Seconds(search_start);
+  return TakeTopK(merged, k);
 }
 
 std::vector<ScoredNetwork> MtjnGenerator::TopK(int k,
@@ -282,13 +398,7 @@ std::vector<ScoredNetwork> MtjnGenerator::EnumerateAll(int max_nodes) const {
     }
     frontier = std::move(next);
   }
-  std::vector<ScoredNetwork> out;
-  for (const auto& [sig, jn] : mtjns) out.push_back(ScoredNetwork{jn, jn.weight()});
-  std::sort(out.begin(), out.end(),
-            [](const ScoredNetwork& a, const ScoredNetwork& b) {
-              return a.weight > b.weight;
-            });
-  return out;
+  return TakeTopK(mtjns, -1);
 }
 
 }  // namespace sfsql::core

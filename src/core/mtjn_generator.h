@@ -16,14 +16,20 @@ struct ScoredNetwork {
   double weight = 0.0;
 };
 
-/// Counters for the efficiency experiments (Fig. 17).
+/// Counters for the efficiency experiments (Fig. 17). Counters are summed
+/// over the per-root searches in root-rank order, so they are identical for
+/// the serial and parallel paths; the wall-clock phase timings are what the
+/// throughput benchmarks report.
 struct GeneratorStats {
   long long pushed = 0;    ///< partial networks enqueued
   long long popped = 0;    ///< partial networks expanded
   long long expansions = 0;  ///< expansion attempts (edge or view)
   long long pruned = 0;    ///< partial networks dropped by potential pruning
   long long emitted = 0;   ///< MTJNs reaching the result set (pre-dedup)
-  bool truncated = false;  ///< hit the max_expansions safety cap
+  bool truncated = false;  ///< some root hit the max_expansions safety cap
+  int roots = 0;           ///< per-root best-first searches performed
+  double rank_seconds = 0.0;    ///< wall clock: root ranking (Algorithm 1 prep)
+  double search_seconds = 0.0;  ///< wall clock: all per-root searches + merge
 };
 
 /// Top-k minimal-total-join-network generation over an extended view graph.
@@ -41,7 +47,16 @@ struct GeneratorStats {
 ///                      partial networks are re-expanded many times.
 ///
 /// All strategies deduplicate *results* by canonical signature, keeping the
-/// best construction weight per network (Definition 7).
+/// best construction weight per network (Definition 7), and order results by
+/// weight with ties broken on canonical signature — so the returned list is
+/// identical across runs, platforms, and thread counts.
+///
+/// Each root relation's best-first search is independent (Algorithm 1 removes
+/// earlier roots from the graph, expressed here as a per-root banned set), so
+/// GeneratorConfig::num_threads > 1 runs the roots on a small thread pool.
+/// Pruning bounds are per-root and the per-root searches are scheduled
+/// deterministically, so the parallel path produces bit-identical results to
+/// the serial one.
 class MtjnGenerator {
  public:
   MtjnGenerator(const ExtendedViewGraph* graph, GeneratorConfig config)

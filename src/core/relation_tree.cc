@@ -24,6 +24,13 @@ std::string Condition::ToString() const {
     }
     return out + ")";
   }
+  if (op == "like" && values.size() > 1) {
+    // values[1] is the ESCAPE character; it changes the pattern's meaning and
+    // must show up anywhere the condition is used as an identity (e.g. the
+    // engine's mapping cache keys on this printed form).
+    return StrCat(op, " ", values[0].ToSqlLiteral(), " escape ",
+                  values[1].ToSqlLiteral());
+  }
   return StrCat(op, " ", values.empty() ? "?" : values[0].ToSqlLiteral());
 }
 
@@ -332,8 +339,13 @@ class Extractor {
             e.lhs->kind == ExprKind::kColumnRef &&
             e.rhs->kind == ExprKind::kLiteral) {
           SFSQL_ASSIGN_OR_RETURN(auto loc, RegisterColumn(*e.lhs));
-          AddCondition(loc.first, loc.second,
-                       Condition{"like", {e.rhs->literal}});
+          // values[0] is the pattern; values[1], when present, the ESCAPE
+          // character (see Condition's contract in relation_tree.h).
+          Condition cond{"like", {e.rhs->literal}};
+          if (!e.like_escape.empty()) {
+            cond.values.push_back(storage::Value::String(e.like_escape));
+          }
+          AddCondition(loc.first, loc.second, std::move(cond));
           return Status::OK();
         }
         SFSQL_RETURN_IF_ERROR(VisitExpr(*e.lhs, false));

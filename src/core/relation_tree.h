@@ -12,7 +12,9 @@ namespace sfsql::core {
 
 /// A value constraint attached to an attribute tree (the condition level of an
 /// expression triple, §3.1). `op` is one of "=", "<>", "<", "<=", ">", ">=",
-/// "like", or "in" (where `values` lists the alternatives).
+/// "like", or "in" (where `values` lists the alternatives). For "like",
+/// `values[0]` is the pattern and an optional `values[1]` holds the ESCAPE
+/// character as a one-character string.
 struct Condition {
   std::string op;
   std::vector<storage::Value> values;

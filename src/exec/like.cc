@@ -4,26 +4,63 @@
 
 namespace sfsql::exec {
 
-bool LikeMatch(std::string_view text, std::string_view pattern) {
+namespace {
+
+/// One compiled pattern element.
+struct PatternTok {
+  enum Kind { kAnyRun, kAnyOne, kLiteral } kind;
+  char ch = '\0';  // for kLiteral
+};
+
+/// Expands escapes so the matcher below never has to ask whether a '%' is a
+/// wildcard: after compilation every token's meaning is unambiguous.
+std::vector<PatternTok> Compile(std::string_view pattern, char escape) {
+  std::vector<PatternTok> toks;
+  toks.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape != '\0' && c == escape) {
+      if (i + 1 < pattern.size()) {
+        toks.push_back({PatternTok::kLiteral, pattern[++i]});
+      } else {
+        toks.push_back({PatternTok::kLiteral, escape});  // dangling escape
+      }
+    } else if (c == '%') {
+      toks.push_back({PatternTok::kAnyRun});
+    } else if (c == '_') {
+      toks.push_back({PatternTok::kAnyOne});
+    } else {
+      toks.push_back({PatternTok::kLiteral, c});
+    }
+  }
+  return toks;
+}
+
+}  // namespace
+
+bool LikeMatch(std::string_view text, std::string_view pattern, char escape) {
+  std::vector<PatternTok> toks = Compile(pattern, escape);
   // Iterative two-pointer algorithm with backtracking on the last '%'.
   size_t t = 0, p = 0;
-  size_t star_p = std::string_view::npos, star_t = 0;
+  size_t star_p = static_cast<size_t>(-1), star_t = 0;
   while (t < text.size()) {
-    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+    if (p < toks.size() &&
+        (toks[p].kind == PatternTok::kAnyOne ||
+         (toks[p].kind == PatternTok::kLiteral && toks[p].ch == text[t]))) {
       ++t;
       ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
+    } else if (p < toks.size() && toks[p].kind == PatternTok::kAnyRun) {
       star_p = p++;
       star_t = t;
-    } else if (star_p != std::string_view::npos) {
+    } else if (star_p != static_cast<size_t>(-1)) {
       p = star_p + 1;
       t = ++star_t;
     } else {
       return false;
     }
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  while (p < toks.size() && toks[p].kind == PatternTok::kAnyRun) ++p;
+  return p == toks.size();
 }
 
 }  // namespace sfsql::exec

@@ -6,8 +6,16 @@
 namespace sfsql::exec {
 
 /// SQL LIKE matching: '%' matches any run (including empty), '_' any one
-/// character. Case-sensitive, no escape character.
-bool LikeMatch(std::string_view text, std::string_view pattern);
+/// character. Case-sensitive.
+///
+/// `escape` is the SQL ESCAPE character ('\0' = none, the default). When set,
+/// escape followed by any character makes that character literal — so
+/// LikeMatch("100%", "100\\%", '\\') is true while LikeMatch("1000", "100\\%",
+/// '\\') is false. A trailing escape with nothing to escape matches a literal
+/// escape character (engines differ here; erroring would poison whole
+/// predicates, so we pick the forgiving reading).
+bool LikeMatch(std::string_view text, std::string_view pattern,
+               char escape = '\0');
 
 }  // namespace sfsql::exec
 

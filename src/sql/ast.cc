@@ -110,6 +110,7 @@ ExprPtr Expr::Clone() const {
   e->at_index = at_index;
   e->uop = uop;
   e->bop = bop;
+  e->like_escape = like_escape;
   if (lhs) e->lhs = lhs->Clone();
   if (rhs) e->rhs = rhs->Clone();
   e->function_name = function_name;

@@ -15,8 +15,8 @@ namespace {
 constexpr std::string_view kReservedWords[] = {
     "select", "from",  "where",   "group",  "by",     "having", "order",
     "asc",    "desc",  "and",     "or",     "not",    "in",     "exists",
-    "between", "like", "is",      "null",   "as",     "distinct", "limit",
-    "true",   "false", "union",
+    "between", "like", "escape",  "is",     "null",   "as",     "distinct",
+    "limit",  "true",  "false",   "union",
 };
 
 bool IsReserved(std::string_view word) {
@@ -270,6 +270,13 @@ class Parser {
       Advance();
       SFSQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
       ExprPtr cmp = Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(rhs));
+      if (ConsumeKeyword("escape")) {
+        if (Peek().type != TokenType::kStringLiteral ||
+            Peek().text.size() != 1) {
+          return Error("ESCAPE requires a single-character string literal");
+        }
+        cmp->like_escape = Advance().text;
+      }
       if (negated) cmp = Expr::Unary(UnaryOp::kNot, std::move(cmp));
       return cmp;
     }

@@ -127,6 +127,10 @@ void PrintExprTo(const Expr& e, std::string& out) {
       out += BinaryOpToString(e.bop);
       out += " ";
       PrintChild(e, *e.rhs, out);
+      if (e.bop == BinaryOp::kLike && !e.like_escape.empty()) {
+        out += " ESCAPE ";
+        out += storage::Value::String(e.like_escape).ToSqlLiteral();
+      }
       return;
     case ExprKind::kFunctionCall:
       out += e.function_name;

@@ -12,9 +12,9 @@ std::set<std::string> QGrams(std::string_view s, int q) {
   if (s.empty() || q <= 0) return grams;
   std::string padded;
   padded.reserve(s.size() + 2 * (q - 1));
-  padded.append(q - 1, '#');
+  padded.append(q - 1, kQGramPad);
   padded += ToLower(s);
-  padded.append(q - 1, '#');
+  padded.append(q - 1, kQGramPad);
   if (static_cast<int>(padded.size()) < q) return grams;
   for (size_t i = 0; i + q <= padded.size(); ++i) {
     grams.insert(padded.substr(i, q));
@@ -22,18 +22,21 @@ std::set<std::string> QGrams(std::string_view s, int q) {
   return grams;
 }
 
+double GramSetJaccard(const std::set<std::string>& a,
+                      const std::set<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& g : a) {
+    if (b.count(g) > 0) ++intersection;
+  }
+  size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
 double QGramJaccard(std::string_view a, std::string_view b, int q) {
   if (EqualsIgnoreCase(a, b)) return 1.0;
-  std::set<std::string> ga = QGrams(a, q);
-  std::set<std::string> gb = QGrams(b, q);
-  if (ga.empty() && gb.empty()) return 1.0;
-  if (ga.empty() || gb.empty()) return 0.0;
-  size_t intersection = 0;
-  for (const std::string& g : ga) {
-    if (gb.count(g) > 0) ++intersection;
-  }
-  size_t unions = ga.size() + gb.size() - intersection;
-  return static_cast<double>(intersection) / static_cast<double>(unions);
+  return GramSetJaccard(QGrams(a, q), QGrams(b, q));
 }
 
 int EditDistance(std::string_view a_raw, std::string_view b_raw) {
@@ -64,22 +67,39 @@ double EditSimilarity(std::string_view a, std::string_view b) {
                    static_cast<double>(longest);
 }
 
-double SchemaNameSimilarity(std::string_view a, std::string_view b, int q) {
-  if (EqualsIgnoreCase(a, b)) return 1.0;
-  double best = QGramJaccard(a, b, q);
+NameProfile BuildNameProfile(std::string_view name, int q) {
+  NameProfile p;
+  p.q = q;
+  p.lower = ToLower(name);
+  p.words = SplitIdentifierWords(name);
+  p.grams = QGrams(name, q);
+  p.word_grams.reserve(p.words.size());
+  for (const std::string& w : p.words) p.word_grams.push_back(QGrams(w, q));
+  return p;
+}
+
+double SchemaNameSimilarity(const NameProfile& a, const NameProfile& b) {
+  if (a.lower == b.lower) return 1.0;
+  double best = GramSetJaccard(a.grams, b.grams);
   // Compound identifiers: take the best per-word match, damped so that a partial
   // word hit never outranks an exact whole-name match.
   constexpr double kWordDamping = 0.9;
-  std::vector<std::string> wa = SplitIdentifierWords(a);
-  std::vector<std::string> wb = SplitIdentifierWords(b);
-  if (wa.size() > 1 || wb.size() > 1) {
-    for (const std::string& x : wa) {
-      for (const std::string& y : wb) {
-        best = std::max(best, kWordDamping * QGramJaccard(x, y, q));
+  if (a.words.size() > 1 || b.words.size() > 1) {
+    for (size_t i = 0; i < a.words.size(); ++i) {
+      for (size_t j = 0; j < b.words.size(); ++j) {
+        double word_sim =
+            a.words[i] == b.words[j]
+                ? 1.0
+                : GramSetJaccard(a.word_grams[i], b.word_grams[j]);
+        best = std::max(best, kWordDamping * word_sim);
       }
     }
   }
   return best;
+}
+
+double SchemaNameSimilarity(std::string_view a, std::string_view b, int q) {
+  return SchemaNameSimilarity(BuildNameProfile(a, q), BuildNameProfile(b, q));
 }
 
 }  // namespace sfsql::text

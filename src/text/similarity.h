@@ -4,11 +4,20 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sfsql::text {
 
+/// Padding sentinel used by QGrams. Deliberately out of band: 0x1F (ASCII unit
+/// separator) cannot appear in SQL identifiers, so padding grams can never
+/// collide with content grams. (The classic '#' marker conflated identifiers
+/// that actually contain '#' — e.g. parser-generated anonymous variables —
+/// with their own padding.)
+inline constexpr char kQGramPad = '\x1F';
+
 /// Multiset-free q-gram set of `s` (lower-cased, padded with `q-1` leading and
-/// trailing '#' markers, the classic scheme). Empty input yields an empty set.
+/// trailing kQGramPad markers, the classic scheme). Empty input yields an
+/// empty set.
 std::set<std::string> QGrams(std::string_view s, int q);
 
 /// Jaccard coefficient |A ∩ B| / |A ∪ B| between the q-gram sets of `a` and `b`.
@@ -23,6 +32,25 @@ int EditDistance(std::string_view a, std::string_view b);
 /// 1 - EditDistance / max(len): normalized edit similarity in [0, 1].
 double EditSimilarity(std::string_view a, std::string_view b);
 
+/// Everything SchemaNameSimilarity needs to know about one name, computed
+/// once. SchemaNameIndex precomputes these for every schema-element name so
+/// the mapper's hot loop never re-lowercases, re-splits, or re-builds q-gram
+/// sets (see schema_name_index.h).
+struct NameProfile {
+  std::string lower;                            ///< lower-cased full name
+  std::vector<std::string> words;               ///< identifier word split
+  std::set<std::string> grams;                  ///< q-grams of the full name
+  std::vector<std::set<std::string>> word_grams;  ///< q-grams per word
+  int q = 3;
+};
+
+/// Builds the profile of `name` for q-gram size `q`.
+NameProfile BuildNameProfile(std::string_view name, int q = 3);
+
+/// Jaccard between two precomputed gram sets (1.0 when both empty).
+double GramSetJaccard(const std::set<std::string>& a,
+                      const std::set<std::string>& b);
+
 /// Word-aware schema-name similarity used throughout the mapper: the maximum of
 /// (a) q-gram Jaccard on the whole (lower-cased) names and (b) the best Jaccard
 /// between individual identifier words, damped by 0.9. This makes compound
@@ -30,6 +58,10 @@ double EditSimilarity(std::string_view a, std::string_view b);
 /// similar to "Company", which plain whole-string q-grams under-score. Exact
 /// (case-insensitive) matches always score 1.
 double SchemaNameSimilarity(std::string_view a, std::string_view b, int q = 3);
+
+/// Profile-based overload; bit-identical to the string version (the string
+/// version delegates here), so cached/indexed and direct paths cannot drift.
+double SchemaNameSimilarity(const NameProfile& a, const NameProfile& b);
 
 }  // namespace sfsql::text
 

@@ -415,6 +415,18 @@ TEST_F(GraphTest, GeneratorFindsTheFig7Network) {
   EXPECT_EQ(relations.count(Rel("Company")), 1u);
 }
 
+TEST_F(GraphTest, TopKOfZeroIsEmptyNotACrash) {
+  // Regression: k = 0 used to feed nth_element an iterator before begin()
+  // inside the kth-weight bound (k - 1 == -1) and segfault. k <= 0 must mean
+  // "no pruning bound"; k == 0 returns nothing, negative k enumerates all.
+  BuildGraph(/*with_view=*/false);
+  MtjnGenerator generator(graph_.get(), GeneratorConfig{});
+  EXPECT_TRUE(generator.TopK(0).empty());
+  EXPECT_TRUE(generator.TopKRightmost(0).empty());
+  EXPECT_TRUE(generator.TopKRegular(0).empty());
+  EXPECT_FALSE(generator.TopK(-1).empty());  // "all", like EnumerateAll
+}
+
 TEST_F(GraphTest, AllStrategiesAgreeOnTopNetwork) {
   BuildGraph(/*with_view=*/false);
   MtjnGenerator generator(graph_.get(), GeneratorConfig{});

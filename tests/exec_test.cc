@@ -351,5 +351,36 @@ TEST(LikeTest, Patterns) {
   EXPECT_FALSE(LikeMatch("abc", "abcd"));
 }
 
+TEST(LikeTest, EscapedWildcardsMatchLiterally) {
+  EXPECT_TRUE(LikeMatch("100%", "100\\%", '\\'));
+  EXPECT_FALSE(LikeMatch("100x", "100\\%", '\\'));
+  EXPECT_TRUE(LikeMatch("a_c", "a\\_c", '\\'));
+  EXPECT_FALSE(LikeMatch("abc", "a\\_c", '\\'));
+  EXPECT_TRUE(LikeMatch("50% off", "%\\%%", '\\'));
+  // The escape character escapes itself.
+  EXPECT_TRUE(LikeMatch("a\\b", "a\\\\b", '\\'));
+  // Any character can serve as the escape; without one, it stays literal.
+  EXPECT_TRUE(LikeMatch("100%", "100!%", '!'));
+  EXPECT_FALSE(LikeMatch("100%", "100!%", '\0'));
+  // Escaping a non-wildcard just yields that character.
+  EXPECT_TRUE(LikeMatch("abc", "a!bc", '!'));
+  // A dangling escape at the end of the pattern is taken literally.
+  EXPECT_TRUE(LikeMatch("ab!", "ab!", '!'));
+  // Escaped wildcards still compose with real ones.
+  EXPECT_TRUE(LikeMatch("total: 10%", "total:%\\%", '\\'));
+  EXPECT_FALSE(LikeMatch("total: 10c", "total:%\\%", '\\'));
+}
+
+TEST_F(ExecutorTest, LikeEscapeClause) {
+  QueryResult r =
+      Run("SELECT name FROM Person WHERE name LIKE 'James%' ESCAPE '!'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  // No person name contains a literal '%'.
+  r = Run("SELECT name FROM Person WHERE name LIKE '%!%%' ESCAPE '!'");
+  EXPECT_EQ(r.rows.size(), 0u);
+  r = Run("SELECT name FROM Person WHERE name NOT LIKE '%!%%' ESCAPE '!'");
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
 }  // namespace
 }  // namespace sfsql::exec

@@ -64,6 +64,13 @@ TEST_F(EndToEndTest, BetweenInLike) {
                    "2009)");
   ExpectSameAsGold("SELECT person?.name? WHERE person?.name? LIKE 'Tom%'",
                    "SELECT name FROM Person WHERE name LIKE 'Tom%'");
+  // ESCAPE survives translation: the '!'-escaped '_' is a literal underscore,
+  // so nothing matches; without the clause '_' is a wildcard.
+  ExpectSameAsGold(
+      "SELECT person?.name? WHERE person?.name? LIKE 'Tom!_%' ESCAPE '!'",
+      "SELECT name FROM Person WHERE name LIKE 'Tom!_%' ESCAPE '!'");
+  ExpectSameAsGold("SELECT person?.name? WHERE person?.name? LIKE 'Tom_%'",
+                   "SELECT name FROM Person WHERE name LIKE 'Tom_%'");
 }
 
 TEST_F(EndToEndTest, OrAndNotSurviveTranslation) {
@@ -209,6 +216,65 @@ TEST(DeterminismTest, SameSeedSameTranslations) {
     ASSERT_TRUE(a.ok() && b.ok()) << q.id;
     EXPECT_EQ(a->sql, b->sql) << q.id;
   }
+}
+
+TEST(DeterminismTest, ThreadAndCacheConfigsDoNotChangeTranslations) {
+  // The similarity cache memoizes a pure function and the parallel generator
+  // uses per-root bounds, so every engine configuration must emit exactly the
+  // same SQL, weights, and order.
+  auto db = workloads::BuildMovie43(42, 60);
+  core::EngineConfig plain;
+  plain.similarity_cache_capacity = 0;
+  plain.mapping_cache_capacity = 0;
+  core::EngineConfig cached;  // defaults: cache on, serial
+  core::EngineConfig threaded;
+  threaded.num_threads = 4;
+  core::SchemaFreeEngine e_plain(db.get(), plain);
+  core::SchemaFreeEngine e_cached(db.get(), cached);
+  core::SchemaFreeEngine e_threaded(db.get(), threaded);
+  for (const workloads::BenchQuery& q : workloads::SophisticatedQueries()) {
+    auto a = e_plain.Translate(q.sfsql, 5);
+    auto b = e_cached.Translate(q.sfsql, 5);
+    auto c = e_threaded.Translate(q.sfsql, 5);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok()) << q.id;
+    ASSERT_EQ(a->size(), b->size()) << q.id;
+    ASSERT_EQ(a->size(), c->size()) << q.id;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].sql, (*b)[i].sql) << q.id << " rank " << i;
+      EXPECT_EQ((*a)[i].sql, (*c)[i].sql) << q.id << " rank " << i;
+      EXPECT_EQ((*a)[i].weight, (*b)[i].weight) << q.id << " rank " << i;
+      EXPECT_EQ((*a)[i].weight, (*c)[i].weight) << q.id << " rank " << i;
+    }
+  }
+}
+
+TEST(TranslateStatsTest, PhaseTimingsAndCacheCountersArePopulated) {
+  auto db = workloads::BuildMovie43(42, 60);
+  core::SchemaFreeEngine engine(db.get());
+  const char* q = "SELECT count(actor?.name?) WHERE director_name? = 'James "
+                  "Cameron'";
+
+  core::TranslateStats first;
+  auto r1 = engine.Translate(q, 5, &first);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(first.generator.roots, 0);
+  EXPECT_GT(first.generator.pushed, 0);
+  EXPECT_GE(first.map_seconds, 0.0);
+  EXPECT_GT(first.generate_seconds, 0.0);
+  EXPECT_GT(first.cache_misses, 0);  // cold cache: every pair is computed
+
+  core::TranslateStats second;
+  auto r2 = engine.Translate(q, 5, &second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(second.cache_hits, 0);       // warm cache
+  EXPECT_EQ(second.cache_misses, 0);     // identical query: nothing new
+  ASSERT_EQ(r1->size(), r2->size());
+  for (size_t i = 0; i < r1->size(); ++i) {
+    EXPECT_EQ((*r1)[i].sql, (*r2)[i].sql);
+    EXPECT_EQ((*r1)[i].weight, (*r2)[i].weight);
+  }
+  EXPECT_GT(engine.similarity_cache().stats().hits, 0u);
+  EXPECT_GT(engine.name_index().size(), 0u);
 }
 
 TEST(DeterminismTest, DifferentSeedSameStructure) {

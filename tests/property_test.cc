@@ -115,6 +115,92 @@ TEST(GeneratorPropertyTest, TopKMatchesOracleOnRandomSchemas) {
   }
 }
 
+TEST(GeneratorPropertyTest, ParallelTopKIsBitIdenticalToSerial) {
+  // Per-root searches use only local pruning bounds, so running them on a
+  // thread pool must not change anything: same networks, same weights (to the
+  // bit), same order. Also checks the result against the exhaustive oracle,
+  // which now shares the (weight desc, signature asc) tie-break.
+  std::mt19937_64 rng(19700101);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + static_cast<int>(rng() % 4);
+    storage::Database db = RandomDatabase(rng, n);
+
+    std::vector<int> rels;
+    for (int r = 0; r < db.catalog().num_relations(); ++r) rels.push_back(r);
+    std::shuffle(rels.begin(), rels.end(), rng);
+    int l = 2 + static_cast<int>(rng() % 2);
+    std::string sf = "SELECT ";
+    for (int i = 0; i < l; ++i) {
+      if (i) sf += ", ";
+      sf += db.catalog().relation(rels[i]).name + ".name";
+    }
+
+    auto stmt = sql::ParseSelect(sf);
+    ASSERT_TRUE(stmt.ok()) << sf;
+    auto extraction = core::ExtractRelationTrees(**stmt);
+    ASSERT_TRUE(extraction.ok());
+    core::RelationTreeMapper mapper(&db, core::SimilarityConfig{});
+    std::vector<core::MappingSet> mappings;
+    for (const core::RelationTree& rt : extraction->trees) {
+      mappings.push_back(mapper.Map(rt));
+      ASSERT_FALSE(mappings.back().candidates.empty());
+    }
+    core::ViewGraph views(&db.catalog());
+    core::GeneratorConfig config;
+    config.max_jn_nodes = n + 1;
+    auto graph = core::ExtendedViewGraph::Build(db, views, extraction->trees,
+                                                mappings, mapper, config);
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+    core::MtjnGenerator serial_gen(&*graph, config);
+    core::GeneratorStats serial_stats;
+    auto serial = serial_gen.TopK(5, &serial_stats);
+
+    config.num_threads = 4;
+    core::MtjnGenerator parallel_gen(&*graph, config);
+    core::GeneratorStats parallel_stats;
+    auto parallel = parallel_gen.TopK(5, &parallel_stats);
+
+    ASSERT_EQ(parallel.size(), serial.size()) << "trial " << trial << " " << sf;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].network.CanonicalSignature(),
+                serial[i].network.CanonicalSignature())
+          << "trial " << trial << " rank " << i << " query " << sf;
+      EXPECT_EQ(parallel[i].weight, serial[i].weight);  // bit-identical
+    }
+    // Counters are summed in root-rank order, so they coincide too.
+    EXPECT_EQ(parallel_stats.pushed, serial_stats.pushed);
+    EXPECT_EQ(parallel_stats.popped, serial_stats.popped);
+    EXPECT_EQ(parallel_stats.expansions, serial_stats.expansions);
+    EXPECT_EQ(parallel_stats.pruned, serial_stats.pruned);
+    EXPECT_EQ(parallel_stats.emitted, serial_stats.emitted);
+    EXPECT_EQ(parallel_stats.roots, serial_stats.roots);
+
+    // Against the oracle: same prefix, modulo last-ulp weight differences from
+    // differing construction orders.
+    auto oracle = serial_gen.EnumerateAll(config.max_jn_nodes);
+    ASSERT_EQ(serial.size(), std::min<size_t>(5, oracle.size()));
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(serial[i].weight, oracle[i].weight, 1e-9);
+    }
+    // Equal-weight groups may be ordered differently when the two sides
+    // compute a weight a last-ulp apart, so compare the prefix as a set.
+    bool clean_boundary =
+        serial.size() == oracle.size() ||
+        oracle[serial.size()].weight < serial.back().weight - 1e-9;
+    if (clean_boundary) {
+      std::vector<std::string> ours_sigs, oracle_sigs;
+      for (size_t i = 0; i < serial.size(); ++i) {
+        ours_sigs.push_back(serial[i].network.CanonicalSignature());
+        oracle_sigs.push_back(oracle[i].network.CanonicalSignature());
+      }
+      std::sort(ours_sigs.begin(), ours_sigs.end());
+      std::sort(oracle_sigs.begin(), oracle_sigs.end());
+      EXPECT_EQ(ours_sigs, oracle_sigs) << "trial " << trial << " query " << sf;
+    }
+  }
+}
+
 TEST(GeneratorPropertyTest, PotentialUpperBoundsDescendantsOnPaths) {
   // On the movie6 graph, the potential of every ancestor prefix of the best
   // network must be at least the final weight.

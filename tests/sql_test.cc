@@ -159,6 +159,17 @@ TEST(ParserTest, NotInBetweenLikeIsNull) {
   EXPECT_EQ(RoundTrip("SELECT a WHERE NOT x = 1"), "SELECT a WHERE NOT (x = 1)");
 }
 
+TEST(ParserTest, LikeEscape) {
+  EXPECT_EQ(RoundTrip("SELECT a WHERE name LIKE '100!%' ESCAPE '!'"),
+            "SELECT a WHERE name LIKE '100!%' ESCAPE '!'");
+  EXPECT_EQ(RoundTrip("SELECT a WHERE name NOT LIKE 'J!_%' ESCAPE '!'"),
+            "SELECT a WHERE NOT (name LIKE 'J!_%' ESCAPE '!')");
+  // ESCAPE demands a single-character string literal.
+  EXPECT_FALSE(ParseSelect("SELECT a WHERE name LIKE 'x%' ESCAPE 'ab'").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a WHERE name LIKE 'x%' ESCAPE ''").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a WHERE name LIKE 'x%' ESCAPE x").ok());
+}
+
 TEST(ParserTest, Subqueries) {
   EXPECT_EQ(
       RoundTrip("SELECT a FROM T WHERE x IN (SELECT y FROM U WHERE z = 1)"),

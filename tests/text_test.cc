@@ -1,18 +1,44 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "text/schema_name_index.h"
 #include "text/similarity.h"
+#include "text/similarity_cache.h"
 
 namespace sfsql::text {
 namespace {
 
 TEST(QGramsTest, BasicTrigramsWithPadding) {
   auto grams = QGrams("ab", 3);
-  // padded: "##ab##" -> ##a, #ab, ab#, b##
+  // padded: "PPabPP" -> PPa, Pab, abP, bPP  (P = the out-of-band pad sentinel)
+  const std::string p(1, kQGramPad);
   EXPECT_EQ(grams.size(), 4u);
-  EXPECT_TRUE(grams.count("##a"));
-  EXPECT_TRUE(grams.count("#ab"));
-  EXPECT_TRUE(grams.count("ab#"));
-  EXPECT_TRUE(grams.count("b##"));
+  EXPECT_TRUE(grams.count(p + p + "a"));
+  EXPECT_TRUE(grams.count(p + "ab"));
+  EXPECT_TRUE(grams.count("ab" + p));
+  EXPECT_TRUE(grams.count("b" + p + p));
+}
+
+TEST(QGramsTest, PadSentinelIsOutOfBand) {
+  // The historical '#' pad collided with literal '#' characters: "ab#" padded
+  // to "##ab###", sharing *every* gram of "ab" plus one — Jaccard 4/5 instead
+  // of the honest 2/6 overlap. The out-of-band sentinel keeps pad-adjacent
+  // grams distinct from content grams.
+  auto with_hash = QGrams("ab#", 3);
+  auto without = QGrams("ab", 3);
+  std::vector<std::string> shared;
+  std::set_intersection(with_hash.begin(), with_hash.end(), without.begin(),
+                        without.end(), std::back_inserter(shared));
+  // Only the leading-pad grams agree ("PPa", "Pab"); everything touching the
+  // '#' must differ from everything touching the pad.
+  EXPECT_EQ(shared.size(), 2u);
+  double j = QGramJaccard("ab#", "ab");
+  EXPECT_GT(j, 0.0);
+  EXPECT_LT(j, 0.5);
 }
 
 TEST(QGramsTest, EmptyAndDegenerate) {
@@ -83,6 +109,102 @@ TEST(SchemaNameSimilarityTest, WordHitNeverBeatsExactWholeName) {
 
 TEST(SchemaNameSimilarityTest, UnrelatedNamesScoreLow) {
   EXPECT_LT(SchemaNameSimilarity("gender", "movie_id"), 0.2);
+}
+
+TEST(NameProfileTest, ProfileOverloadMatchesStringOverload) {
+  // The memoized hot path scores precomputed profiles; it must be
+  // bit-identical to the string entry point for every pair.
+  const std::vector<std::string> pool = {
+      "Movie",        "movie_title",    "director_name", "Person",
+      "produce_company", "Company",     "actor?",        "a",
+      "",             "Movie_Producer", "birth_country_id"};
+  for (const std::string& a : pool) {
+    for (const std::string& b : pool) {
+      NameProfile pa = BuildNameProfile(a, 3);
+      NameProfile pb = BuildNameProfile(b, 3);
+      EXPECT_EQ(SchemaNameSimilarity(pa, pb), SchemaNameSimilarity(a, b))
+          << "pair: '" << a << "' vs '" << b << "'";
+    }
+  }
+}
+
+TEST(SchemaNameIndexTest, FindIsCaseInsensitiveAndStable) {
+  SchemaNameIndex index({"Movie", "director_name", "Movie"}, 3);
+  EXPECT_EQ(index.size(), 2u);  // duplicate collapses
+  EXPECT_EQ(index.q(), 3);
+  const NameProfile* p = index.Find("movie");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, index.Find("MOVIE"));  // same entry, stable address
+  EXPECT_EQ(p->lower, "movie");
+  EXPECT_EQ(index.Find("title"), nullptr);
+}
+
+TEST(SimilarityCacheTest, HitsAndMissesAreCounted) {
+  SimilarityCache cache(16);
+  int computed = 0;
+  auto compute = [&] {
+    ++computed;
+    return 0.25;
+  };
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("movie", "Movie", 3, compute), 0.25);
+  // Symmetric + case-insensitive key: all of these hit the first entry.
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("Movie", "movie", 3, compute), 0.25);
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("MOVIE", "MOVIE", 3, compute), 0.25);
+  EXPECT_EQ(computed, 1);
+  SimilarityCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+
+  // A different q is a different key.
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("movie", "Movie", 2, compute), 0.25);
+  EXPECT_EQ(computed, 2);
+
+  double v = 0.0;
+  EXPECT_TRUE(cache.Lookup("mOvIe", "MoViE", 3, &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_FALSE(cache.Lookup("movie", "title", 3, &v));
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_FALSE(cache.Lookup("movie", "Movie", 3, &v));
+}
+
+TEST(SimilarityCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard so the LRU order is fully observable; capacity two entries.
+  SimilarityCache cache(/*capacity=*/2, /*num_shards=*/1);
+  auto value = [](double v) { return [v] { return v; }; };
+  cache.GetOrCompute("a", "b", 3, value(1.0));
+  cache.GetOrCompute("c", "d", 3, value(2.0));
+  cache.GetOrCompute("a", "b", 3, value(-1.0));  // refresh (a, b)
+  cache.GetOrCompute("e", "f", 3, value(3.0));   // evicts (c, d)
+
+  double v = 0.0;
+  EXPECT_TRUE(cache.Lookup("a", "b", 3, &v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_FALSE(cache.Lookup("c", "d", 3, &v));
+  EXPECT_TRUE(cache.Lookup("e", "f", 3, &v));
+  SimilarityCache::Stats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SimilarityCacheTest, ZeroCapacityIsACountingPassThrough) {
+  SimilarityCache cache(0);
+  int computed = 0;
+  auto compute = [&] {
+    ++computed;
+    return 0.5;
+  };
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("a", "b", 3, compute), 0.5);
+  EXPECT_DOUBLE_EQ(cache.GetOrCompute("a", "b", 3, compute), 0.5);
+  EXPECT_EQ(computed, 2);  // nothing is stored
+  SimilarityCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 0u);
+  double v = 0.0;
+  EXPECT_FALSE(cache.Lookup("a", "b", 3, &v));
 }
 
 }  // namespace
