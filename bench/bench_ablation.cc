@@ -5,12 +5,20 @@
 //   4. mapping-score factors in network weights.
 // Each table reports top-1 accuracy on the 17 textbook + 6 sophisticated
 // movie queries under the modified configuration.
+//
+// Emits BENCH_ablation.json. `--smoke` evaluates only the paper-default and
+// one alternative point per ablation so CI can validate the output shape
+// quickly.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/mapper.h"
 #include "core/relation_tree.h"
+#include "obs/bench_report.h"
 #include "sql/parser.h"
 #include "workloads/metrics.h"
 #include "workloads/movie43.h"
@@ -61,39 +69,80 @@ double AvgMappingSetSize(const storage::Database& db, double sigma) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   auto db = BuildMovie43();
+  obs::BenchReport report("ablation");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("smoke", static_cast<long long>(smoke ? 1 : 0));
+
+  // Each ablation sweeps the full grid, or (in smoke mode) just the paper
+  // default plus one alternative.
+  const std::vector<double> sigmas =
+      smoke ? std::vector<double>{0.7, 0.9}
+            : std::vector<double>{0.5, 0.6, 0.7, 0.8, 0.9, 0.99};
+  const std::vector<double> krefs =
+      smoke ? std::vector<double>{0.5, 0.0}
+            : std::vector<double>{0.0, 0.3, 0.5, 0.7, 0.9};
+  const std::vector<double> crefs = smoke
+                                        ? std::vector<double>{0.7, 0.5}
+                                        : std::vector<double>{0.7, 0.65, 0.6,
+                                                              0.5};
+
+  int default_correct = 0, default_total = 0;
 
   std::printf("Ablation 1 — relative threshold sigma (Definition 1)\n");
   std::printf("%6s %18s %10s\n", "sigma", "avg |MAP(rt)|", "top-1");
-  for (double sigma : {0.5, 0.6, 0.7, 0.8, 0.9, 0.99}) {
+  for (double sigma : sigmas) {
     core::EngineConfig cfg;
     cfg.sim.sigma = sigma;
     Accuracy acc = Evaluate(*db, cfg);
-    std::printf("%6.2f %18.2f %7d/%d\n", sigma, AvgMappingSetSize(*db, sigma),
-                acc.correct, acc.total);
+    double avg_map = AvgMappingSetSize(*db, sigma);
+    std::printf("%6.2f %18.2f %7d/%d\n", sigma, avg_map, acc.correct,
+                acc.total);
+    report.AddRow("sigma", obs::BenchReport::Row()
+                               .Number("sigma", sigma)
+                               .Number("avg_mapping_set", avg_map)
+                               .Number("top1_correct", acc.correct)
+                               .Number("total", acc.total));
+    if (sigma == 0.7) {
+      default_correct = acc.correct;
+      default_total = acc.total;
+    }
   }
   std::printf("(sigma = 0.7 is the paper's setting: large enough to keep "
               "competitors on poor guesses, small enough to stay focused)\n\n");
 
   std::printf("Ablation 2 — neighbor-name root similarity k_ref (§4.2)\n");
   std::printf("%6s %10s\n", "k_ref", "top-1");
-  for (double kref : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+  for (double kref : krefs) {
     core::EngineConfig cfg;
     cfg.sim.kref = kref;
     Accuracy acc = Evaluate(*db, cfg);
     std::printf("%6.2f %7d/%d\n", kref, acc.correct, acc.total);
+    report.AddRow("kref", obs::BenchReport::Row()
+                              .Number("kref", kref)
+                              .Number("top1_correct", acc.correct)
+                              .Number("total", acc.total));
   }
   std::printf("(k_ref = 0 disables normalization tolerance: actor?.name? can "
               "no longer reach Person.name)\n\n");
 
   std::printf("Ablation 3 — reference-FK edge discount c_reference\n");
   std::printf("%12s %10s\n", "c_reference", "top-1");
-  for (double cref : {0.7, 0.65, 0.6, 0.5}) {
+  for (double cref : crefs) {
     core::EngineConfig cfg;
     cfg.sim.c_reference = cref;
     Accuracy acc = Evaluate(*db, cfg);
     std::printf("%12.2f %7d/%d\n", cref, acc.correct, acc.total);
+    report.AddRow("c_reference", obs::BenchReport::Row()
+                                     .Number("c_reference", cref)
+                                     .Number("top1_correct", acc.correct)
+                                     .Number("total", acc.total));
   }
   std::printf("(0.7 = no discount, the paper's uniform c: low-fan-in lookup "
               "relations then short-circuit join networks)\n\n");
@@ -105,9 +154,21 @@ int main() {
     Accuracy acc = Evaluate(*db, cfg);
     std::printf("use_mapping_scores=%-5s  top-1 %d/%d\n", use ? "true" : "false",
                 acc.correct, acc.total);
+    report.AddRow("use_mapping_scores",
+                  obs::BenchReport::Row()
+                      .Number("use_mapping_scores", use ? 1 : 0)
+                      .Number("top1_correct", acc.correct)
+                      .Number("total", acc.total));
   }
   std::printf("(without the factors, structurally identical networks that "
               "bind trees to worse-matching relations tie with the right "
               "ones)\n");
+
+  report.SetMetric("default_top1_correct", default_correct);
+  report.SetMetric("default_total", default_total);
+  report.SetMetric("config_points_evaluated",
+                   static_cast<double>(sigmas.size() + krefs.size() +
+                                       crefs.size() + 2));
+  (void)report.WriteFile();
   return 0;
 }

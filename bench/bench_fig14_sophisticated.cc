@@ -3,10 +3,13 @@
 // average Schema-free SQL information-unit cost per query next to the GUI and
 // full-SQL costs, and checks that every user's phrasing translates correctly
 // in the top-1 interpretation (the paper's five students all did).
+//
+// Emits BENCH_fig14_sophisticated.json.
 
 #include <cstdio>
 
 #include "core/engine.h"
+#include "obs/bench_report.h"
 #include "workloads/metrics.h"
 #include "workloads/movie43.h"
 
@@ -16,6 +19,9 @@ using namespace sfsql::workloads; // NOLINT(build/namespaces)
 int main() {
   auto db = BuildMovie43();
   core::SchemaFreeEngine engine(db.get());
+  obs::BenchReport report("fig14_sophisticated");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("users_per_query", 5LL);
 
   std::printf("Fig. 14 — sophisticated queries: avg SF-SQL units over 5 "
               "simulated users vs GUI vs SQL\n");
@@ -50,6 +56,13 @@ int main() {
     sum_sql += full;
     std::printf("%-4s %8.1f %6d %6d   %d/%d\n", q.id.c_str(), sf_units, gui,
                 full, users_correct, static_cast<int>(variants.size()));
+    report.AddRow("queries", obs::BenchReport::Row()
+                                 .Text("id", q.id)
+                                 .Number("avg_sfsql_units", sf_units)
+                                 .Number("gui_units", gui)
+                                 .Number("sql_units", full)
+                                 .Number("users_correct", users_correct)
+                                 .Number("users", variants.size()));
   }
 
   const double n = static_cast<double>(queries.size());
@@ -59,5 +72,14 @@ int main() {
   std::printf("SF-SQL cost = %.0f%% of SQL, %.0f%% of GUI "
               "(paper: 24%% of SQL, 45%% of GUI)\n",
               100.0 * sum_sf / sum_sql, 100.0 * sum_sf / sum_gui);
+
+  report.SetMetric("users_correct_top1", correct);
+  report.SetMetric("users_total", total);
+  report.SetMetric("avg_units_sfsql", sum_sf / n);
+  report.SetMetric("avg_units_gui", sum_gui / n);
+  report.SetMetric("avg_units_sql", sum_sql / n);
+  report.SetMetric("cost_vs_sql", sum_sf / sum_sql);
+  report.SetMetric("cost_vs_gui", sum_sf / sum_gui);
+  (void)report.WriteFile();
   return correct == total ? 0 : 1;
 }

@@ -6,12 +6,18 @@
 // Protocol (per §7.3): queries run simple -> complex; in the view-graph
 // columns each query's gold join tree is registered as a view *after* it is
 // tested, so complex queries benefit from the simpler ones as building blocks.
+//
+// Emits BENCH_fig15_effectiveness.json. `--smoke` subsamples to every fourth
+// query (keeping the simple->complex order) so CI can validate the output
+// shape quickly; headline numbers are then not comparable to the paper.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/bench_report.h"
 #include "workloads/course.h"
 #include "workloads/deriver.h"
 #include "workloads/metrics.h"
@@ -33,15 +39,18 @@ int Bucket(int relations) {
   return 2;
 }
 
-/// Runs all 48 queries against `db` using `gold` per query; with_views follows
-/// the accumulate-as-you-go protocol.
+/// Runs every `stride`-th query against `db` using `gold` per query;
+/// with_views follows the accumulate-as-you-go protocol.
 std::vector<BucketCounts> RunPass(const storage::Database& db,
                                   bool with_views,
                                   const char* (*gold_of)(const CourseQuery&),
-                                  const catalog::Catalog& derive_catalog) {
+                                  const catalog::Catalog& derive_catalog,
+                                  int stride) {
   core::SchemaFreeEngine engine(&db);
   std::vector<BucketCounts> buckets(3);
-  for (const CourseQuery& q : CourseQueries()) {
+  const auto& queries = CourseQueries();
+  for (size_t qi = 0; qi < queries.size(); qi += stride) {
+    const CourseQuery& q = queries[qi];
     auto sf = DeriveSchemaFree(derive_catalog, q.gold_sql53);
     if (!sf.ok()) continue;
     BucketCounts& b = buckets[Bucket(q.relations53)];
@@ -67,26 +76,38 @@ std::vector<BucketCounts> RunPass(const storage::Database& db,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int stride = smoke ? 4 : 1;
+
   auto db53 = BuildCourse53();
   auto db21 = BuildCourse21();
+  obs::BenchReport report("fig15_effectiveness");
+  report.SetConfig("databases", "course53, course21");
+  report.SetConfig("smoke", static_cast<long long>(smoke ? 1 : 0));
+  report.SetConfig("query_stride", static_cast<long long>(stride));
 
   auto gold53 = +[](const CourseQuery& q) { return q.gold_sql53.c_str(); };
   auto gold21 = +[](const CourseQuery& q) { return q.gold_sql21.c_str(); };
 
   std::printf("Fig. 15 — effectiveness on the course database; parentheses = "
               "the 21-relation redesign\n");
-  std::printf("running 4 passes over 48 queries (schema/view graph x two "
-              "schemas)...\n\n");
+  std::printf("running 4 passes over %s queries (schema/view graph x two "
+              "schemas)...\n\n",
+              smoke ? "every 4th of 48" : "48");
 
-  auto plain53 = RunPass(*db53, false, gold53, db53->catalog());
-  auto plain21 = RunPass(*db21, false, gold21, db53->catalog());
-  auto views53 = RunPass(*db53, true, gold53, db53->catalog());
-  auto views21 = RunPass(*db21, true, gold21, db53->catalog());
+  auto plain53 = RunPass(*db53, false, gold53, db53->catalog(), stride);
+  auto plain21 = RunPass(*db21, false, gold21, db53->catalog(), stride);
+  auto views53 = RunPass(*db53, true, gold53, db53->catalog(), stride);
+  auto views21 = RunPass(*db21, true, gold21, db53->catalog(), stride);
 
   const char* labels[3] = {"2-4", "5", "6-10"};
   std::printf("%-10s %-14s %-14s %-18s %-18s\n", "relations", "top-1",
               "top-10", "top-1 w/ views", "top-10 w/ views");
+  int sum_total = 0, sum_top1 = 0, sum_views_top1 = 0;
   for (int b = 0; b < 3; ++b) {
     std::printf("%-10s %2d/%-2d (%2d/%-2d)  %2d/%-2d (%2d/%-2d)  "
                 "%2d/%-2d (%2d/%-2d)      %2d/%-2d (%2d/%-2d)\n",
@@ -99,14 +120,42 @@ int main() {
                 views21[b].total,
                 views53[b].top10, views53[b].total, views21[b].top10,
                 views21[b].total);
+    report.AddRow("buckets", obs::BenchReport::Row()
+                                 .Text("relations", labels[b])
+                                 .Number("total", plain53[b].total)
+                                 .Number("top1_53", plain53[b].top1)
+                                 .Number("top10_53", plain53[b].top10)
+                                 .Number("top1_53_views", views53[b].top1)
+                                 .Number("top10_53_views", views53[b].top10)
+                                 .Number("top1_21", plain21[b].top1)
+                                 .Number("top10_21", plain21[b].top10)
+                                 .Number("top1_21_views", views21[b].top1)
+                                 .Number("top10_21_views", views21[b].top10));
+    sum_total += plain53[b].total;
+    sum_top1 += plain53[b].top1;
+    sum_views_top1 += views53[b].top1;
   }
-  std::printf("\npaper (Fig. 15): 2-4: 9/11 (8/11) | 11/11 (10/11) | "
-              "9/11 (8/11) | 11/11 (10/11)\n");
-  std::printf("                 5:   17/26 (17/26) | 22/26 (22/26) | "
-              "25/26 (25/26) | 26/26 (26/26)\n");
-  std::printf("                 6-10: 5/11 (2/11) | 5/11 (2/11) | "
-              "10/11 (7/11) | 11/11 (8/11)\n");
-  std::printf("\nshape targets: view graph lifts the 5 and 6-10 buckets "
-              "markedly; the redesigned schema trails slightly.\n");
+  if (!smoke) {
+    std::printf("\npaper (Fig. 15): 2-4: 9/11 (8/11) | 11/11 (10/11) | "
+                "9/11 (8/11) | 11/11 (10/11)\n");
+    std::printf("                 5:   17/26 (17/26) | 22/26 (22/26) | "
+                "25/26 (25/26) | 26/26 (26/26)\n");
+    std::printf("                 6-10: 5/11 (2/11) | 5/11 (2/11) | "
+                "10/11 (7/11) | 11/11 (8/11)\n");
+    std::printf("\nshape targets: view graph lifts the 5 and 6-10 buckets "
+                "markedly; the redesigned schema trails slightly.\n");
+  }
+
+  report.SetMetric("queries_run", sum_total);
+  report.SetMetric("top1_53", sum_top1);
+  report.SetMetric("top1_53_views", sum_views_top1);
+  report.SetMetric("top1_rate_53",
+                   sum_total == 0 ? 0.0
+                                  : static_cast<double>(sum_top1) / sum_total);
+  report.SetMetric("top1_rate_53_views",
+                   sum_total == 0
+                       ? 0.0
+                       : static_cast<double>(sum_views_top1) / sum_total);
+  (void)report.WriteFile();
   return 0;
 }

@@ -1,8 +1,11 @@
 // Reproduces Fig. 16: information-unit costs of the 48 course queries —
 // Schema-free SQL (derived per §7.3) vs GUI builder vs full SQL.
+//
+// Emits BENCH_fig16_course_cost.json.
 
 #include <cstdio>
 
+#include "obs/bench_report.h"
 #include "workloads/course.h"
 #include "workloads/deriver.h"
 #include "workloads/metrics.h"
@@ -12,6 +15,9 @@ using namespace sfsql::workloads; // NOLINT(build/namespaces)
 
 int main() {
   auto db = BuildCourse53();
+  obs::BenchReport report("fig16_course_cost");
+  report.SetConfig("database", "course53");
+  report.SetConfig("queries", static_cast<long long>(CourseQueries().size()));
 
   std::printf("Fig. 16 — information units per course query "
               "(SF-SQL vs GUI vs full SQL)\n");
@@ -33,6 +39,12 @@ int main() {
     sum_sql += full;
     std::printf("%-4s %5d %8d %6d %6d\n", q.id.c_str(), q.relations53, sf, gui,
                 full);
+    report.AddRow("queries", obs::BenchReport::Row()
+                                 .Text("id", q.id)
+                                 .Number("relations", q.relations53)
+                                 .Number("sfsql_units", sf)
+                                 .Number("gui_units", gui)
+                                 .Number("sql_units", full));
   }
 
   const double n = static_cast<double>(CourseQueries().size());
@@ -41,5 +53,12 @@ int main() {
   std::printf("SF-SQL cost = %.0f%% of SQL, %.0f%% of GUI "
               "(paper: 33%% of SQL, 62%% of GUI)\n",
               100.0 * sum_sf / sum_sql, 100.0 * sum_sf / sum_gui);
+
+  report.SetMetric("avg_units_sfsql", sum_sf / n);
+  report.SetMetric("avg_units_gui", sum_gui / n);
+  report.SetMetric("avg_units_sql", sum_sql / n);
+  report.SetMetric("cost_vs_sql", sum_sf / sum_sql);
+  report.SetMetric("cost_vs_gui", sum_sf / sum_gui);
+  (void)report.WriteFile();
   return 0;
 }

@@ -1,10 +1,16 @@
 // Micro-benchmarks (google-benchmark) for the hot paths underneath the
 // translator: string similarity, lexing/parsing, relation-tree mapping, join
 // network generation, full translation, and SQL execution.
+//
+// Emits BENCH_micro.json with one row per benchmark (real/cpu seconds per
+// iteration). For a fast CI smoke run pass --benchmark_min_time=0.01.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/engine.h"
+#include "obs/bench_report.h"
 #include "core/mapper.h"
 #include "core/mtjn_generator.h"
 #include "core/relation_tree.h"
@@ -127,6 +133,51 @@ void BM_ExecuteGoldS1(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecuteGoldS1);
 
+// Console reporter that also keeps every per-benchmark run so main() can turn
+// them into the machine-readable report after the suite finishes.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) runs_.push_back(run);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  obs::BenchReport report("micro");
+  report.SetConfig("framework", "google-benchmark");
+  int benchmarks_run = 0;
+  for (const auto& run : reporter.runs()) {
+    if (run.run_type == benchmark::BenchmarkReporter::Run::RT_Aggregate ||
+        run.iterations <= 0) {
+      continue;
+    }
+    ++benchmarks_run;
+    report.AddRow(
+        "benchmarks",
+        sfsql::obs::BenchReport::Row()
+            .Text("name", run.benchmark_name())
+            .Number("iterations", static_cast<double>(run.iterations))
+            .Number("real_seconds_per_iteration",
+                    run.real_accumulated_time /
+                        static_cast<double>(run.iterations))
+            .Number("cpu_seconds_per_iteration",
+                    run.cpu_accumulated_time /
+                        static_cast<double>(run.iterations)));
+  }
+  report.SetMetric("benchmarks_run", benchmarks_run);
+  (void)report.WriteFile();
+  return 0;
+}

@@ -11,14 +11,19 @@
 //   cache+MT   — default cache, 4 threads
 // All three must produce identical translations; the bench cross-checks the
 // best SQL per query and aborts on any divergence.
+//
+// Emits BENCH_translate_throughput.json with queries/sec, per-phase medians,
+// and cache hit rates per configuration. `--smoke` forces rounds = 1.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <chrono>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/bench_report.h"
 #include "workloads/movie43.h"
 
 using namespace sfsql;             // NOLINT(build/namespaces)
@@ -30,6 +35,9 @@ struct RunResult {
   double seconds = 0.0;
   int translated = 0;
   core::TranslateStats total;  // phase sums over every call
+  // Per-call phase times, for median reporting (robust to warm-up outliers).
+  std::vector<double> call_parse, call_map, call_graph, call_generate,
+      call_compose, call_total;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   std::vector<std::string> best_sql;  // per query, first round (for checking)
@@ -60,6 +68,14 @@ RunResult RunConfig(const storage::Database* db, const core::EngineConfig& cfg,
       out.total.graph_seconds += stats.graph_seconds;
       out.total.generate_seconds += stats.generate_seconds;
       out.total.compose_seconds += stats.compose_seconds;
+      out.call_parse.push_back(stats.parse_seconds);
+      out.call_map.push_back(stats.map_seconds);
+      out.call_graph.push_back(stats.graph_seconds);
+      out.call_generate.push_back(stats.generate_seconds);
+      out.call_compose.push_back(stats.compose_seconds);
+      out.call_total.push_back(stats.parse_seconds + stats.map_seconds +
+                               stats.graph_seconds + stats.generate_seconds +
+                               stats.compose_seconds);
       if (!result.ok()) {
         if (round == 0) out.best_sql.push_back("<" + result.status().ToString() + ">");
         continue;
@@ -80,14 +96,28 @@ RunResult RunConfig(const storage::Database* db, const core::EngineConfig& cfg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int rounds = argc > 1 ? std::atoi(argv[1]) : 5;
+  int rounds = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      rounds = 1;
+    } else {
+      rounds = std::atoi(argv[i]);
+    }
+  }
   if (rounds <= 0) {
-    std::fprintf(stderr, "usage: bench_translate_throughput [rounds>=1]\n");
+    std::fprintf(stderr,
+                 "usage: bench_translate_throughput [rounds>=1 | --smoke]\n");
     return 2;
   }
   const int k = 5;
   auto db = BuildMovie43(42, 60);
   std::vector<std::string> queries = Workload();
+
+  obs::BenchReport report("translate_throughput");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("queries", static_cast<long long>(queries.size()));
+  report.SetConfig("rounds", static_cast<long long>(rounds));
+  report.SetConfig("k", static_cast<long long>(k));
 
   core::EngineConfig baseline;
   baseline.similarity_cache_capacity = 0;
@@ -100,11 +130,12 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
+    const char* key;  // stable short id for the JSON report
     core::EngineConfig cfg;
   } configs[] = {
-      {"baseline (no cache, 1 thread)", baseline},
-      {"cache (1 thread)", cached},
-      {"cache + 4 threads", cached_mt},
+      {"baseline (no cache, 1 thread)", "baseline", baseline},
+      {"cache (1 thread)", "cache", cached},
+      {"cache + 4 threads", "cache_mt", cached_mt},
   };
 
   std::printf("translation throughput — movie43, %zu queries x %d rounds, "
@@ -125,6 +156,27 @@ int main(int argc, char** argv) {
             : static_cast<double>(r.cache_hits) / (r.cache_hits + r.cache_misses);
     std::printf("%-30s %9.3f %9.1f %7.2fx %8.1f%%\n", c.name, r.seconds, qps,
                 qps / baseline_qps, 100.0 * hit_rate);
+    report.AddRow(
+        "configs",
+        obs::BenchReport::Row()
+            .Text("config", c.key)
+            .Number("seconds", r.seconds)
+            .Number("queries_per_second", qps)
+            .Number("speedup_vs_baseline", qps / baseline_qps)
+            .Number("cache_hit_rate", hit_rate)
+            .Number("median_translate_seconds",
+                    obs::BenchReport::Median(r.call_total))
+            .Number("median_parse_seconds",
+                    obs::BenchReport::Median(r.call_parse))
+            .Number("median_map_seconds", obs::BenchReport::Median(r.call_map))
+            .Number("median_graph_seconds",
+                    obs::BenchReport::Median(r.call_graph))
+            .Number("median_generate_seconds",
+                    obs::BenchReport::Median(r.call_generate))
+            .Number("median_compose_seconds",
+                    obs::BenchReport::Median(r.call_compose)));
+    report.SetMetric(std::string(c.key) + "_queries_per_second", qps);
+    report.SetMetric(std::string(c.key) + "_cache_hit_rate", hit_rate);
     results.push_back(std::move(r));
   }
 
@@ -145,6 +197,9 @@ int main(int argc, char** argv) {
   std::printf("\ntranslations identical across configs: %s\n",
               identical ? "yes" : "NO — BUG");
   std::printf("acceptance: cache + 4 threads >= 2x baseline q/s\n");
+
+  report.SetMetric("translations_identical", identical ? 1 : 0);
+  (void)report.WriteFile();
   if (!identical) return 1;
   return 0;
 }

@@ -2,6 +2,13 @@
 #define SFSQL_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <functional>
+#include <string>
+
+namespace sfsql::obs {
+class Clock;
+class MetricsRegistry;
+}  // namespace sfsql::obs
 
 namespace sfsql::core {
 
@@ -66,6 +73,12 @@ struct GeneratorConfig {
   /// relations outrank structurally identical ones. With exactly specified
   /// names the factor is 1 and the paper's pure edge-weight ranking remains.
   bool use_mapping_scores = true;
+  /// Time source for the generator's phase / per-root timings (rank_seconds,
+  /// search_seconds, root_seconds_*, GeneratorTrace). Null = steady clock.
+  /// Injected (engine copies EngineConfig::clock here) so EXPLAIN golden
+  /// tests run on a deterministic fake clock. Timings never influence search
+  /// decisions, so the clock cannot perturb results.
+  const obs::Clock* clock = nullptr;
 };
 
 struct EngineConfig {
@@ -89,6 +102,30 @@ struct EngineConfig {
   /// When full the memo is cleared wholesale — trees repeat across a workload
   /// or not at all, so LRU bookkeeping buys nothing here.
   size_t mapping_cache_capacity = 1 << 12;
+
+  // --- Observability (src/obs) ---
+
+  /// Metrics registry the engine publishes into (translate counters, phase
+  /// histograms, generator counters, cache gauges; see README
+  /// "Observability" for the full list). Null disables metrics entirely: no
+  /// handles are registered and the hot path runs no instrumentation code.
+  /// The registry must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Time source for every phase timer, span, and the slow-translation log.
+  /// Null = std::chrono::steady_clock; tests inject obs::FakeClock for
+  /// deterministic timings (also copied into gen.clock at construction).
+  const obs::Clock* clock = nullptr;
+
+  /// Translations whose end-to-end wall time exceeds this threshold dump
+  /// their EXPLAIN trace (candidates, pruning, per-phase timings) through
+  /// `slow_log_sink`. 0 disables (the default). Arming the slow log makes
+  /// every Translate collect stats and provenance, so it costs a few percent
+  /// even for fast queries — meant for debugging and canary deployments.
+  double slow_translate_threshold_ms = 0.0;
+
+  /// Destination for slow-translation EXPLAIN dumps; unset = stderr.
+  std::function<void(const std::string&)> slow_log_sink;
 };
 
 }  // namespace sfsql::core

@@ -1,12 +1,14 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <functional>
+#include <iostream>
 #include <map>
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -15,6 +17,65 @@ namespace sfsql::core {
 using sql::Expr;
 using sql::ExprKind;
 using sql::ExprPtr;
+
+/// Handles into the registry's translate families, resolved once at engine
+/// construction so the per-query path is pure lock-free atomic writes.
+struct PipelineMetrics {
+  static constexpr const char* kPhaseNames[5] = {"parse", "map", "graph",
+                                                 "generate", "compose"};
+
+  explicit PipelineMetrics(obs::MetricsRegistry* reg) {
+    translate_total =
+        reg->GetCounter("sfsql_translate_total", "Translate calls");
+    translate_errors = reg->GetCounter("sfsql_translate_errors_total",
+                                       "Translate calls that returned an error");
+    slow_translations = reg->GetCounter(
+        "sfsql_slow_translations_total",
+        "Translations exceeding EngineConfig::slow_translate_threshold_ms");
+    translate_seconds = reg->GetHistogram(
+        "sfsql_translate_seconds", "End-to-end Translate wall time",
+        obs::LatencyBuckets());
+    for (int i = 0; i < 5; ++i) {
+      phase_seconds[i] = reg->GetHistogram(
+          "sfsql_translate_phase_seconds", "Per-phase Translate wall time",
+          obs::LatencyBuckets(), obs::Labels{{"phase", kPhaseNames[i]}});
+    }
+    gen_pushed = reg->GetCounter("sfsql_generator_pushed_total",
+                                 "Partial join networks enqueued");
+    gen_popped = reg->GetCounter("sfsql_generator_popped_total",
+                                 "Partial join networks expanded");
+    gen_expansions = reg->GetCounter("sfsql_generator_expansions_total",
+                                     "Expansion attempts (edge or view)");
+    gen_pruned = reg->GetCounter(
+        "sfsql_generator_pruned_total",
+        "Partial join networks dropped by potential pruning");
+    gen_emitted = reg->GetCounter("sfsql_generator_emitted_total",
+                                  "MTJNs reaching a result set (pre-dedup)");
+    cache_hits = reg->GetCounter("sfsql_similarity_cache_hits_total",
+                                 "Similarity-cache hits");
+    cache_misses = reg->GetCounter("sfsql_similarity_cache_misses_total",
+                                   "Similarity-cache misses");
+    cache_evictions = reg->GetCounter("sfsql_similarity_cache_evictions_total",
+                                      "Similarity-cache evictions");
+    cache_entries = reg->GetGauge("sfsql_similarity_cache_entries",
+                                  "Similarity-cache occupancy");
+  }
+
+  obs::Counter* translate_total;
+  obs::Counter* translate_errors;
+  obs::Counter* slow_translations;
+  obs::Histogram* translate_seconds;
+  obs::Histogram* phase_seconds[5];  ///< indexed like kPhaseNames
+  obs::Counter* gen_pushed;
+  obs::Counter* gen_popped;
+  obs::Counter* gen_expansions;
+  obs::Counter* gen_pruned;
+  obs::Counter* gen_emitted;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_misses;
+  obs::Counter* cache_evictions;
+  obs::Gauge* cache_entries;
+};
 
 namespace {
 
@@ -44,27 +105,44 @@ void ForEachSubquery(sql::SelectStatement& stmt,
 }
 
 /// Stopwatch for the TranslateStats phase breakdown; a null stats sink keeps
-/// the hot path free of clock syscalls.
+/// the hot path free of clock syscalls. The clock is injected (null = steady)
+/// so EXPLAIN goldens can run on a FakeClock.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(bool enabled) : enabled_(enabled) {
-    if (enabled_) last_ = std::chrono::steady_clock::now();
+  PhaseTimer(const obs::Clock* clock, bool enabled)
+      : enabled_(enabled), clock_(obs::ClockOrSteady(clock)) {
+    if (enabled_) last_ = clock_->NowNanos();
   }
 
   /// Accumulates the time since the previous Lap (or construction) into *sink.
   void Lap(double* sink) {
     if (!enabled_) return;
-    auto now = std::chrono::steady_clock::now();
-    *sink += std::chrono::duration<double>(now - last_).count();
+    uint64_t now = clock_->NowNanos();
+    *sink += obs::NanosToSeconds(now - last_);
     last_ = now;
   }
 
  private:
   bool enabled_;
-  std::chrono::steady_clock::time_point last_;
+  const obs::Clock* clock_;
+  uint64_t last_ = 0;
 };
 
 }  // namespace
+
+SchemaFreeEngine::SchemaFreeEngine(const storage::Database* db,
+                                   EngineConfig config)
+    : db_(db),
+      config_(ResolveConfig(config)),
+      metrics_(config.metrics != nullptr
+                   ? std::make_unique<PipelineMetrics>(config.metrics)
+                   : nullptr),
+      name_index_(SchemaNames(db->catalog()), config.sim.qgram),
+      sim_cache_(config.similarity_cache_capacity),
+      mapper_(db, config.sim, &name_index_, &sim_cache_),
+      views_(&db->catalog()) {}
+
+SchemaFreeEngine::~SchemaFreeEngine() = default;
 
 MappingSet SchemaFreeEngine::CachedMap(const RelationTree& rt) const {
   if (config_.mapping_cache_capacity == 0) return mapper_.Map(rt);
@@ -406,8 +484,8 @@ Status SchemaFreeEngine::TranslateSubqueries(
 
 Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
     sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
-    int k, TranslateStats* stats) const {
-  PhaseTimer timer(stats != nullptr);
+    int k, TranslateStats* stats, TranslationExplain* explain) const {
+  PhaseTimer timer(config_.clock, stats != nullptr);
   SFSQL_ASSIGN_OR_RETURN(Extraction extraction,
                          ExtractRelationTrees(stmt, outer_bindings));
 
@@ -437,6 +515,43 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
   ConsolidateTrees(stmt, extraction, mappings);
   if (stats != nullptr) timer.Lap(&stats->map_seconds);
 
+  // Mapping provenance (post-consolidation, the trees the generator will
+  // see). Attribute similarities are recomputed through the mapper — the
+  // scores were just computed, so this hits the similarity cache and costs
+  // (and perturbs the cache counters by) only the lookups.
+  const catalog::Catalog& cat = db_->catalog();
+  if (explain != nullptr) {
+    explain->trees.clear();
+    for (size_t i = 0; i < extraction.trees.size(); ++i) {
+      const RelationTree& rt = extraction.trees[i];
+      ExplainTree et;
+      et.rt_id = rt.id;
+      et.tree = rt.ToString();
+      for (const RelationMapping& m : mappings[i].candidates) {
+        ExplainCandidate ec;
+        ec.relation_id = m.relation_id;
+        ec.relation_name = cat.relation(m.relation_id).name;
+        ec.similarity = m.similarity;
+        for (size_t a = 0; a < rt.attributes.size(); ++a) {
+          ExplainAttribute ea;
+          ea.query_name = rt.attributes[a].ToString();
+          int bound = a < m.attribute_bindings.size() ? m.attribute_bindings[a]
+                                                      : -1;
+          if (bound >= 0) {
+            ea.bound_name = cat.relation(m.relation_id).attributes[bound].name;
+          }
+          int ignored = -1;
+          ea.similarity =
+              mapper_.AttributeSimilarity(rt.attributes[a], m.relation_id,
+                                          &ignored);
+          ec.attributes.push_back(std::move(ea));
+        }
+        et.candidates.push_back(std::move(ec));
+      }
+      explain->trees.push_back(std::move(et));
+    }
+  }
+
   ViewGraph query_views = ViewsForQuery(extraction, mappings);
   SFSQL_ASSIGN_OR_RETURN(
       ExtendedViewGraph graph,
@@ -445,9 +560,50 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
   if (stats != nullptr) timer.Lap(&stats->graph_seconds);
 
   MtjnGenerator generator(&graph, config_.gen);
+  GeneratorStats local_gen;
+  GeneratorStats* gst = stats != nullptr ? &stats->generator
+                        : explain != nullptr ? &local_gen
+                                             : nullptr;
+  GeneratorTrace trace;
   std::vector<ScoredNetwork> networks =
-      generator.TopK(k, stats != nullptr ? &stats->generator : nullptr);
+      generator.TopK(k, gst, explain != nullptr ? &trace : nullptr);
   if (stats != nullptr) timer.Lap(&stats->generate_seconds);
+
+  if (explain != nullptr) {
+    explain->generator = *gst;
+    explain->seed_bound = trace.seed_bound;
+    explain->roots.clear();
+    for (const RootSearchTrace& rt : trace.roots) {
+      ExplainRootSearch er;
+      er.root = graph.node(rt.root_xnode).ToString(cat);
+      er.potential = rt.potential;
+      er.initial_bound = rt.initial_bound;
+      er.final_bound = rt.final_bound;
+      er.seconds = obs::NanosToSeconds(rt.end_nanos - rt.start_nanos);
+      er.pushed = rt.stats.pushed;
+      er.popped = rt.stats.popped;
+      er.expansions = rt.stats.expansions;
+      er.pruned = rt.stats.pruned;
+      er.emitted = rt.stats.emitted;
+      er.truncated = rt.stats.truncated;
+      explain->roots.push_back(std::move(er));
+    }
+    // Mark the candidates the best network actually chose: its nodes bind
+    // each relation tree to one candidate relation.
+    if (!networks.empty()) {
+      for (const JnNode& n : networks.front().network.nodes()) {
+        const XNode& xn = graph.node(n.xnode);
+        if (xn.rt_id < 0) continue;
+        for (ExplainTree& et : explain->trees) {
+          if (et.rt_id != xn.rt_id) continue;
+          for (ExplainCandidate& ecand : et.candidates) {
+            if (ecand.relation_id == xn.relation_id) ecand.chosen = true;
+          }
+        }
+      }
+    }
+  }
+
   if (networks.empty()) {
     return Status::ExecutionError(
         "no join network connects the query's relation trees");
@@ -470,6 +626,13 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
     out.push_back(std::move(t));
   }
   if (stats != nullptr) timer.Lap(&stats->compose_seconds);
+  if (explain != nullptr) {
+    explain->results.clear();
+    for (const Translation& t : out) {
+      explain->results.push_back(
+          ExplainResult{t.weight, t.network_text, t.sql});
+    }
+  }
   if (out.empty()) {
     return Status::ExecutionError("no join network could be composed");
   }
@@ -478,24 +641,109 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateStatement(
 
 Result<std::vector<Translation>> SchemaFreeEngine::Translate(
     std::string_view sfsql, int k) const {
-  return Translate(sfsql, k, nullptr);
+  return TranslateImpl(sfsql, k, nullptr, nullptr);
 }
 
 Result<std::vector<Translation>> SchemaFreeEngine::Translate(
     std::string_view sfsql, int k, TranslateStats* stats) const {
+  return TranslateImpl(sfsql, k, stats, nullptr);
+}
+
+Result<std::vector<Translation>> SchemaFreeEngine::TranslateExplained(
+    std::string_view sfsql, int k, TranslationExplain* explain) const {
+  return TranslateImpl(sfsql, k, nullptr, explain);
+}
+
+Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
+    std::string_view sfsql, int k, TranslateStats* stats,
+    TranslationExplain* explain) const {
+  const bool slow_armed = config_.slow_translate_threshold_ms > 0.0;
+  // An armed slow log needs the provenance of *every* call (whether a call is
+  // slow is only known at the end); metrics and EXPLAIN both need the stats.
+  TranslationExplain slow_explain;
+  if (explain == nullptr && slow_armed) explain = &slow_explain;
+  TranslateStats local_stats;
+  if (stats == nullptr && (explain != nullptr || metrics_ != nullptr)) {
+    stats = &local_stats;
+  }
+
   if (stats != nullptr) *stats = TranslateStats{};
+  if (explain != nullptr) {
+    *explain = TranslationExplain{};
+    explain->query = std::string(sfsql);
+    explain->k = k;
+  }
+
+  const bool timing = stats != nullptr;
+  const obs::Clock* clock = obs::ClockOrSteady(config_.clock);
   text::SimilarityCache::Stats before;
-  if (stats != nullptr) before = sim_cache_.stats();
-  PhaseTimer timer(stats != nullptr);
+  if (timing) before = sim_cache_.stats();
+  const uint64_t start_nanos = timing ? clock->NowNanos() : 0;
+
+  PhaseTimer timer(config_.clock, timing);
   Result<sql::SelectPtr> stmt = sql::ParseSelect(sfsql);
-  if (stats != nullptr) timer.Lap(&stats->parse_seconds);
-  if (!stmt.ok()) return stmt.status();
+  if (timing) timer.Lap(&stats->parse_seconds);
   Result<std::vector<Translation>> out =
-      TranslateStatement(**stmt, {}, k, stats);
-  if (stats != nullptr) {
-    text::SimilarityCache::Stats after = sim_cache_.stats();
+      stmt.ok() ? TranslateStatement(**stmt, {}, k, stats, explain)
+                : Result<std::vector<Translation>>(stmt.status());
+
+  double total_seconds = 0.0;
+  long long evictions_delta = 0;
+  text::SimilarityCache::Stats after;
+  if (timing) {
+    total_seconds = obs::NanosToSeconds(clock->NowNanos() - start_nanos);
+    after = sim_cache_.stats();
     stats->cache_hits = static_cast<long long>(after.hits - before.hits);
     stats->cache_misses = static_cast<long long>(after.misses - before.misses);
+    evictions_delta =
+        static_cast<long long>(after.evictions - before.evictions);
+  }
+  if (explain != nullptr) {
+    explain->ok = out.ok();
+    if (!out.ok()) explain->error = out.status().message();
+    explain->parse_seconds = stats->parse_seconds;
+    explain->map_seconds = stats->map_seconds;
+    explain->graph_seconds = stats->graph_seconds;
+    explain->generate_seconds = stats->generate_seconds;
+    explain->compose_seconds = stats->compose_seconds;
+    explain->total_seconds = total_seconds;
+    explain->cache_hits = stats->cache_hits;
+    explain->cache_misses = stats->cache_misses;
+  }
+
+  if (metrics_ != nullptr) {
+    PipelineMetrics& m = *metrics_;
+    m.translate_total->Increment();
+    if (!out.ok()) m.translate_errors->Increment();
+    m.translate_seconds->Observe(total_seconds);
+    const double phases[5] = {stats->parse_seconds, stats->map_seconds,
+                              stats->graph_seconds, stats->generate_seconds,
+                              stats->compose_seconds};
+    for (int i = 0; i < 5; ++i) m.phase_seconds[i]->Observe(phases[i]);
+    const GeneratorStats& g = stats->generator;
+    m.gen_pushed->Increment(static_cast<uint64_t>(g.pushed));
+    m.gen_popped->Increment(static_cast<uint64_t>(g.popped));
+    m.gen_expansions->Increment(static_cast<uint64_t>(g.expansions));
+    m.gen_pruned->Increment(static_cast<uint64_t>(g.pruned));
+    m.gen_emitted->Increment(static_cast<uint64_t>(g.emitted));
+    m.cache_hits->Increment(static_cast<uint64_t>(stats->cache_hits));
+    m.cache_misses->Increment(static_cast<uint64_t>(stats->cache_misses));
+    m.cache_evictions->Increment(static_cast<uint64_t>(evictions_delta));
+    m.cache_entries->Set(static_cast<double>(after.entries));
+  }
+
+  if (slow_armed &&
+      total_seconds * 1e3 >= config_.slow_translate_threshold_ms) {
+    if (metrics_ != nullptr) metrics_->slow_translations->Increment();
+    std::string dump =
+        StrCat("slow translation: ", total_seconds * 1e3, " ms >= ",
+               config_.slow_translate_threshold_ms, " ms threshold\n",
+               explain->RenderTree());
+    if (config_.slow_log_sink) {
+      config_.slow_log_sink(dump);
+    } else {
+      std::cerr << dump;
+    }
   }
   return out;
 }
@@ -510,6 +758,7 @@ Result<exec::QueryResult> SchemaFreeEngine::Execute(
     std::string_view sfsql) const {
   SFSQL_ASSIGN_OR_RETURN(Translation best, TranslateBest(sfsql));
   exec::Executor executor(db_);
+  executor.EnableMetrics(config_.metrics, config_.clock);
   return executor.Execute(*best.statement);
 }
 

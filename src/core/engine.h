@@ -1,6 +1,7 @@
 #ifndef SFSQL_CORE_ENGINE_H_
 #define SFSQL_CORE_ENGINE_H_
 
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -9,6 +10,7 @@
 #include "common/result.h"
 #include "core/composer.h"
 #include "core/config.h"
+#include "core/explain.h"
 #include "core/mapper.h"
 #include "core/mtjn_generator.h"
 #include "core/relation_tree.h"
@@ -17,6 +19,11 @@
 #include "storage/database.h"
 
 namespace sfsql::core {
+
+/// Pre-resolved metric handles for the translate pipeline (engine.cc); exists
+/// only when EngineConfig::metrics is set, so a metrics-off engine carries a
+/// null pointer and runs zero instrumentation code.
+struct PipelineMetrics;
 
 /// Structural summary of the join network behind a translation; the
 /// effectiveness harness compares this against the gold query's join tree.
@@ -67,13 +74,8 @@ struct TranslateStats {
 class SchemaFreeEngine {
  public:
   explicit SchemaFreeEngine(const storage::Database* db,
-                            EngineConfig config = {})
-      : db_(db),
-        config_(ResolveConfig(config)),
-        name_index_(SchemaNames(db->catalog()), config.sim.qgram),
-        sim_cache_(config.similarity_cache_capacity),
-        mapper_(db, config.sim, &name_index_, &sim_cache_),
-        views_(&db->catalog()) {}
+                            EngineConfig config = {});
+  ~SchemaFreeEngine();
 
   /// Registers a query-log entry: its join tree becomes a view (§5.1, Fig. 5).
   /// Queries over fewer than two relations are ignored (OK is returned).
@@ -103,6 +105,16 @@ class SchemaFreeEngine {
   Result<std::vector<Translation>> Translate(std::string_view sfsql, int k,
                                              TranslateStats* stats) const;
 
+  /// Translation EXPLAIN mode: as Translate, but additionally collects full
+  /// provenance into `*explain` — every relation tree's candidate relations
+  /// with similarity scores and attribute bindings (the chosen top-1
+  /// candidates marked), the generator's per-root searches with their pruning
+  /// bounds and expanded/pruned counts, per-phase wall times, and the ranked
+  /// results. On failure the translation error lands in explain->error and
+  /// the provenance collected up to the failing phase is kept.
+  Result<std::vector<Translation>> TranslateExplained(
+      std::string_view sfsql, int k, TranslationExplain* explain) const;
+
   /// Translates with k = 1 and returns the single best interpretation.
   Result<Translation> TranslateBest(std::string_view sfsql) const;
 
@@ -110,10 +122,11 @@ class SchemaFreeEngine {
   Result<exec::QueryResult> Execute(std::string_view sfsql) const;
 
  private:
-  /// Copies the engine-level num_threads knob into the generator config so the
-  /// whole engine is tuned from one place.
+  /// Copies the engine-level num_threads and clock knobs into the generator
+  /// config so the whole engine is tuned from one place.
   static EngineConfig ResolveConfig(EngineConfig config) {
     config.gen.num_threads = config.num_threads;
+    config.gen.clock = config.clock;
     return config;
   }
 
@@ -127,9 +140,16 @@ class SchemaFreeEngine {
   /// mappings). Disabled when config_.mapping_cache_capacity == 0.
   MappingSet CachedMap(const RelationTree& rt) const;
 
+  /// Shared body of Translate / TranslateExplained: parse + outer-block
+  /// translation + cache-delta accounting + metrics publishing + slow log.
+  Result<std::vector<Translation>> TranslateImpl(
+      std::string_view sfsql, int k, TranslateStats* stats,
+      TranslationExplain* explain) const;
+
   Result<std::vector<Translation>> TranslateStatement(
       sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,
-      int k, TranslateStats* stats = nullptr) const;
+      int k, TranslateStats* stats = nullptr,
+      TranslationExplain* explain = nullptr) const;
 
   /// Merges relation trees that clearly denote the same relation instance:
   /// an unspecified-relation tree is absorbed into a FROM-clause tree whose
@@ -155,6 +175,9 @@ class SchemaFreeEngine {
 
   const storage::Database* db_;
   EngineConfig config_;
+  /// Null when config_.metrics is null (metrics off). Resolved once at
+  /// construction so Translate never touches the registry's lock.
+  std::unique_ptr<PipelineMetrics> metrics_;
   /// Declared before mapper_, which holds pointers into both. The cache is
   /// mutable because memoization is not observable through the similarity
   /// scores (and SimilarityCache is internally synchronized).

@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <map>
 #include <queue>
 #include <set>
 #include <string>
 #include <thread>
 #include <utility>
+
+#include "obs/clock.h"
 
 namespace sfsql::core {
 
@@ -65,9 +66,8 @@ class TopKResults {
   std::map<std::string, JoinNetwork> by_signature_;
 };
 
-double Seconds(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)
-      .count();
+double Seconds(const obs::Clock& clock, uint64_t since_nanos) {
+  return obs::NanosToSeconds(clock.NowNanos() - since_nanos);
 }
 
 /// Deterministic result order: weight descending, canonical signature
@@ -150,10 +150,13 @@ double MtjnGenerator::PotentialEstimate(const JoinNetwork& jn) const {
 }
 
 std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
-                                              GeneratorStats* stats) const {
+                                              GeneratorStats* stats,
+                                              GeneratorTrace* trace) const {
   GeneratorStats local;
   GeneratorStats& st = stats != nullptr ? *stats : local;
   st = GeneratorStats{};
+  if (trace != nullptr) *trace = GeneratorTrace{};
+  const obs::Clock& clock = *obs::ClockOrSteady(config_.clock);
 
   if (k == 0 || graph_->num_rts() == 0) return {};
 
@@ -162,14 +165,14 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
 
   // Roots: the nodes mapped by the first relation tree (Algorithm 1), ordered
   // by decreasing potential. Every MTJN contains exactly one of them.
-  auto rank_start = std::chrono::steady_clock::now();
+  uint64_t rank_start = clock.NowNanos();
   std::vector<std::pair<double, int>> ranked;
   for (int r : graph_->NodesOfRt(0)) {
     JoinNetwork seed(graph_, r, config_.use_mapping_scores);
     ranked.push_back({PotentialEstimate(seed), r});
   }
   std::sort(ranked.begin(), ranked.end(), std::greater<>());
-  st.rank_seconds = Seconds(rank_start);
+  st.rank_seconds = Seconds(clock, rank_start);
 
   // One best-first search per root. Each search only sees its own pruning
   // bound and its own expansion budget, so its outcome depends on nothing but
@@ -179,7 +182,7 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
   // graph). `initial_bound` is a weight known to be no greater than the final
   // global kth weight; anything strictly below it can never enter the top k.
   auto search_root = [&](size_t rank_index, double initial_bound,
-                         GeneratorStats& rst)
+                         GeneratorStats& rst, double& final_bound)
       -> std::map<std::string, JoinNetwork> {
     const int root = ranked[rank_index].second;
     std::set<int> banned;
@@ -191,6 +194,7 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
       // A single relation tree: the seed itself is the MTJN.
       ++rst.emitted;
       results.Add(seed);
+      final_bound = std::max(initial_bound, results.KthWeight());
       return std::move(results.by_signature());
     }
 
@@ -264,19 +268,34 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
         }
       }
     }
+    final_bound = std::max(initial_bound, results.KthWeight());
     return std::move(results.by_signature());
   };
 
-  auto search_start = std::chrono::steady_clock::now();
+  uint64_t search_start = clock.NowNanos();
   std::vector<std::map<std::string, JoinNetwork>> outcomes(ranked.size());
   std::vector<GeneratorStats> root_stats(ranked.size());
+  std::vector<RootSearchTrace> root_traces(ranked.size());
+
+  // Runs one root's search with its provenance record wrapped around it. The
+  // clock reads bracket only this root's work, so per-root times are additive
+  // (sum = total work) even when roots run concurrently.
+  auto run_root = [&](size_t i, double initial_bound) {
+    RootSearchTrace& rt = root_traces[i];
+    rt.root_xnode = ranked[i].second;
+    rt.potential = ranked[i].first;
+    rt.initial_bound = initial_bound;
+    rt.start_nanos = clock.NowNanos();
+    outcomes[i] = search_root(i, initial_bound, root_stats[i], rt.final_bound);
+    rt.end_nanos = clock.NowNanos();
+  };
 
   // The best-ranked root searches first with no outside bound; its kth weight
   // is a floor on the final global kth weight (its results all pool into the
   // merge), so it safely seeds every other root's pruning bound. The seed is
   // the same number regardless of scheduling, which keeps the parallel path
   // bit-identical to the serial one.
-  outcomes[0] = search_root(0, 0.0, root_stats[0]);
+  run_root(0, 0.0);
   double bound0 = 0.0;
   if (k >= 1 && static_cast<int>(outcomes[0].size()) >= k) {
     std::vector<double> weights;
@@ -292,14 +311,14 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
   num_threads = std::min<int>(num_threads, static_cast<int>(rest));
   if (num_threads <= 1) {
     for (size_t i = 1; i < ranked.size(); ++i) {
-      outcomes[i] = search_root(i, bound0, root_stats[i]);
+      run_root(i, bound0);
     }
   } else {
     std::atomic<size_t> next{1};
     auto worker = [&] {
       for (size_t i = next.fetch_add(1); i < ranked.size();
            i = next.fetch_add(1)) {
-        outcomes[i] = search_root(i, bound0, root_stats[i]);
+        run_root(i, bound0);
       }
     };
     std::vector<std::thread> pool;
@@ -319,6 +338,10 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
     st.pruned += rst.pruned;
     st.emitted += rst.emitted;
     st.truncated = st.truncated || rst.truncated;
+    double root_secs = obs::NanosToSeconds(root_traces[i].end_nanos -
+                                           root_traces[i].start_nanos);
+    st.root_seconds_sum += root_secs;
+    st.root_seconds_max = std::max(st.root_seconds_max, root_secs);
     for (auto& [sig, jn] : outcomes[i]) {
       auto it = merged.find(sig);
       if (it == merged.end()) {
@@ -329,23 +352,30 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
     }
   }
   st.roots = static_cast<int>(ranked.size());
-  st.search_seconds = Seconds(search_start);
+  st.search_seconds = Seconds(clock, search_start);
+  if (trace != nullptr) {
+    for (size_t i = 0; i < ranked.size(); ++i) {
+      root_traces[i].stats = root_stats[i];
+    }
+    trace->seed_bound = bound0;
+    trace->roots = std::move(root_traces);
+  }
   return TakeTopK(merged, k);
 }
 
-std::vector<ScoredNetwork> MtjnGenerator::TopK(int k,
-                                               GeneratorStats* stats) const {
-  return Run(k, Strategy::kOurs, stats);
+std::vector<ScoredNetwork> MtjnGenerator::TopK(int k, GeneratorStats* stats,
+                                               GeneratorTrace* trace) const {
+  return Run(k, Strategy::kOurs, stats, trace);
 }
 
 std::vector<ScoredNetwork> MtjnGenerator::TopKRightmost(
-    int k, GeneratorStats* stats) const {
-  return Run(k, Strategy::kRightmost, stats);
+    int k, GeneratorStats* stats, GeneratorTrace* trace) const {
+  return Run(k, Strategy::kRightmost, stats, trace);
 }
 
 std::vector<ScoredNetwork> MtjnGenerator::TopKRegular(
-    int k, GeneratorStats* stats) const {
-  return Run(k, Strategy::kRegular, stats);
+    int k, GeneratorStats* stats, GeneratorTrace* trace) const {
+  return Run(k, Strategy::kRegular, stats, trace);
 }
 
 std::vector<ScoredNetwork> MtjnGenerator::EnumerateAll(int max_nodes) const {

@@ -1,6 +1,7 @@
 #ifndef SFSQL_CORE_MTJN_GENERATOR_H_
 #define SFSQL_CORE_MTJN_GENERATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/config.h"
@@ -20,6 +21,11 @@ struct ScoredNetwork {
 /// over the per-root searches in root-rank order, so they are identical for
 /// the serial and parallel paths; the wall-clock phase timings are what the
 /// throughput benchmarks report.
+///
+/// This struct is a thin per-call adapter over the generator's
+/// instrumentation: when the engine runs with an obs::MetricsRegistry the
+/// same counters also accumulate into the registry's sfsql_generator_*
+/// families.
 struct GeneratorStats {
   long long pushed = 0;    ///< partial networks enqueued
   long long popped = 0;    ///< partial networks expanded
@@ -30,6 +36,33 @@ struct GeneratorStats {
   int roots = 0;           ///< per-root best-first searches performed
   double rank_seconds = 0.0;    ///< wall clock: root ranking (Algorithm 1 prep)
   double search_seconds = 0.0;  ///< wall clock: all per-root searches + merge
+  /// Per-root search times, aggregated in rank order (so serial and parallel
+  /// runs merge identically): the *sum* is total work done, the *max* is the
+  /// critical path. With num_threads == 1, search_seconds ≈ root_seconds_sum;
+  /// with more threads search_seconds approaches root_seconds_max — reporting
+  /// the two separately removes the ambiguity a single wall-time field had.
+  double root_seconds_sum = 0.0;
+  double root_seconds_max = 0.0;
+};
+
+/// Optional provenance of one Run (the EXPLAIN substrate): how the roots
+/// ranked, what bound each search started and ended with, and what each
+/// contributed. Entries are in rank order, matching the merge order.
+struct RootSearchTrace {
+  int root_xnode = -1;        ///< extended-graph node the search grew from
+  double potential = 0.0;     ///< Algorithm 1 rank score (upper bound)
+  double initial_bound = 0.0; ///< pruning bound the search started with
+  double final_bound = 0.0;   ///< bound when the search ended
+  uint64_t start_nanos = 0;   ///< clock readings (GeneratorConfig::clock)
+  uint64_t end_nanos = 0;
+  GeneratorStats stats;       ///< this root's counters (timing fields unused)
+};
+
+struct GeneratorTrace {
+  /// The best-ranked root's kth weight, seeded into every other root's
+  /// pruning bound (0 when it produced fewer than k networks).
+  double seed_bound = 0.0;
+  std::vector<RootSearchTrace> roots;
 };
 
 /// Top-k minimal-total-join-network generation over an extended view graph.
@@ -62,11 +95,16 @@ class MtjnGenerator {
   MtjnGenerator(const ExtendedViewGraph* graph, GeneratorConfig config)
       : graph_(graph), config_(config) {}
 
-  std::vector<ScoredNetwork> TopK(int k, GeneratorStats* stats = nullptr) const;
-  std::vector<ScoredNetwork> TopKRightmost(int k,
-                                           GeneratorStats* stats = nullptr) const;
-  std::vector<ScoredNetwork> TopKRegular(int k,
-                                         GeneratorStats* stats = nullptr) const;
+  /// `trace`, when given, receives per-root provenance (rank scores, pruning
+  /// bounds, per-root counters) — the substrate of the translation EXPLAIN
+  /// mode. Collecting it costs nothing beyond what `stats` already does.
+  std::vector<ScoredNetwork> TopK(int k, GeneratorStats* stats = nullptr,
+                                  GeneratorTrace* trace = nullptr) const;
+  std::vector<ScoredNetwork> TopKRightmost(
+      int k, GeneratorStats* stats = nullptr,
+      GeneratorTrace* trace = nullptr) const;
+  std::vector<ScoredNetwork> TopKRegular(int k, GeneratorStats* stats = nullptr,
+                                         GeneratorTrace* trace = nullptr) const;
 
   /// Exhaustive enumeration of every MTJN with at most `max_nodes` relations
   /// (exponential; test oracle for the strategies above).
@@ -80,7 +118,8 @@ class MtjnGenerator {
  private:
   enum class Strategy { kOurs, kRightmost, kRegular };
   std::vector<ScoredNetwork> Run(int k, Strategy strategy,
-                                 GeneratorStats* stats) const;
+                                 GeneratorStats* stats,
+                                 GeneratorTrace* trace) const;
 
   const ExtendedViewGraph* graph_;
   GeneratorConfig config_;

@@ -7,6 +7,8 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/like.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -904,9 +906,40 @@ bool QueryResult::SameRows(const QueryResult& other) const {
   return true;
 }
 
+void Executor::EnableMetrics(obs::MetricsRegistry* registry,
+                             const obs::Clock* clock) {
+  if (registry == nullptr) {
+    clock_ = nullptr;
+    execute_total_ = execute_errors_ = execute_rows_ = nullptr;
+    execute_seconds_ = nullptr;
+    return;
+  }
+  clock_ = obs::ClockOrSteady(clock);
+  execute_total_ = registry->GetCounter("sfsql_execute_total",
+                                        "Executed SELECT statements");
+  execute_errors_ = registry->GetCounter("sfsql_execute_errors_total",
+                                         "Executions that returned an error");
+  execute_rows_ = registry->GetCounter("sfsql_execute_rows_total",
+                                       "Result rows materialized");
+  execute_seconds_ = registry->GetHistogram(
+      "sfsql_execute_seconds", "Execution wall time", obs::LatencyBuckets());
+}
+
 Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
+  const uint64_t start =
+      execute_seconds_ != nullptr ? clock_->NowNanos() : 0;
   BlockExecutor block(db_);
-  return block.ExecuteBlock(stmt, Env{});
+  Result<QueryResult> out = block.ExecuteBlock(stmt, Env{});
+  if (execute_seconds_ != nullptr) {
+    execute_seconds_->Observe(obs::NanosToSeconds(clock_->NowNanos() - start));
+    execute_total_->Increment();
+    if (out.ok()) {
+      execute_rows_->Increment(out->rows.size());
+    } else {
+      execute_errors_->Increment();
+    }
+  }
+  return out;
 }
 
 Result<QueryResult> Executor::ExecuteSql(std::string_view sql_text) {

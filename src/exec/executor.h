@@ -8,6 +8,13 @@
 #include "sql/ast.h"
 #include "storage/database.h"
 
+namespace sfsql::obs {
+class Clock;
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace sfsql::obs
+
 namespace sfsql::exec {
 
 /// A materialized query result: column labels plus rows.
@@ -45,6 +52,14 @@ class Executor {
  public:
   explicit Executor(const storage::Database* db) : db_(db) {}
 
+  /// Publishes per-execution metrics into `registry`:
+  ///   sfsql_execute_total, sfsql_execute_errors_total,
+  ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total.
+  /// Null `registry` (the default state) disables metrics entirely; `clock`
+  /// overrides the steady clock for the latency histogram (tests).
+  void EnableMetrics(obs::MetricsRegistry* registry,
+                     const obs::Clock* clock = nullptr);
+
   /// Runs `stmt` and materializes the result.
   Result<QueryResult> Execute(const sql::SelectStatement& stmt);
 
@@ -53,6 +68,11 @@ class Executor {
 
  private:
   const storage::Database* db_;
+  const obs::Clock* clock_ = nullptr;
+  obs::Counter* execute_total_ = nullptr;
+  obs::Counter* execute_errors_ = nullptr;
+  obs::Counter* execute_rows_ = nullptr;
+  obs::Histogram* execute_seconds_ = nullptr;
 };
 
 }  // namespace sfsql::exec

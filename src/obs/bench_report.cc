@@ -1,0 +1,136 @@
+#include "obs/bench_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+#include "obs/json.h"
+
+namespace sfsql::obs {
+
+void BenchReport::SetConfig(std::string_view key, std::string_view value) {
+  Entry e;
+  e.key = std::string(key);
+  e.text = std::string(value);
+  config_.push_back(std::move(e));
+}
+
+void BenchReport::SetConfig(std::string_view key, double value) {
+  Entry e;
+  e.key = std::string(key);
+  e.numeric = true;
+  e.number = value;
+  config_.push_back(std::move(e));
+}
+
+void BenchReport::SetConfig(std::string_view key, long long value) {
+  SetConfig(key, static_cast<double>(value));
+}
+
+void BenchReport::SetMetric(std::string_view key, double value) {
+  Entry e;
+  e.key = std::string(key);
+  e.numeric = true;
+  e.number = value;
+  metrics_.push_back(std::move(e));
+}
+
+BenchReport::Row& BenchReport::Row::Text(std::string_view column,
+                                         std::string_view value) {
+  Cell c;
+  c.column = std::string(column);
+  c.text = std::string(value);
+  cells_.push_back(std::move(c));
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Number(std::string_view column,
+                                           double value) {
+  Cell c;
+  c.column = std::string(column);
+  c.numeric = true;
+  c.number = value;
+  cells_.push_back(std::move(c));
+  return *this;
+}
+
+void BenchReport::AddRow(std::string_view table, Row row) {
+  for (auto& [name, rows] : tables_) {
+    if (name == table) {
+      rows.push_back(std::move(row));
+      return;
+    }
+  }
+  tables_.emplace_back(std::string(table), std::vector<Row>{std::move(row)});
+}
+
+double BenchReport::Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+std::string BenchReport::ToJson(bool pretty) const {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.KV("bench", name_);
+  w.KV("schema_version", 1);
+  w.Key("config");
+  w.BeginObject();
+  for (const Entry& e : config_) {
+    if (e.numeric) {
+      w.KV(e.key, e.number);
+    } else {
+      w.KV(e.key, e.text);
+    }
+  }
+  w.EndObject();
+  w.Key("metrics");
+  w.BeginObject();
+  for (const Entry& e : metrics_) w.KV(e.key, e.number);
+  w.EndObject();
+  w.Key("tables");
+  w.BeginObject();
+  for (const auto& [name, rows] : tables_) {
+    w.Key(name);
+    w.BeginArray();
+    for (const Row& row : rows) {
+      w.BeginObject();
+      for (const Row::Cell& c : row.cells_) {
+        if (c.numeric) {
+          w.KV(c.column, c.number);
+        } else {
+          w.KV(c.column, c.text);
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status BenchReport::WriteFile(const std::string& directory) const {
+  std::string path = directory + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError(StrCat("cannot open ", path, " for writing"));
+  }
+  std::string json = ToJson(/*pretty=*/true);
+  json += "\n";
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::ExecutionError(StrCat("short write to ", path));
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return Status::OK();
+}
+
+}  // namespace sfsql::obs

@@ -1,0 +1,87 @@
+#ifndef SFSQL_OBS_BENCH_REPORT_H_
+#define SFSQL_OBS_BENCH_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sfsql::obs {
+
+/// Machine-readable result file for one bench binary. Every `bench_*`
+/// executable builds one of these next to its human-readable table and writes
+/// it as `BENCH_<name>.json` in the working directory, so the perf trajectory
+/// of the repo can be tracked mechanically (and CI can validate the shape —
+/// see tools/validate_bench_json).
+///
+/// Documented shape (EXPERIMENTS.md, "Machine-readable bench output"):
+///   {
+///     "bench": "<name>",            // binary name without the bench_ prefix
+///     "schema_version": 1,
+///     "config":  { key: string|number, ... },   // run parameters
+///     "metrics": { key: number, ... },          // headline scalars
+///     "tables":  { name: [ {col: string|number, ...}, ... ], ... }  // detail
+///   }
+/// "config" and "tables" may be empty; "metrics" holds at least one entry
+/// (e.g. queries_per_second, per-phase medians, cache hit rates — whatever
+/// the bench measures).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void SetConfig(std::string_view key, std::string_view value);
+  void SetConfig(std::string_view key, double value);
+  void SetConfig(std::string_view key, long long value);
+
+  void SetMetric(std::string_view key, double value);
+
+  /// One detail row (appended to table `table`); a row is an ordered list of
+  /// (column, value) cells.
+  class Row {
+   public:
+    Row& Text(std::string_view column, std::string_view value);
+    Row& Number(std::string_view column, double value);
+
+   private:
+    friend class BenchReport;
+    struct Cell {
+      std::string column;
+      bool numeric = false;
+      std::string text;
+      double number = 0.0;
+    };
+    std::vector<Cell> cells_;
+  };
+  void AddRow(std::string_view table, Row row);
+
+  /// Median of `values` (0 when empty) — the per-phase aggregate the bench
+  /// files report, robust against warm-up outliers.
+  static double Median(std::vector<double> values);
+
+  std::string ToJson(bool pretty = true) const;
+
+  /// Writes `BENCH_<name>.json` into `directory` (default: the working
+  /// directory) and prints a one-line note to stdout.
+  Status WriteFile(const std::string& directory = ".") const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    bool numeric = false;
+    std::string text;
+    double number = 0.0;
+  };
+
+  std::string name_;
+  std::vector<Entry> config_;
+  std::vector<Entry> metrics_;
+  std::vector<std::pair<std::string, std::vector<Row>>> tables_;
+};
+
+}  // namespace sfsql::obs
+
+#endif  // SFSQL_OBS_BENCH_REPORT_H_

@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace sfsql::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// {k1="v1",k2="v2"} with `extra` appended last (used for the `le` bucket
+/// label); empty string when there are no labels at all.
+std::string LabelBlock(const Labels& labels, std::string_view extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += l.key;
+    out += "=\"";
+    out += EscapeLabelValue(l.value);
+    out += "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  registry.ForEachFamily([&](const MetricsRegistry::Family& family) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + std::string(TypeName(family.type)) +
+           "\n";
+    for (const MetricsRegistry::Series& series : family.series) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += family.name + LabelBlock(series.labels) + " " +
+                 std::to_string(series.counter->Value()) + "\n";
+          break;
+        case MetricType::kGauge:
+          out += family.name + LabelBlock(series.labels) + " " +
+                 FormatDouble(series.gauge->Value()) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *series.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.BucketCount(i);
+            out += family.name + "_bucket" +
+                   LabelBlock(series.labels,
+                              "le=\"" + FormatDouble(h.bounds()[i]) + "\"") +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          cumulative += h.BucketCount(h.bounds().size());
+          out += family.name + "_bucket" +
+                 LabelBlock(series.labels, "le=\"+Inf\"") + " " +
+                 std::to_string(cumulative) + "\n";
+          out += family.name + "_sum" + LabelBlock(series.labels) + " " +
+                 FormatDouble(h.Sum()) + "\n";
+          out += family.name + "_count" + LabelBlock(series.labels) + " " +
+                 std::to_string(cumulative) + "\n";
+          break;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry, bool pretty) {
+  JsonWriter w(pretty);
+  w.BeginObject();
+  w.Key("metrics");
+  w.BeginArray();
+  registry.ForEachFamily([&](const MetricsRegistry::Family& family) {
+    w.BeginObject();
+    w.KV("name", family.name);
+    w.KV("type", TypeName(family.type));
+    w.KV("help", family.help);
+    w.Key("series");
+    w.BeginArray();
+    for (const MetricsRegistry::Series& series : family.series) {
+      w.BeginObject();
+      if (!series.labels.empty()) {
+        w.Key("labels");
+        w.BeginObject();
+        for (const Label& l : series.labels) w.KV(l.key, l.value);
+        w.EndObject();
+      }
+      switch (family.type) {
+        case MetricType::kCounter:
+          w.KV("value",
+               static_cast<unsigned long long>(series.counter->Value()));
+          break;
+        case MetricType::kGauge:
+          w.KV("value", series.gauge->Value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *series.histogram;
+          uint64_t cumulative = 0;
+          w.Key("buckets");
+          w.BeginArray();
+          for (size_t i = 0; i <= h.bounds().size(); ++i) {
+            cumulative += h.BucketCount(i);
+            w.BeginObject();
+            if (i < h.bounds().size()) {
+              w.KV("le", h.bounds()[i]);
+            } else {
+              w.KV("le", "+Inf");
+            }
+            w.KV("count", static_cast<unsigned long long>(cumulative));
+            w.EndObject();
+          }
+          w.EndArray();
+          w.KV("count", static_cast<unsigned long long>(cumulative));
+          w.KV("sum", h.Sum());
+          break;
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  });
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace sfsql::obs

@@ -1,0 +1,27 @@
+#ifndef SFSQL_OBS_EXPORT_H_
+#define SFSQL_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace sfsql::obs {
+
+/// Renders the registry in the Prometheus text exposition format (one
+/// `# HELP` / `# TYPE` header per family, histogram series expanded into
+/// cumulative `_bucket{le=...}` lines plus `_sum` and `_count`). Families
+/// appear in registration order, so output is deterministic for a
+/// deterministic program.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// Renders the registry as JSON:
+/// {"metrics":[{"name":...,"type":"counter|gauge|histogram","help":...,
+///   "series":[{"labels":{...},"value":N}           — counter/gauge
+///             {"labels":{...},"count":N,"sum":S,
+///              "buckets":[{"le":B,"count":C},...]} — histogram (cumulative)
+/// ]}]}
+std::string ToJson(const MetricsRegistry& registry, bool pretty = true);
+
+}  // namespace sfsql::obs
+
+#endif  // SFSQL_OBS_EXPORT_H_

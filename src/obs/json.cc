@@ -1,0 +1,317 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/macros.h"
+#include "common/strings.h"
+
+namespace sfsql::obs {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Newline() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().count > 0) out_ += ',';
+  if (stack_.back().array) Newline();
+  ++stack_.back().count;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame{0, false});
+}
+
+void JsonWriter::EndObject() {
+  bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) Newline();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame{0, true});
+}
+
+void JsonWriter::EndArray() {
+  bool had_values = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_values) Newline();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (stack_.back().count > 0) out_ += ',';
+  ++stack_.back().count;
+  Newline();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += pretty_ ? "\": " : "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(unsigned long long value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision_, value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SFSQL_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string_view message) const {
+    return Status::InvalidArgument(
+        StrCat("JSON parse error at offset ", std::to_string(pos_), ": ",
+               message));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      SFSQL_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SFSQL_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      v.members.emplace_back(std::move(key.string), std::move(value));
+      if (Consume('}')) return v;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      SFSQL_ASSIGN_OR_RETURN(JsonValue item, ParseValue());
+      v.items.push_back(std::move(item));
+      if (Consume(']')) return v;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // '"'
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'u':
+            // Pass \uXXXX through literally; the writer never emits them for
+            // the ASCII-range text this codebase produces.
+            v.string += "\\u";
+            break;
+          default:
+            return Error("bad escape sequence");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      v.boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Error("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace sfsql::obs

@@ -1,0 +1,96 @@
+#ifndef SFSQL_OBS_JSON_H_
+#define SFSQL_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sfsql::obs {
+
+/// Minimal streaming JSON writer shared by the exporters, the EXPLAIN
+/// renderer, and the bench reports. Handles comma placement, string escaping,
+/// and optional pretty-printing; the caller is responsible for well-formed
+/// nesting (every Begin has a matching End, every object value is preceded by
+/// a Key).
+class JsonWriter {
+ public:
+  /// `double_precision` is the %g significant-digit count used for doubles —
+  /// golden files use a modest precision so deterministic computations render
+  /// identically everywhere.
+  explicit JsonWriter(bool pretty = false, int double_precision = 12)
+      : pretty_(pretty), precision_(double_precision) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(long long value);
+  void UInt(unsigned long long value);
+  void Double(double value);  ///< non-finite values render as null
+  void Bool(bool value);
+  void Null();
+
+  // Key/value conveniences for object members.
+  void KV(std::string_view key, std::string_view value) { Key(key); String(value); }
+  void KV(std::string_view key, const char* value) { Key(key); String(value); }
+  void KV(std::string_view key, long long value) { Key(key); Int(value); }
+  void KV(std::string_view key, int value) { Key(key); Int(value); }
+  void KV(std::string_view key, unsigned long long value) { Key(key); UInt(value); }
+  void KV(std::string_view key, double value) { Key(key); Double(value); }
+  void KV(std::string_view key, bool value) { Key(key); Bool(value); }
+
+  /// The document built so far; call once, after the last End.
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+  void Newline();
+
+  bool pretty_;
+  int precision_;
+  std::string out_;
+  /// One frame per open container: count of values emitted, is-array flag,
+  /// and whether a key was just written (value expected next).
+  struct Frame {
+    int count = 0;
+    bool array = false;
+  };
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value (validator + tests). Number precision is double; object
+/// member order is preserved.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on objects; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Strict-enough recursive-descent JSON parser (no comments, no trailing
+/// commas; \uXXXX escapes are passed through verbatim as text).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace sfsql::obs
+
+#endif  // SFSQL_OBS_JSON_H_

@@ -1,0 +1,131 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace sfsql::obs {
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (Slot& s : shards_) {
+    s.counts = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  Slot& slot = shards_[ThisThreadShard()];
+  slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  double cur = slot.sum.load(std::memory_order_relaxed);
+  while (!slot.sum.compare_exchange_weak(cur, cur + value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  uint64_t total = 0;
+  for (const Slot& s : shards_) {
+    total += s.counts[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) total += BucketCount(i);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const Slot& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+const std::vector<double>& LatencyBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+      1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0};
+  return *buckets;
+}
+
+MetricsRegistry::Family* MetricsRegistry::FindOrCreateFamily(
+    std::string_view name, std::string_view help, MetricType type) {
+  for (auto& family : families_) {
+    if (family->name == name) {
+      return family->type == type ? family.get() : nullptr;
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = std::string(name);
+  family->help = std::string(help);
+  family->type = type;
+  families_.push_back(std::move(family));
+  return families_.back().get();
+}
+
+MetricsRegistry::Series* MetricsRegistry::FindSeries(Family& family,
+                                                     const Labels& labels) {
+  for (Series& s : family.series) {
+    if (s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kCounter);
+  if (family == nullptr) return nullptr;
+  if (Series* s = FindSeries(*family, labels)) return s->counter.get();
+  Series series;
+  series.labels = std::move(labels);
+  series.counter.reset(new Counter());
+  family->series.push_back(std::move(series));
+  return family->series.back().counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
+                                 Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kGauge);
+  if (family == nullptr) return nullptr;
+  if (Series* s = FindSeries(*family, labels)) return s->gauge.get();
+  Series series;
+  series.labels = std::move(labels);
+  series.gauge.reset(new Gauge());
+  family->series.push_back(std::move(series));
+  return family->series.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         const std::vector<double>& bounds,
+                                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family* family = FindOrCreateFamily(name, help, MetricType::kHistogram);
+  if (family == nullptr) return nullptr;
+  if (Series* s = FindSeries(*family, labels)) return s->histogram.get();
+  // All series of one family share bucket bounds (first registration wins).
+  const std::vector<double>& use =
+      family->series.empty() ? bounds
+                             : family->series.front().histogram->bounds();
+  Series series;
+  series.labels = std::move(labels);
+  series.histogram.reset(new Histogram(use));
+  family->series.push_back(std::move(series));
+  return family->series.back().histogram.get();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace sfsql::obs

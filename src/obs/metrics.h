@@ -1,0 +1,189 @@
+#ifndef SFSQL_OBS_METRICS_H_
+#define SFSQL_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sfsql::obs {
+
+/// Number of atomic slots each counter/histogram spreads its writes over.
+/// Writers pick a slot by a thread-local index, so the parallel MTJN workers
+/// never contend on one cache line; readers sum the slots. Integer counts
+/// make the sum independent of interleaving — instrumentation cannot perturb
+/// the bit-identical parallel-vs-serial property.
+inline constexpr size_t kMetricShards = 16;
+
+/// Slot index of the calling thread (stable for the thread's lifetime,
+/// assigned round-robin).
+size_t ThisThreadShard();
+
+/// Monotonically increasing event count. Obtain through
+/// MetricsRegistry::GetCounter; handles stay valid for the registry's
+/// lifetime and are safe to use from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Slot& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Slot, kMetricShards> shards_;
+};
+
+/// A value that can go up and down (cache occupancy, queue depth, last-run
+/// figures). Set/Add are atomic; Set is a plain store, so concurrent setters
+/// race benignly (last writer wins).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution over fixed, strictly increasing bucket upper bounds with an
+/// implicit +Inf bucket at the end (Prometheus `le` semantics: an observation
+/// lands in the first bucket whose bound is >= the value, so an observation
+/// exactly on a bound belongs to that bound's bucket). Counts are sharded
+/// like Counter; the running sum is a per-shard atomic double, so Sum() is
+/// exact for deterministic single-threaded runs and accurate to accumulation
+/// order otherwise.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Raw (non-cumulative) count of bucket `i`; i == bounds().size() is the
+  /// overflow (+Inf) bucket.
+  uint64_t BucketCount(size_t i) const;
+
+  uint64_t Count() const;
+  double Sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  struct alignas(64) Slot {
+    std::vector<std::atomic<uint64_t>> counts;  ///< bounds_.size() + 1
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::array<Slot, kMetricShards> shards_;
+};
+
+/// Default histogram buckets for sub-second phase latencies (1 µs – 10 s,
+/// roughly 1-3-10 spaced).
+const std::vector<double>& LatencyBuckets();
+
+/// One key=value metric dimension. Series within a family are distinguished
+/// by their full label list (order-sensitive; callers use a fixed order).
+struct Label {
+  std::string key;
+  std::string value;
+
+  bool operator==(const Label&) const = default;
+};
+using Labels = std::vector<Label>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Registry of named metric families. Registration is synchronized and
+/// idempotent: the same (name, labels) yields the same handle. The hot path
+/// never touches the registry — handles are resolved once (e.g. at engine
+/// construction) and written through lock-free atomics afterwards. A null
+/// registry pointer anywhere in the system means "metrics off" and must incur
+/// no work at all.
+///
+/// Export snapshots (Prometheus text / JSON) live in obs/export.h.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the series. Returns null only if `name` already exists
+  /// with a different metric type (a programming error the caller may assert
+  /// on). `help` is recorded on first registration of the family.
+  Counter* GetCounter(std::string_view name, std::string_view help,
+                      Labels labels = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help,
+                  Labels labels = {});
+  /// `bounds` must be strictly increasing; it is fixed by the family's first
+  /// registration (later calls ignore their `bounds` argument).
+  Histogram* GetHistogram(std::string_view name, std::string_view help,
+                          const std::vector<double>& bounds,
+                          Labels labels = {});
+
+  /// A convenient process-wide instance for tools that want one.
+  static MetricsRegistry& Default();
+
+  // --- Introspection for exporters (reads are snapshot-consistent per
+  // metric, not across metrics; fine for monitoring).
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::vector<Series> series;  ///< registration order
+  };
+
+  /// Invokes `fn` on every family in registration order while holding the
+  /// registration lock (metric *values* keep changing; families don't).
+  template <typename Fn>
+  void ForEachFamily(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& family : families_) fn(*family);
+  }
+
+ private:
+  Family* FindOrCreateFamily(std::string_view name, std::string_view help,
+                             MetricType type);
+  static Series* FindSeries(Family& family, const Labels& labels);
+
+  mutable std::mutex mu_;
+  /// unique_ptr keeps Family addresses stable across registrations.
+  std::vector<std::unique_ptr<Family>> families_;
+};
+
+}  // namespace sfsql::obs
+
+#endif  // SFSQL_OBS_METRICS_H_

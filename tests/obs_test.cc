@@ -1,0 +1,337 @@
+// Tests for the observability layer (src/obs): metric primitives and their
+// edge cases, registry registration rules and thread safety (run under TSan
+// in the sanitizer CI job), the Prometheus/JSON exporters against golden
+// files, the span tracer on a fake clock, the JSON writer/parser pair, and
+// the machine-readable bench report.
+//
+// Golden files live in tests/goldens/; regenerate after an intentional format
+// change with:  SFSQL_REGEN_GOLDENS=1 ./test_obs
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/clock.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sfsql::obs {
+namespace {
+
+// --- Golden-file helper -----------------------------------------------------
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SFSQL_SOURCE_DIR) + "/tests/goldens/" + name;
+}
+
+void ExpectMatchesGolden(const std::string& actual, const std::string& name) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("SFSQL_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (regenerate with SFSQL_REGEN_GOLDENS=1)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(actual, buf.str()) << "golden mismatch: " << path;
+}
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(CounterTest, AccumulatesDeltas) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total", "help");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("g", "help");
+  ASSERT_NE(g, nullptr);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+  g->Add(-1.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  g->Set(-7.0);  // gauges go down
+  EXPECT_DOUBLE_EQ(g->Value(), -7.0);
+}
+
+// --- Histogram bucket edges -------------------------------------------------
+
+TEST(HistogramTest, BucketEdgeCases) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h", "help", {1.0, 10.0, 100.0});
+  ASSERT_NE(h, nullptr);
+
+  h->Observe(0.5);     // under the first bound -> bucket 0
+  h->Observe(1.0);     // exactly on a bound belongs to that bound (le)
+  h->Observe(1.0001);  // just past -> bucket 1
+  h->Observe(10.0);    // bucket 1
+  h->Observe(99.999);  // bucket 2
+  h->Observe(100.0);   // bucket 2
+  h->Observe(1e6);     // overflow (+Inf) bucket
+  h->Observe(-3.0);    // negative still lands in the first bucket
+
+  EXPECT_EQ(h->BucketCount(0), 3u);  // 0.5, 1.0, -3.0
+  EXPECT_EQ(h->BucketCount(1), 2u);  // 1.0001, 10.0
+  EXPECT_EQ(h->BucketCount(2), 2u);  // 99.999, 100.0
+  EXPECT_EQ(h->BucketCount(3), 1u);  // 1e6
+  EXPECT_EQ(h->Count(), 8u);
+  EXPECT_NEAR(h->Sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 99.999 + 100.0 + 1e6 - 3.0,
+              1e-9);
+}
+
+TEST(HistogramTest, LatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double>& bounds = LatencyBuckets();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// --- Registry registration rules --------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameAndLabelsYieldSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "help", {{"phase", "map"}});
+  Counter* b = registry.GetCounter("x_total", "ignored", {{"phase", "map"}});
+  Counter* other = registry.GetCounter("x_total", "help", {{"phase", "parse"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricsRegistryTest, TypeMismatchReturnsNull) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("m", "help"), nullptr);
+  EXPECT_EQ(registry.GetGauge("m", "help"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("m", "help", {1.0}), nullptr);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram* a = registry.GetHistogram("h", "help", {1.0, 2.0});
+  Histogram* b = registry.GetHistogram("h", "help", {5.0});
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(a->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+// Hammers one counter and one histogram from many threads; the sharded slots
+// must neither lose increments nor trip TSan.
+TEST(MetricsRegistryTest, ConcurrentWritesAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total", "help");
+  Histogram* h = registry.GetHistogram("h", "help", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(t % 2 == 0 ? 0.25 : 1.0);
+        // Concurrent registration of an existing family must also be safe.
+        if (i % 4096 == 0) (void)registry.GetCounter("c_total", "help");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->BucketCount(0) + h->BucketCount(1), h->Count());
+}
+
+// --- Exporters (golden files) -----------------------------------------------
+
+// A small registry with every metric type, fixed values, and a label needing
+// escaping — shared by both exporter goldens.
+void PopulateDemoRegistry(MetricsRegistry& registry) {
+  registry.GetCounter("demo_requests_total", "Requests served.")->Increment(3);
+  registry
+      .GetCounter("demo_requests_total", "Requests served.",
+                  {{"route", "a\"b\\c"}})
+      ->Increment(1);
+  registry.GetGauge("demo_queue_depth", "Jobs waiting.")->Set(2.5);
+  Histogram* h = registry.GetHistogram("demo_latency_seconds",
+                                       "Request latency.", {0.001, 0.01, 0.1});
+  h->Observe(0.0005);
+  h->Observe(0.001);
+  h->Observe(0.05);
+  h->Observe(7.0);
+}
+
+TEST(ExportTest, PrometheusTextMatchesGolden) {
+  MetricsRegistry registry;
+  PopulateDemoRegistry(registry);
+  ExpectMatchesGolden(ToPrometheusText(registry), "export_demo.prom");
+}
+
+TEST(ExportTest, JsonMatchesGoldenAndParses) {
+  MetricsRegistry registry;
+  PopulateDemoRegistry(registry);
+  std::string json = ToJson(registry);
+  ExpectMatchesGolden(json, "export_demo.json");
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* families = parsed->Find("metrics");
+  ASSERT_NE(families, nullptr);
+  ASSERT_TRUE(families->is_array());
+  EXPECT_EQ(families->items.size(), 3u);
+}
+
+// --- Tracer on the fake clock -----------------------------------------------
+
+TEST(TracerTest, SpansNestAndMeasureOnFakeClock) {
+  FakeClock clock(1000);
+  Tracer tracer(&clock);
+  {
+    Tracer::Span root = tracer.StartSpan("translate");
+    root.Attr("query_bytes", 42LL);
+    clock.Advance(2'000'000);  // 2 ms
+    {
+      Tracer::Span child = tracer.StartSpan("parse", root.id());
+      clock.Advance(500'000);  // 0.5 ms
+    }
+    clock.Advance(1'000'000);
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "translate");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_NEAR(spans[0].seconds(), 3.5e-3, 1e-12);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "query_bytes");
+  EXPECT_EQ(spans[0].attributes[0].second, "42");
+  EXPECT_EQ(spans[1].name, "parse");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_NEAR(spans[1].seconds(), 0.5e-3, 1e-12);
+
+  std::string tree = tracer.RenderTree();
+  EXPECT_NE(tree.find("translate"), std::string::npos);
+  EXPECT_NE(tree.find("parse"), std::string::npos);
+}
+
+TEST(TracerTest, AddCompleteSpanAndMovedSpansAreSafe) {
+  FakeClock clock;
+  Tracer tracer(&clock);
+  int id = tracer.AddCompleteSpan("root", -1, 100, 200, {{"k", "v"}});
+  Tracer::Span moved;
+  {
+    Tracer::Span s = tracer.StartSpan("child", id);
+    moved = std::move(s);
+    // s is inactive after the move; its destructor must not double-end.
+    EXPECT_FALSE(s.active());  // NOLINT(bugprone-use-after-move)
+  }
+  moved.End();
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].start_nanos, 100u);
+  EXPECT_EQ(spans[0].end_nanos, 200u);
+  EXPECT_EQ(spans[1].parent, id);
+}
+
+// --- JsonWriter / ParseJson -------------------------------------------------
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "q\"1\"\n");
+  w.KV("count", 3LL);
+  w.KV("ratio", 0.25);
+  w.KV("flag", true);
+  w.Key("missing");
+  w.Null();
+  w.Key("items");
+  w.BeginArray();
+  w.Int(1);
+  w.Double(2.5);
+  w.String("x");
+  w.EndArray();
+  w.EndObject();
+  std::string json = w.TakeString();
+
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  EXPECT_EQ(parsed->Find("name")->string, "q\"1\"\n");
+  EXPECT_DOUBLE_EQ(parsed->Find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("ratio")->number, 0.25);
+  EXPECT_TRUE(parsed->Find("flag")->boolean);
+  EXPECT_EQ(parsed->Find("missing")->kind, JsonValue::Kind::kNull);
+  const JsonValue* items = parsed->Find("items");
+  ASSERT_TRUE(items->is_array());
+  ASSERT_EQ(items->items.size(), 3u);
+  EXPECT_EQ(items->items[2].string, "x");
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1,}").ok());
+  EXPECT_FALSE(ParseJson("[1 2]").ok());
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+}
+
+TEST(JsonTest, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null]");
+}
+
+// --- BenchReport ------------------------------------------------------------
+
+TEST(BenchReportTest, MedianHandlesOddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(BenchReport::Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(BenchReport::Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(BenchReport::Median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(BenchReport::Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(BenchReportTest, JsonHasDocumentedShape) {
+  BenchReport report("demo");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("rounds", 5LL);
+  report.SetMetric("queries_per_second", 123.5);
+  report.AddRow("queries", BenchReport::Row()
+                               .Text("id", "q1")
+                               .Number("units", 4));
+
+  auto parsed = ParseJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("bench")->string, "demo");
+  EXPECT_DOUBLE_EQ(parsed->Find("schema_version")->number, 1.0);
+  const JsonValue* config = parsed->Find("config");
+  ASSERT_TRUE(config != nullptr && config->is_object());
+  EXPECT_EQ(config->Find("database")->string, "movie43");
+  EXPECT_DOUBLE_EQ(config->Find("rounds")->number, 5.0);
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_TRUE(metrics != nullptr && metrics->is_object());
+  EXPECT_DOUBLE_EQ(metrics->Find("queries_per_second")->number, 123.5);
+  const JsonValue* tables = parsed->Find("tables");
+  ASSERT_TRUE(tables != nullptr && tables->is_object());
+  const JsonValue* rows = tables->Find("queries");
+  ASSERT_TRUE(rows != nullptr && rows->is_array());
+  ASSERT_EQ(rows->items.size(), 1u);
+  EXPECT_EQ(rows->items[0].Find("id")->string, "q1");
+  EXPECT_DOUBLE_EQ(rows->items[0].Find("units")->number, 4.0);
+}
+
+}  // namespace
+}  // namespace sfsql::obs

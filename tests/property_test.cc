@@ -9,6 +9,7 @@
 
 #include "core/engine.h"
 #include "core/mtjn_generator.h"
+#include "obs/clock.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -120,6 +121,11 @@ TEST(GeneratorPropertyTest, ParallelTopKIsBitIdenticalToSerial) {
   // thread pool must not change anything: same networks, same weights (to the
   // bit), same order. Also checks the result against the exhaustive oracle,
   // which now shares the (weight desc, signature asc) tie-break.
+  //
+  // Runs with instrumentation fully armed — injected clock, stats, and a
+  // GeneratorTrace on both sides — because the observability layer must not
+  // perturb the search (ISSUE: "parallel-vs-serial bit-identical with
+  // instrumentation on").
   std::mt19937_64 rng(19700101);
   for (int trial = 0; trial < 10; ++trial) {
     int n = 4 + static_cast<int>(rng() % 4);
@@ -152,14 +158,18 @@ TEST(GeneratorPropertyTest, ParallelTopKIsBitIdenticalToSerial) {
                                                 mappings, mapper, config);
     ASSERT_TRUE(graph.ok()) << graph.status().ToString();
 
+    obs::FakeClock clock(0, 1'000);
+    config.clock = &clock;
     core::MtjnGenerator serial_gen(&*graph, config);
     core::GeneratorStats serial_stats;
-    auto serial = serial_gen.TopK(5, &serial_stats);
+    core::GeneratorTrace serial_trace;
+    auto serial = serial_gen.TopK(5, &serial_stats, &serial_trace);
 
     config.num_threads = 4;
     core::MtjnGenerator parallel_gen(&*graph, config);
     core::GeneratorStats parallel_stats;
-    auto parallel = parallel_gen.TopK(5, &parallel_stats);
+    core::GeneratorTrace parallel_trace;
+    auto parallel = parallel_gen.TopK(5, &parallel_stats, &parallel_trace);
 
     ASSERT_EQ(parallel.size(), serial.size()) << "trial " << trial << " " << sf;
     for (size_t i = 0; i < serial.size(); ++i) {
@@ -175,6 +185,21 @@ TEST(GeneratorPropertyTest, ParallelTopKIsBitIdenticalToSerial) {
     EXPECT_EQ(parallel_stats.pruned, serial_stats.pruned);
     EXPECT_EQ(parallel_stats.emitted, serial_stats.emitted);
     EXPECT_EQ(parallel_stats.roots, serial_stats.roots);
+    // The traces agree per root (rank order) on everything but wall time.
+    ASSERT_EQ(parallel_trace.roots.size(), serial_trace.roots.size());
+    EXPECT_EQ(parallel_trace.seed_bound, serial_trace.seed_bound);
+    for (size_t i = 0; i < serial_trace.roots.size(); ++i) {
+      EXPECT_EQ(parallel_trace.roots[i].root_xnode,
+                serial_trace.roots[i].root_xnode);
+      EXPECT_EQ(parallel_trace.roots[i].potential,
+                serial_trace.roots[i].potential);
+      EXPECT_EQ(parallel_trace.roots[i].initial_bound,
+                serial_trace.roots[i].initial_bound);
+      EXPECT_EQ(parallel_trace.roots[i].final_bound,
+                serial_trace.roots[i].final_bound);
+      EXPECT_EQ(parallel_trace.roots[i].stats.expansions,
+                serial_trace.roots[i].stats.expansions);
+    }
 
     // Against the oracle: same prefix, modulo last-ulp weight differences from
     // differing construction orders.

@@ -1,0 +1,96 @@
+// Validates the machine-readable bench outputs (BENCH_<name>.json) against
+// the documented shape (EXPERIMENTS.md, "Machine-readable bench output"):
+//
+//   { "bench": string, "schema_version": 1,
+//     "config": object, "metrics": non-empty object of numbers,
+//     "tables": object of arrays of objects }
+//
+// CI's bench-smoke job runs every bench in smoke mode and then this tool over
+// the emitted files; a schema drift fails the build instead of silently
+// breaking the perf-tracking pipeline.
+//
+// Usage: validate_bench_json FILE.json...   (exit 0 iff every file validates)
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using sfsql::obs::JsonValue;
+
+bool Fail(const std::string& file, const std::string& why) {
+  std::cerr << file << ": INVALID — " << why << "\n";
+  return false;
+}
+
+bool ValidateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Fail(path, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = sfsql::obs::ParseJson(buf.str());
+  if (!parsed.ok()) return Fail(path, parsed.status().message());
+  const JsonValue& doc = *parsed;
+  if (!doc.is_object()) return Fail(path, "top level is not an object");
+
+  const JsonValue* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    return Fail(path, "\"bench\" missing or not a non-empty string");
+  }
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1) {
+    return Fail(path, "\"schema_version\" missing or != 1");
+  }
+  const JsonValue* config = doc.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Fail(path, "\"config\" missing or not an object");
+  }
+  for (const auto& [key, value] : config->members) {
+    if (!value.is_string() && !value.is_number()) {
+      return Fail(path, "config." + key + " is neither string nor number");
+    }
+  }
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return Fail(path, "\"metrics\" missing or not an object");
+  }
+  if (metrics->members.empty()) return Fail(path, "\"metrics\" is empty");
+  for (const auto& [key, value] : metrics->members) {
+    if (!value.is_number()) {
+      return Fail(path, "metrics." + key + " is not a number");
+    }
+  }
+  const JsonValue* tables = doc.Find("tables");
+  if (tables == nullptr || !tables->is_object()) {
+    return Fail(path, "\"tables\" missing or not an object");
+  }
+  for (const auto& [name, table] : tables->members) {
+    if (!table.is_array()) {
+      return Fail(path, "tables." + name + " is not an array");
+    }
+    for (const JsonValue& row : table.items) {
+      if (!row.is_object()) {
+        return Fail(path, "tables." + name + " contains a non-object row");
+      }
+    }
+  }
+  std::cout << path << ": ok (bench=" << bench->string << ", "
+            << metrics->members.size() << " metric(s))\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: validate_bench_json FILE.json...\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) all_ok = ValidateFile(argv[i]) && all_ok;
+  return all_ok ? 0 : 1;
+}
