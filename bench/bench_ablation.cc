@@ -169,6 +169,7 @@ int main(int argc, char** argv) {
   report.SetMetric("config_points_evaluated",
                    static_cast<double>(sigmas.size() + krefs.size() +
                                        crefs.size() + 2));
+  RecordRunMetadata(&report, *db);
   (void)report.WriteFile();
   return 0;
 }

@@ -80,6 +80,7 @@ int main() {
   report.SetMetric("avg_units_sql", sum_sql / n);
   report.SetMetric("cost_vs_sql", sum_sf / sum_sql);
   report.SetMetric("cost_vs_gui", sum_sf / sum_gui);
+  RecordRunMetadata(&report, *db, &engine);
   (void)report.WriteFile();
   return correct == total ? 0 : 1;
 }

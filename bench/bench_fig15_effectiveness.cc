@@ -156,6 +156,10 @@ int main(int argc, char** argv) {
                    sum_total == 0
                        ? 0.0
                        : static_cast<double>(sum_views_top1) / sum_total);
+  // Dataset rows of both course databases; the index counters snapshot db53
+  // (the second call wins), the run's primary dataset.
+  RecordRunMetadata(&report, *db21);
+  RecordRunMetadata(&report, *db53);
   (void)report.WriteFile();
   return 0;
 }

@@ -59,6 +59,7 @@ int main() {
   report.SetMetric("avg_units_sql", sum_sql / n);
   report.SetMetric("cost_vs_sql", sum_sf / sum_sql);
   report.SetMetric("cost_vs_gui", sum_sf / sum_gui);
+  RecordRunMetadata(&report, *db);
   (void)report.WriteFile();
   return 0;
 }

@@ -23,6 +23,7 @@
 #include "obs/bench_report.h"
 #include "workloads/course.h"
 #include "workloads/deriver.h"
+#include "workloads/metrics.h"
 #include "sql/parser.h"
 
 using namespace sfsql;            // NOLINT(build/namespaces)
@@ -186,6 +187,7 @@ int main(int argc, char** argv) {
   report.SetMetric("avg_top10_seconds",
                    total_queries == 0 ? 0.0
                                       : sum_top10_seconds / total_queries);
+  RecordRunMetadata(&report, *db);
   (void)report.WriteFile();
   return 0;
 }

@@ -24,6 +24,7 @@
 
 #include "core/engine.h"
 #include "obs/bench_report.h"
+#include "workloads/metrics.h"
 #include "workloads/movie43.h"
 
 using namespace sfsql;             // NOLINT(build/namespaces)
@@ -199,6 +200,7 @@ int main(int argc, char** argv) {
   std::printf("acceptance: cache + 4 threads >= 2x baseline q/s\n");
 
   report.SetMetric("translations_identical", identical ? 1 : 0);
+  RecordRunMetadata(&report, *db);
   (void)report.WriteFile();
   if (!identical) return 1;
   return 0;

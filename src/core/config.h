@@ -41,6 +41,17 @@ struct SimilarityConfig {
   /// against an integer column). Keeps such attributes from winning the
   /// attribute binding on name similarity alone.
   double type_mismatch_penalty = 0.3;
+  /// Answer condition-satisfiability probes (the m of the (m+1)/(n+1) factor,
+  /// §4.3) from the lazily built per-column indexes instead of scanning every
+  /// row. Both paths return identical answers; `false` forces the scans, kept
+  /// for differential testing and benchmarking.
+  bool use_column_index = true;
+  /// Capacity (entries) of the mapper's satisfiability memo: (relation, attr,
+  /// canonical condition) -> bool, stamped with the relation's row count so
+  /// appends invalidate exactly. Probes repeat heavily across candidate
+  /// relation trees within one translation and across a workload; 0 disables
+  /// (each probe hits the index or scan directly).
+  size_t satisfiability_memo_capacity = 1 << 16;
 };
 
 /// Knobs of the top-k MTJN generators (§6).

@@ -59,6 +59,23 @@ struct PipelineMetrics {
                                       "Similarity-cache evictions");
     cache_entries = reg->GetGauge("sfsql_similarity_cache_entries",
                                   "Similarity-cache occupancy");
+    static constexpr const char* kProbeHelp =
+        "Condition-satisfiability probes by answer path";
+    sat_index_probes = reg->GetCounter("sfsql_satisfiability_probes_total",
+                                       kProbeHelp,
+                                       obs::Labels{{"path", "index"}});
+    sat_scan_probes = reg->GetCounter("sfsql_satisfiability_probes_total",
+                                      kProbeHelp, obs::Labels{{"path", "scan"}});
+    sat_memo_hits = reg->GetCounter("sfsql_satisfiability_probes_total",
+                                    kProbeHelp, obs::Labels{{"path", "memo"}});
+    index_builds = reg->GetCounter("sfsql_column_index_builds_total",
+                                   "Per-column satisfiability indexes built");
+    index_build_seconds =
+        reg->GetGauge("sfsql_column_index_build_seconds_total",
+                      "Cumulative wall time spent building column indexes");
+    like_verified = reg->GetCounter(
+        "sfsql_like_candidates_verified_total",
+        "Distinct strings LikeMatch-verified after trigram pre-filtering");
   }
 
   obs::Counter* translate_total;
@@ -75,6 +92,12 @@ struct PipelineMetrics {
   obs::Counter* cache_misses;
   obs::Counter* cache_evictions;
   obs::Gauge* cache_entries;
+  obs::Counter* sat_index_probes;
+  obs::Counter* sat_scan_probes;
+  obs::Counter* sat_memo_hits;
+  obs::Counter* index_builds;
+  obs::Gauge* index_build_seconds;
+  obs::Counter* like_verified;
 };
 
 namespace {
@@ -677,7 +700,13 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   const bool timing = stats != nullptr;
   const obs::Clock* clock = obs::ClockOrSteady(config_.clock);
   text::SimilarityCache::Stats before;
-  if (timing) before = sim_cache_.stats();
+  storage::ColumnIndexStats idx_before;
+  SatisfiabilityMemoStats memo_before;
+  if (timing) {
+    before = sim_cache_.stats();
+    idx_before = db_->column_index_stats();
+    memo_before = mapper_.memo_stats();
+  }
   const uint64_t start_nanos = timing ? clock->NowNanos() : 0;
 
   PhaseTimer timer(config_.clock, timing);
@@ -697,6 +726,24 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     stats->cache_misses = static_cast<long long>(after.misses - before.misses);
     evictions_delta =
         static_cast<long long>(after.evictions - before.evictions);
+    const storage::ColumnIndexStats idx_after = db_->column_index_stats();
+    const SatisfiabilityMemoStats memo_after = mapper_.memo_stats();
+    stats->sat_index_probes =
+        static_cast<long long>((idx_after.value_probes + idx_after.like_probes) -
+                               (idx_before.value_probes + idx_before.like_probes));
+    stats->sat_scan_probes =
+        static_cast<long long>(idx_after.scan_probes - idx_before.scan_probes);
+    stats->sat_memo_hits =
+        static_cast<long long>(memo_after.hits - memo_before.hits);
+    stats->sat_memo_misses =
+        static_cast<long long>(memo_after.misses - memo_before.misses);
+    stats->index_builds =
+        static_cast<long long>(idx_after.builds - idx_before.builds);
+    stats->index_build_seconds =
+        idx_after.build_seconds - idx_before.build_seconds;
+    stats->like_candidates_verified =
+        static_cast<long long>(idx_after.like_candidates_verified -
+                               idx_before.like_candidates_verified);
   }
   if (explain != nullptr) {
     explain->ok = out.ok();
@@ -709,6 +756,10 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     explain->total_seconds = total_seconds;
     explain->cache_hits = stats->cache_hits;
     explain->cache_misses = stats->cache_misses;
+    explain->sat_index_probes = stats->sat_index_probes;
+    explain->sat_scan_probes = stats->sat_scan_probes;
+    explain->sat_memo_hits = stats->sat_memo_hits;
+    explain->index_builds = stats->index_builds;
   }
 
   if (metrics_ != nullptr) {
@@ -730,6 +781,16 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     m.cache_misses->Increment(static_cast<uint64_t>(stats->cache_misses));
     m.cache_evictions->Increment(static_cast<uint64_t>(evictions_delta));
     m.cache_entries->Set(static_cast<double>(after.entries));
+    m.sat_index_probes->Increment(
+        static_cast<uint64_t>(stats->sat_index_probes));
+    m.sat_scan_probes->Increment(static_cast<uint64_t>(stats->sat_scan_probes));
+    m.sat_memo_hits->Increment(static_cast<uint64_t>(stats->sat_memo_hits));
+    m.index_builds->Increment(static_cast<uint64_t>(stats->index_builds));
+    if (stats->index_build_seconds > 0.0) {
+      m.index_build_seconds->Add(stats->index_build_seconds);
+    }
+    m.like_verified->Increment(
+        static_cast<uint64_t>(stats->like_candidates_verified));
   }
 
   if (slow_armed &&

@@ -58,6 +58,20 @@ struct TranslateStats {
   long long cache_hits = 0;       ///< similarity-cache hits during the call
   long long cache_misses = 0;     ///< similarity-cache misses during the call
   GeneratorStats generator;       ///< counters/timings from the MTJN generator
+
+  // Condition-satisfiability deltas of the call (the §4.3 probe layer; see
+  // README "Storage indexes"): how probes were answered and what index build
+  // work the call triggered. Note the database's index counters are shared by
+  // every engine probing it, so concurrent engines on one database attribute
+  // each other's probes loosely (the usual single-engine setup is exact).
+  long long sat_index_probes = 0;   ///< answered by a column index (value + LIKE)
+  long long sat_scan_probes = 0;    ///< answered by a fallback full scan
+  long long sat_memo_hits = 0;      ///< answered from the mapper's memo
+  long long sat_memo_misses = 0;    ///< memo misses (computed then cached)
+  long long index_builds = 0;       ///< column indexes (re)built during the call
+  double index_build_seconds = 0.0; ///< wall time of those builds
+  long long like_candidates_verified = 0;  ///< LikeMatch calls surviving the
+                                           ///< trigram pre-filter
 };
 
 /// The end-to-end Schema-free SQL system (Fig. 3): parser → relation tree

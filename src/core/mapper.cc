@@ -78,33 +78,75 @@ double RelationTreeMapper::RootSimilarity(const RelationTree& rt,
   return s;
 }
 
-bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
-                                              const Condition& cond) const {
+bool RelationTreeMapper::ComputeConditionSatisfiable(
+    int relation_id, int attr_index, const Condition& cond) const {
+  const bool use_index = config_.use_column_index;
   if (cond.op == "in") {
     for (const storage::Value& v : cond.values) {
-      if (db_->AnyTupleSatisfies(relation_id, attr_index, "=", v)) return true;
-    }
-    return false;
-  }
-  if (cond.op == "like") {
-    if (cond.values.empty() || !cond.values[0].is_string()) return false;
-    const std::string& pattern = cond.values[0].AsString();
-    char escape = '\0';
-    if (cond.values.size() > 1 && cond.values[1].is_string() &&
-        !cond.values[1].AsString().empty()) {
-      escape = cond.values[1].AsString()[0];
-    }
-    for (const storage::Row& row : db_->table(relation_id).rows()) {
-      const storage::Value& v = row[attr_index];
-      if (v.is_string() && exec::LikeMatch(v.AsString(), pattern, escape)) {
+      if (db_->AnyTupleSatisfies(relation_id, attr_index, "=", v, use_index)) {
         return true;
       }
     }
     return false;
   }
+  if (cond.op == "like") {
+    if (cond.values.empty() || !cond.values[0].is_string()) return false;
+    char escape = cond.values.size() > 1 && cond.values[1].is_string()
+                      ? exec::LikeEscapeChar(cond.values[1].AsString())
+                      : '\0';
+    return db_->AnyStringMatchesLike(relation_id, attr_index,
+                                     cond.values[0].AsString(), escape,
+                                     use_index);
+  }
   if (cond.values.empty()) return false;
   return db_->AnyTupleSatisfies(relation_id, attr_index, cond.op,
-                                cond.values[0]);
+                                cond.values[0], use_index);
+}
+
+bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
+                                              const Condition& cond) const {
+  if (relation_id < 0 || relation_id >= db_->catalog().num_relations()) {
+    return false;
+  }
+  if (memo_ == nullptr) {
+    return ComputeConditionSatisfiable(relation_id, attr_index, cond);
+  }
+  // Condition::ToString round-trips op, values (typed) and LIKE escapes, so
+  // equal keys imply equal probes.
+  std::string key = StrCat(relation_id, "#", attr_index, "#", cond.ToString());
+  const size_t stamp = db_->table(relation_id).num_rows();
+  MemoShard& shard = memo_[std::hash<std::string>{}(key) % kMemoShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && it->second.first == stamp) {
+      ++shard.hits;
+      return it->second.second;
+    }
+  }
+  const bool answer =
+      ComputeConditionSatisfiable(relation_id, attr_index, cond);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.misses;
+    if (shard.entries.size() >= memo_shard_capacity_ &&
+        shard.entries.find(key) == shard.entries.end()) {
+      shard.entries.clear();
+    }
+    shard.entries[std::move(key)] = {stamp, answer};
+  }
+  return answer;
+}
+
+SatisfiabilityMemoStats RelationTreeMapper::memo_stats() const {
+  SatisfiabilityMemoStats s;
+  if (memo_ == nullptr) return s;
+  for (size_t i = 0; i < kMemoShards; ++i) {
+    std::lock_guard<std::mutex> lock(memo_[i].mu);
+    s.hits += memo_[i].hits;
+    s.misses += memo_[i].misses;
+  }
+  return s;
 }
 
 namespace {

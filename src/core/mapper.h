@@ -1,7 +1,14 @@
 #ifndef SFSQL_CORE_MAPPER_H_
 #define SFSQL_CORE_MAPPER_H_
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/config.h"
@@ -11,6 +18,14 @@
 #include "text/similarity_cache.h"
 
 namespace sfsql::core {
+
+/// Hit/miss counters of the mapper's satisfiability memo, snapshot via
+/// RelationTreeMapper::memo_stats(). Cumulative over the mapper's lifetime;
+/// the engine publishes per-translate deltas.
+struct SatisfiabilityMemoStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
 
 /// One candidate relation for a relation tree, with the per-attribute-tree
 /// bindings chosen while scoring (argmax attribute of §4.3).
@@ -48,7 +63,15 @@ class RelationTreeMapper {
   RelationTreeMapper(const storage::Database* db, SimilarityConfig config,
                      const text::SchemaNameIndex* index = nullptr,
                      text::SimilarityCache* cache = nullptr)
-      : db_(db), config_(config), index_(index), cache_(cache) {}
+      : db_(db),
+        config_(config),
+        index_(index),
+        cache_(cache),
+        memo_(config.satisfiability_memo_capacity > 0
+                  ? std::make_unique<MemoShard[]>(kMemoShards)
+                  : nullptr),
+        memo_shard_capacity_(std::max<size_t>(
+            1, config.satisfiability_memo_capacity / kMemoShards)) {}
 
   /// Sim(rt, R) = Sim(n(rt), R) * prod_i Sim(at_i, R)  (§4.1).
   double Similarity(const RelationTree& rt, int relation_id) const;
@@ -71,21 +94,51 @@ class RelationTreeMapper {
   /// (?x / ?) carry no name information and score k_def.
   double NameSimilarity(const sql::NameRef& guess, std::string_view actual) const;
 
+  /// True if some tuple of relation/attribute satisfies `cond` — the m of the
+  /// (m+1)/(n+1) factor (§4.3). Answers come from the per-column indexes or
+  /// the fallback scans per config().use_column_index, memoized per
+  /// (relation, attribute, canonical condition) with a row-count stamp so
+  /// appends invalidate exactly. Public so benchmarks and differential tests
+  /// can drive the probe layer directly.
+  bool ConditionSatisfiable(int relation_id, int attr_index,
+                            const Condition& cond) const;
+
+  /// Cumulative memo hit/miss counters (zeros when the memo is disabled).
+  SatisfiabilityMemoStats memo_stats() const;
+
   const SimilarityConfig& config() const { return config_; }
 
  private:
-  /// True if some tuple of relation/attribute satisfies `cond`.
-  bool ConditionSatisfiable(int relation_id, int attr_index,
-                            const Condition& cond) const;
+  /// The uncached probe behind ConditionSatisfiable.
+  bool ComputeConditionSatisfiable(int relation_id, int attr_index,
+                                   const Condition& cond) const;
 
   /// SchemaNameSimilarity(a, b, qgram), memoized through `cache_` and fed
   /// with precomputed profiles from `index_` when available.
   double CachedNameSimilarity(std::string_view a, std::string_view b) const;
 
+  /// Sharded so concurrent Translate calls (the generator maps from worker
+  /// threads) rarely contend on one lock. Entries carry the relation's row
+  /// count at probe time; a stamp mismatch is a miss and overwrites. A full
+  /// shard is cleared wholesale — probes repeat across a workload or not at
+  /// all, so LRU bookkeeping buys nothing (same policy as the mapping cache).
+  static constexpr size_t kMemoShards = 8;
+  struct MemoShard {
+    std::mutex mu;
+    /// key -> (row-count stamp, answer)
+    std::unordered_map<std::string, std::pair<size_t, bool>> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   const storage::Database* db_;
   SimilarityConfig config_;
   const text::SchemaNameIndex* index_ = nullptr;
   text::SimilarityCache* cache_ = nullptr;
+  /// Heap-allocated (not inline) so the mapper stays movable despite the
+  /// shard mutexes; null when the memo is disabled by config.
+  std::unique_ptr<MemoShard[]> memo_;
+  size_t memo_shard_capacity_ = 0;
 };
 
 }  // namespace sfsql::core

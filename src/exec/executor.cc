@@ -301,8 +301,8 @@ class BlockExecutor {
         if (!a.is_string() || !b.is_string()) {
           return Status::TypeError("LIKE needs string operands");
         }
-        char escape = e.like_escape.empty() ? '\0' : e.like_escape[0];
-        return Value::Bool(LikeMatch(a.AsString(), b.AsString(), escape));
+        return Value::Bool(LikeMatch(a.AsString(), b.AsString(),
+                                     LikeEscapeChar(e.like_escape)));
       }
       if (e.bop == BinaryOp::kEq) return Value::Bool(a.Equals(b));
       if (e.bop == BinaryOp::kNe) return Value::Bool(!a.Equals(b));

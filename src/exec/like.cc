@@ -38,6 +38,35 @@ std::vector<PatternTok> Compile(std::string_view pattern, char escape) {
 
 }  // namespace
 
+char LikeEscapeChar(std::string_view escape_spec) {
+  return escape_spec.empty() ? '\0' : escape_spec[0];
+}
+
+LikePatternInfo AnalyzeLikePattern(std::string_view pattern, char escape) {
+  LikePatternInfo info;
+  std::string run;
+  auto flush = [&] {
+    if (!run.empty()) info.literal_runs.push_back(std::move(run));
+    run.clear();
+  };
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape != '\0' && c == escape) {
+      // Dangling escape matches a literal escape char, mirroring Compile.
+      run += i + 1 < pattern.size() ? pattern[++i] : escape;
+    } else if (c == '%' || c == '_') {
+      if (!info.has_wildcards) info.prefix = run;
+      info.has_wildcards = true;
+      flush();
+    } else {
+      run += c;
+    }
+  }
+  if (!info.has_wildcards) info.prefix = run;
+  flush();
+  return info;
+}
+
 bool LikeMatch(std::string_view text, std::string_view pattern, char escape) {
   std::vector<PatternTok> toks = Compile(pattern, escape);
   // Iterative two-pointer algorithm with backtracking on the last '%'.

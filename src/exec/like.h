@@ -1,7 +1,9 @@
 #ifndef SFSQL_EXEC_LIKE_H_
 #define SFSQL_EXEC_LIKE_H_
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace sfsql::exec {
 
@@ -16,6 +18,33 @@ namespace sfsql::exec {
 /// predicates, so we pick the forgiving reading).
 bool LikeMatch(std::string_view text, std::string_view pattern,
                char escape = '\0');
+
+/// Extracts the ESCAPE character from its textual spec, the form both the AST
+/// (Expr::like_escape) and the mapper's Condition (values[1]) carry it in:
+/// "" means no escape, otherwise the first character is the escape.
+char LikeEscapeChar(std::string_view escape_spec);
+
+/// What a LIKE pattern demands of any matching string, computed once per
+/// pattern. Every literal run (maximal stretch of non-wildcard characters,
+/// with escapes already resolved) must appear in a matching string as a
+/// contiguous substring, which is what lets the trigram index pre-filter
+/// candidates (storage/column_index).
+struct LikePatternInfo {
+  /// True if the pattern contains an (unescaped) '%' or '_'. A wildcard-free
+  /// pattern matches exactly one string: the concatenated literal runs.
+  bool has_wildcards = false;
+  /// Maximal runs of literal characters; '_' and '%' both terminate a run
+  /// ('_' consumes exactly one character, so the runs around it are not
+  /// contiguous with each other). Empty runs are omitted.
+  std::vector<std::string> literal_runs;
+  /// The literal characters before the first wildcard (escapes resolved):
+  /// every matching string must start with exactly these characters, which
+  /// lets a sorted string index narrow candidates to a contiguous range.
+  /// Equals the whole unescaped pattern when has_wildcards is false.
+  std::string prefix;
+};
+
+LikePatternInfo AnalyzeLikePattern(std::string_view pattern, char escape);
 
 }  // namespace sfsql::exec
 

@@ -1,0 +1,218 @@
+#include "storage/column_index.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "exec/like.h"
+#include "storage/database.h"
+#include "text/similarity.h"
+
+namespace sfsql::storage {
+
+ColumnIndex ColumnIndex::Build(const Table& table, int attr_index, int ngram) {
+  ColumnIndex idx;
+  idx.ngram_ = ngram;
+  idx.built_rows_ = table.num_rows();
+
+  idx.values_.reserve(table.num_rows());
+  for (const Row& row : table.rows()) {
+    const Value& v = row[attr_index];
+    if (!v.is_null()) idx.values_.push_back(v);
+  }
+  std::sort(idx.values_.begin(), idx.values_.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  // Compare == 0 coincides with Equals for non-null values (numerics coerce
+  // identically in both), so deduping by Compare keeps exactly one witness per
+  // equality class — all the satisfiability probes need.
+  idx.values_.erase(std::unique(idx.values_.begin(), idx.values_.end(),
+                                [](const Value& a, const Value& b) {
+                                  return a.Compare(b) == 0;
+                                }),
+                    idx.values_.end());
+
+  // Compare's total order is bool < numeric < string, so the type classes are
+  // contiguous ranges.
+  auto first_not = [&](size_t from, auto pred) {
+    size_t i = from;
+    while (i < idx.values_.size() && pred(idx.values_[i])) ++i;
+    return i;
+  };
+  idx.numeric_begin_ = first_not(0, [](const Value& v) { return v.is_bool(); });
+  idx.string_begin_ = first_not(idx.numeric_begin_,
+                                [](const Value& v) { return v.is_numeric(); });
+
+  for (size_t i = idx.string_begin_; i < idx.values_.size(); ++i) {
+    for (std::string& g :
+         text::LiteralNGrams(idx.values_[i].AsString(), ngram)) {
+      idx.postings_[std::move(g)].push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return idx;
+}
+
+std::pair<size_t, size_t> ColumnIndex::ClassRange(const Value& probe) const {
+  if (probe.is_bool()) return {0, numeric_begin_};
+  if (probe.is_numeric()) return {numeric_begin_, string_begin_};
+  if (probe.is_string()) return {string_begin_, values_.size()};
+  return {0, 0};  // NULL probes satisfy nothing
+}
+
+bool ColumnIndex::AnySatisfies(std::string_view op, const Value& value) const {
+  if (value.is_null()) return false;
+  auto [lo, hi] = ClassRange(value);
+  if (lo == hi) return false;
+  if (op == "=") {
+    return std::binary_search(
+        values_.begin() + lo, values_.begin() + hi, value,
+        [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  }
+  if (op == "<>" || op == "!=") {
+    // More than one distinct comparable value: at least one differs.
+    if (hi - lo > 1) return true;
+    return values_[lo].Compare(value) != 0;
+  }
+  const int min_cmp = values_[lo].Compare(value);
+  const int max_cmp = values_[hi - 1].Compare(value);
+  if (op == "<") return min_cmp < 0;
+  if (op == "<=") return min_cmp <= 0;
+  if (op == ">") return max_cmp > 0;
+  if (op == ">=") return max_cmp >= 0;
+  return false;  // unrecognized op: the scan satisfies nothing either
+}
+
+bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
+                               uint64_t* verified) const {
+  if (string_begin_ == values_.size()) return false;
+  const exec::LikePatternInfo info = exec::AnalyzeLikePattern(pattern, escape);
+
+  if (!info.has_wildcards) {
+    // A wildcard-free pattern matches exactly one string: its unescaped form.
+    std::string literal;
+    for (const std::string& run : info.literal_runs) literal += run;
+    const Value probe = Value::String(std::move(literal));
+    return std::binary_search(
+        values_.begin() + string_begin_, values_.end(), probe,
+        [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  }
+
+  // Every trigram of every literal run must occur in a matching string.
+  std::vector<std::string> required;
+  for (const std::string& run : info.literal_runs) {
+    for (std::string& g : text::LiteralNGrams(run, ngram_)) {
+      required.push_back(std::move(g));
+    }
+  }
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()),
+                 required.end());
+
+  auto matches = [&](uint32_t id) {
+    if (verified != nullptr) ++*verified;
+    return exec::LikeMatch(values_[id].AsString(), pattern, escape);
+  };
+
+  if (required.empty()) {
+    // No literal run long enough for a trigram. A literal prefix still helps:
+    // the string class is sorted lexicographically, so strings starting with
+    // the prefix form a contiguous range — binary-search its start and verify
+    // until the prefix stops matching.
+    if (!info.prefix.empty()) {
+      const Value probe = Value::String(info.prefix);
+      size_t i = static_cast<size_t>(
+          std::lower_bound(
+              values_.begin() + string_begin_, values_.end(), probe,
+              [](const Value& a, const Value& b) { return a.Compare(b) < 0; }) -
+          values_.begin());
+      for (; i < values_.size(); ++i) {
+        if (values_[i].AsString().compare(0, info.prefix.size(), info.prefix) !=
+            0) {
+          break;
+        }
+        if (matches(static_cast<uint32_t>(i))) return true;
+      }
+      return false;
+    }
+    // No selective literal at all (e.g. '%a%', '___'): verify every distinct
+    // string — still a big win over the row scan when values repeat.
+    for (size_t i = string_begin_; i < values_.size(); ++i) {
+      if (matches(static_cast<uint32_t>(i))) return true;
+    }
+    return false;
+  }
+
+  std::vector<const std::vector<uint32_t>*> lists;
+  lists.reserve(required.size());
+  for (const std::string& g : required) {
+    auto it = postings_.find(g);
+    if (it == postings_.end()) return false;  // gram absent: nothing can match
+    lists.push_back(&it->second);
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+
+  std::vector<uint32_t> candidates = *lists[0];
+  std::vector<uint32_t> next;
+  for (size_t l = 1; l < lists.size() && !candidates.empty(); ++l) {
+    next.clear();
+    std::set_intersection(candidates.begin(), candidates.end(),
+                          lists[l]->begin(), lists[l]->end(),
+                          std::back_inserter(next));
+    candidates.swap(next);
+  }
+  for (uint32_t id : candidates) {
+    if (matches(id)) return true;
+  }
+  return false;
+}
+
+void ColumnIndexManager::Reset(const std::vector<size_t>& attrs_per_relation) {
+  relations_.clear();
+  relations_.reserve(attrs_per_relation.size());
+  for (size_t n : attrs_per_relation) {
+    auto slots = std::make_unique<RelationSlots>();
+    slots->columns.resize(n);
+    relations_.push_back(std::move(slots));
+  }
+}
+
+const ColumnIndex* ColumnIndexManager::Get(const Table& table,
+                                           int attr_index) const {
+  RelationSlots& rel = *relations_[table.relation_id()];
+  Slot& slot = rel.columns[attr_index];
+  // Fast path: no lock, no refcount. The acquire pairs with the builder's
+  // release store, making the index's contents visible; the stamp check
+  // rejects an index made stale by an append. A stale pointer is still safe
+  // to dereference — superseded indexes are retired, never freed.
+  const ColumnIndex* published = slot.published.load(std::memory_order_acquire);
+  if (published != nullptr && published->built_rows() == table.num_rows()) {
+    return published;
+  }
+  std::lock_guard<std::mutex> lock(rel.mu);
+  if (slot.index == nullptr || slot.index->built_rows() != table.num_rows()) {
+    auto start = std::chrono::steady_clock::now();
+    auto built = std::make_unique<const ColumnIndex>(
+        ColumnIndex::Build(table, attr_index, ngram_));
+    auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    builds_.fetch_add(1, kRelaxed);
+    build_nanos_.fetch_add(static_cast<uint64_t>(nanos), kRelaxed);
+    if (slot.index != nullptr) slot.retired.push_back(std::move(slot.index));
+    slot.index = std::move(built);
+    slot.published.store(slot.index.get(), std::memory_order_release);
+  }
+  return slot.index.get();
+}
+
+ColumnIndexStats ColumnIndexManager::stats() const {
+  ColumnIndexStats s;
+  s.builds = builds_.load(kRelaxed);
+  s.build_seconds = static_cast<double>(build_nanos_.load(kRelaxed)) * 1e-9;
+  s.value_probes = value_probes_.load(kRelaxed);
+  s.like_probes = like_probes_.load(kRelaxed);
+  s.scan_probes = scan_probes_.load(kRelaxed);
+  s.like_candidates_verified = like_verified_.load(kRelaxed);
+  return s;
+}
+
+}  // namespace sfsql::storage

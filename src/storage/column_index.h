@@ -1,0 +1,187 @@
+#ifndef SFSQL_STORAGE_COLUMN_INDEX_H_
+#define SFSQL_STORAGE_COLUMN_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace sfsql::storage {
+
+class Table;
+
+/// Aggregate counters of the per-column index layer, snapshot via
+/// ColumnIndexManager::stats(). The engine turns per-translate deltas of these
+/// into TranslateStats fields and obs metrics.
+struct ColumnIndexStats {
+  uint64_t builds = 0;          ///< column indexes (re)built
+  double build_seconds = 0.0;   ///< wall time spent building
+  uint64_t value_probes = 0;    ///< comparison probes answered by an index
+  uint64_t like_probes = 0;     ///< LIKE probes answered via the trigram index
+  uint64_t scan_probes = 0;     ///< probes answered by a fallback full scan
+  uint64_t like_candidates_verified = 0;  ///< distinct strings LikeMatch-checked
+                                          ///< after trigram pre-filtering
+};
+
+/// Immutable content summary of one (relation, attribute) column, built in one
+/// pass over the table (§4.3 satisfiability is the only consumer, so the index
+/// answers existence questions, not row retrieval):
+///
+///  * the distinct non-null values, sorted by Value::Compare — the total order
+///    groups values into type classes (bool < numeric < string) and coincides
+///    with Value::Equals inside a class, so every comparison operator reduces
+///    to a binary search or a min/max check against the probe's class range;
+///  * a trigram posting-list index over the distinct strings: a string
+///    matching a LIKE pattern must contain every literal run of the pattern,
+///    hence every trigram of every run, so intersecting posting lists leaves
+///    only a few candidates for exact LikeMatch verification.
+///
+/// Instances are immutable after Build and safe to share across threads.
+class ColumnIndex {
+ public:
+  /// Scans `table`'s column `attr_index` once and builds the summary. `ngram`
+  /// is the LIKE gram size (3 everywhere in practice).
+  static ColumnIndex Build(const Table& table, int attr_index, int ngram);
+
+  /// Row count of the table at build time; the index is valid while the table
+  /// still has exactly this many rows (tables are append-only, so a row-count
+  /// match proves nothing was added since the build).
+  size_t built_rows() const { return built_rows_; }
+
+  /// Exactly Database::AnyTupleSatisfies semantics for one column: true if
+  /// some non-null value of the column is comparable with `value` (numeric
+  /// with numeric, or same type) and satisfies `op`. O(log n) for "=",
+  /// O(1) for the other operators.
+  bool AnySatisfies(std::string_view op, const Value& value) const;
+
+  /// True if some string value of the column matches the LIKE pattern.
+  /// `*verified` (optional) is incremented per candidate handed to LikeMatch,
+  /// i.e. the work the trigram pre-filter could not eliminate.
+  bool AnyLikeMatch(std::string_view pattern, char escape,
+                    uint64_t* verified = nullptr) const;
+
+  size_t num_distinct() const { return values_.size(); }
+  size_t num_distinct_strings() const { return values_.size() - string_begin_; }
+
+ private:
+  ColumnIndex() = default;
+
+  /// [first, last) range of values_ holding the probe's type class; empty for
+  /// NULL probes.
+  std::pair<size_t, size_t> ClassRange(const Value& probe) const;
+
+  std::vector<Value> values_;  ///< distinct non-null values, Compare-sorted
+  size_t numeric_begin_ = 0;   ///< bools live in [0, numeric_begin_)
+  size_t string_begin_ = 0;    ///< numerics in [numeric_begin_, string_begin_)
+  /// Trigram -> ascending offsets into values_ (absolute, all >= string_begin_)
+  /// of the distinct strings containing that gram.
+  std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  size_t built_rows_ = 0;
+  int ngram_ = 3;
+};
+
+/// Lazily builds and caches one ColumnIndex per (relation, attribute) column,
+/// thread-safe for concurrent readers: the first probe of a column builds its
+/// index under a per-relation mutex (concurrent probes of the same relation
+/// wait; other relations proceed), later probes take a lock-free fast path —
+/// an atomic published pointer, release-stored by the builder and
+/// acquire-loaded per probe. Appending rows invalidates implicitly — every
+/// lookup compares the index's built_rows stamp against the current table
+/// size and rebuilds on mismatch, which is exact because tables only grow.
+/// Superseded indexes are retired, not freed, so a pointer obtained before a
+/// rebuild stays valid for the manager's lifetime (rebuilds are rare: one per
+/// append burst per column). Writers must still be externally exclusive with
+/// readers (the Database has no row-level synchronization either way).
+class ColumnIndexManager {
+ public:
+  explicit ColumnIndexManager(int ngram = 3) : ngram_(ngram) {}
+
+  // Movable so Database stays movable. The atomic counters block the default;
+  // moves only happen while the owning Database is being moved, which already
+  // requires no concurrent probes, so plain counter copies are safe.
+  ColumnIndexManager(ColumnIndexManager&& other) noexcept
+      : ngram_(other.ngram_),
+        relations_(std::move(other.relations_)),
+        builds_(other.builds_.load(kRelaxed)),
+        build_nanos_(other.build_nanos_.load(kRelaxed)),
+        value_probes_(other.value_probes_.load(kRelaxed)),
+        like_probes_(other.like_probes_.load(kRelaxed)),
+        scan_probes_(other.scan_probes_.load(kRelaxed)),
+        like_verified_(other.like_verified_.load(kRelaxed)) {}
+  ColumnIndexManager& operator=(ColumnIndexManager&& other) noexcept {
+    ngram_ = other.ngram_;
+    relations_ = std::move(other.relations_);
+    builds_ = other.builds_.load(kRelaxed);
+    build_nanos_ = other.build_nanos_.load(kRelaxed);
+    value_probes_ = other.value_probes_.load(kRelaxed);
+    like_probes_ = other.like_probes_.load(kRelaxed);
+    scan_probes_ = other.scan_probes_.load(kRelaxed);
+    like_verified_ = other.like_verified_.load(kRelaxed);
+    return *this;
+  }
+
+  /// Declares the column layout (one slot vector per relation); called once by
+  /// the Database constructor before any probe.
+  void Reset(const std::vector<size_t>& attrs_per_relation);
+
+  /// The current index for the column, building or rebuilding as needed.
+  /// The hot path is one atomic acquire-load plus the built_rows stamp check.
+  /// The returned pointer stays valid for the manager's lifetime even if a
+  /// later append triggers a rebuild (superseded indexes are retired).
+  const ColumnIndex* Get(const Table& table, int attr_index) const;
+
+  void CountValueProbe() const { value_probes_.fetch_add(1, kRelaxed); }
+  void CountLikeProbe() const { like_probes_.fetch_add(1, kRelaxed); }
+  void CountScanProbe() const { scan_probes_.fetch_add(1, kRelaxed); }
+  void CountVerified(uint64_t n) const {
+    if (n != 0) like_verified_.fetch_add(n, kRelaxed);
+  }
+
+  ColumnIndexStats stats() const;
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  struct Slot {
+    Slot() = default;
+    // Moves only happen while the whole Database moves (no concurrent
+    // probes), so a plain relaxed copy of the published pointer is safe.
+    Slot(Slot&& other) noexcept
+        : index(std::move(other.index)),
+          retired(std::move(other.retired)),
+          published(other.published.load(std::memory_order_relaxed)) {}
+    /// The live index; replaced under the relation mutex on rebuild.
+    std::unique_ptr<const ColumnIndex> index;
+    /// Indexes superseded by rebuilds, kept alive so that pointers handed out
+    /// through the lock-free fast path never dangle (bounded by the number of
+    /// append bursts, not by probe count).
+    std::vector<std::unique_ptr<const ColumnIndex>> retired;
+    /// Lock-free publication point: release-stored after a build, so an
+    /// acquire-load sees the index fully constructed.
+    std::atomic<const ColumnIndex*> published{nullptr};
+  };
+  struct RelationSlots {
+    std::mutex mu;
+    std::vector<Slot> columns;
+  };
+
+  int ngram_;
+  /// unique_ptr keeps RelationSlots (whose mutex pins it) address-stable.
+  std::vector<std::unique_ptr<RelationSlots>> relations_;
+  mutable std::atomic<uint64_t> builds_{0};
+  mutable std::atomic<uint64_t> build_nanos_{0};
+  mutable std::atomic<uint64_t> value_probes_{0};
+  mutable std::atomic<uint64_t> like_probes_{0};
+  mutable std::atomic<uint64_t> scan_probes_{0};
+  mutable std::atomic<uint64_t> like_verified_{0};
+};
+
+}  // namespace sfsql::storage
+
+#endif  // SFSQL_STORAGE_COLUMN_INDEX_H_

@@ -2,21 +2,22 @@
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "exec/like.h"
 
 namespace sfsql::storage {
 
 Database::Database(catalog::Catalog catalog) : catalog_(std::move(catalog)) {
   tables_.reserve(catalog_.num_relations());
+  std::vector<size_t> attrs;
+  attrs.reserve(catalog_.num_relations());
   for (int i = 0; i < catalog_.num_relations(); ++i) {
     tables_.emplace_back(i);
+    attrs.push_back(catalog_.relation(i).attributes.size());
   }
+  indexes_.Reset(attrs);
 }
 
-Status Database::Insert(int relation_id, Row row) {
-  if (relation_id < 0 || relation_id >= catalog_.num_relations()) {
-    return Status::InvalidArgument("insert into unknown relation");
-  }
-  const catalog::Relation& rel = catalog_.relation(relation_id);
+Status Database::ValidateRow(const catalog::Relation& rel, const Row& row) {
   if (row.size() != rel.attributes.size()) {
     return Status::InvalidArgument(
         StrCat("insert into '", rel.name, "': expected ", rel.attributes.size(),
@@ -37,13 +38,28 @@ Status Database::Insert(int relation_id, Row row) {
                  catalog::ValueTypeToString(actual)));
     }
   }
+  return Status::OK();
+}
+
+Status Database::Insert(int relation_id, Row row) {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) {
+    return Status::InvalidArgument("insert into unknown relation");
+  }
+  SFSQL_RETURN_IF_ERROR(ValidateRow(catalog_.relation(relation_id), row));
   tables_[relation_id].Append(std::move(row));
   return Status::OK();
 }
 
 Status Database::InsertRows(int relation_id, std::vector<Row> rows) {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) {
+    return Status::InvalidArgument("insert into unknown relation");
+  }
+  const catalog::Relation& rel = catalog_.relation(relation_id);
+  Table& table = tables_[relation_id];
+  table.Reserve(table.num_rows() + rows.size());
   for (Row& row : rows) {
-    SFSQL_RETURN_IF_ERROR(Insert(relation_id, std::move(row)));
+    SFSQL_RETURN_IF_ERROR(ValidateRow(rel, row));
+    table.Append(std::move(row));
   }
   return Status::OK();
 }
@@ -55,12 +71,26 @@ size_t Database::TotalRows() const {
 }
 
 bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
-                                 std::string_view op, const Value& value) const {
+                                 std::string_view op, const Value& value,
+                                 bool use_index) const {
   if (relation_id < 0 || relation_id >= catalog_.num_relations()) return false;
   const catalog::Relation& rel = catalog_.relation(relation_id);
   if (attr_index < 0 || attr_index >= static_cast<int>(rel.attributes.size())) {
     return false;
   }
+  if (value.is_null()) return false;  // NULL satisfies no comparison
+  if (!use_index) {
+    indexes_.CountScanProbe();
+    return AnyTupleSatisfiesScan(relation_id, attr_index, op, value);
+  }
+  indexes_.CountValueProbe();
+  return indexes_.Get(tables_[relation_id], attr_index)
+      ->AnySatisfies(op, value);
+}
+
+bool Database::AnyTupleSatisfiesScan(int relation_id, int attr_index,
+                                     std::string_view op,
+                                     const Value& value) const {
   for (const Row& row : tables_[relation_id].rows()) {
     const Value& v = row[attr_index];
     if (v.is_null() || value.is_null()) continue;
@@ -81,6 +111,32 @@ bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
     }
   }
   return false;
+}
+
+bool Database::AnyStringMatchesLike(int relation_id, int attr_index,
+                                    std::string_view pattern, char escape,
+                                    bool use_index) const {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) return false;
+  const catalog::Relation& rel = catalog_.relation(relation_id);
+  if (attr_index < 0 || attr_index >= static_cast<int>(rel.attributes.size())) {
+    return false;
+  }
+  if (!use_index) {
+    indexes_.CountScanProbe();
+    for (const Row& row : tables_[relation_id].rows()) {
+      const Value& v = row[attr_index];
+      if (v.is_string() && exec::LikeMatch(v.AsString(), pattern, escape)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  indexes_.CountLikeProbe();
+  uint64_t verified = 0;
+  bool found = indexes_.Get(tables_[relation_id], attr_index)
+                   ->AnyLikeMatch(pattern, escape, &verified);
+  indexes_.CountVerified(verified);
+  return found;
 }
 
 }  // namespace sfsql::storage

@@ -2,15 +2,18 @@
 #define SFSQL_STORAGE_DATABASE_H_
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "storage/column_index.h"
 #include "storage/value.h"
 
 namespace sfsql::storage {
 
-/// Row store for one relation.
+/// Row store for one relation. Append-only — the column-index layer relies on
+/// this: an index built at row count n is exactly valid while num_rows() == n.
 class Table {
  public:
   explicit Table(int relation_id) : relation_id_(relation_id) {}
@@ -20,6 +23,9 @@ class Table {
   size_t num_rows() const { return rows_.size(); }
 
   void Append(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Pre-sizes the row vector for a bulk load of `total` rows.
+  void Reserve(size_t total) { rows_.reserve(total); }
 
  private:
   int relation_id_;
@@ -39,10 +45,14 @@ class Database {
   const Table& table(int relation_id) const { return tables_[relation_id]; }
 
   /// Appends `row` to relation `relation_id` after checking arity and that each
-  /// value is NULL or matches the declared attribute type.
+  /// value is NULL or matches the declared attribute type. Appending
+  /// invalidates the relation's column indexes (they rebuild lazily on the
+  /// next probe — see ColumnIndexManager).
   Status Insert(int relation_id, Row row);
 
-  /// Bulk variant of Insert.
+  /// Bulk variant of Insert: one relation lookup and one capacity reservation
+  /// for the whole batch, per-row arity/type checks kept. Like Insert, rows
+  /// before the first invalid one stay inserted.
   Status InsertRows(int relation_id, std::vector<Row> rows);
 
   /// Total tuples across all relations.
@@ -51,12 +61,39 @@ class Database {
   /// True if some tuple's `attr` value satisfies `op value` (used by the mapper's
   /// (m+1)/(n+1) condition factor). `op` is one of "=", "<>", "<", "<=", ">", ">=".
   /// Type-incompatible comparisons are unsatisfied.
+  ///
+  /// With `use_index` (the default) the probe is answered from the lazily
+  /// built per-column index in O(log distinct); `use_index = false` forces the
+  /// original full scan, kept for differential testing and benchmarking. Both
+  /// paths return identical answers.
   bool AnyTupleSatisfies(int relation_id, int attr_index, std::string_view op,
-                         const Value& value) const;
+                         const Value& value, bool use_index = true) const;
+
+  /// True if some tuple's `attr` string value matches the LIKE pattern (the
+  /// LIKE arm of the mapper's condition-satisfiability check). Indexed probes
+  /// pre-filter through the column's trigram posting lists and verify only the
+  /// surviving distinct strings with exec::LikeMatch.
+  bool AnyStringMatchesLike(int relation_id, int attr_index,
+                            std::string_view pattern, char escape,
+                            bool use_index = true) const;
+
+  /// Counters of the column-index layer (builds, probes by path); cumulative
+  /// over the database's lifetime, shared by all engines probing it.
+  ColumnIndexStats column_index_stats() const { return indexes_.stats(); }
 
  private:
+  /// Arity + per-value type check of Insert, shared with the bulk path.
+  static Status ValidateRow(const catalog::Relation& rel, const Row& row);
+
+  bool AnyTupleSatisfiesScan(int relation_id, int attr_index,
+                             std::string_view op, const Value& value) const;
+
   catalog::Catalog catalog_;
   std::vector<Table> tables_;
+  /// Lazily built per-column satisfiability indexes; mutable because probing
+  /// (a logically const read) may build, and ColumnIndexManager is internally
+  /// synchronized for concurrent readers.
+  mutable ColumnIndexManager indexes_;
 };
 
 }  // namespace sfsql::storage

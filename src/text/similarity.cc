@@ -22,6 +22,18 @@ std::set<std::string> QGrams(std::string_view s, int q) {
   return grams;
 }
 
+std::vector<std::string> LiteralNGrams(std::string_view s, int n) {
+  std::vector<std::string> grams;
+  if (n <= 0 || s.size() < static_cast<size_t>(n)) return grams;
+  grams.reserve(s.size() - n + 1);
+  for (size_t i = 0; i + n <= s.size(); ++i) {
+    grams.emplace_back(s.substr(i, n));
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
 double GramSetJaccard(const std::set<std::string>& a,
                       const std::set<std::string>& b) {
   if (a.empty() && b.empty()) return 1.0;

@@ -20,6 +20,13 @@ inline constexpr char kQGramPad = '\x1F';
 /// empty set.
 std::set<std::string> QGrams(std::string_view s, int q);
 
+/// Distinct contiguous n-grams of `s`, case-preserving and unpadded (unlike
+/// QGrams, which lower-cases and pads for the similarity measure). This is the
+/// gram extraction the storage layer's trigram LIKE index shares between
+/// indexed strings and pattern literal runs — LIKE is case-sensitive, so the
+/// grams must be too. Sorted ascending; strings shorter than `n` yield none.
+std::vector<std::string> LiteralNGrams(std::string_view s, int n);
+
 /// Jaccard coefficient |A ∩ B| / |A ∪ B| between the q-gram sets of `a` and `b`.
 /// This is the paper's recommended Sim(a, b) between two schema-element names
 /// (§4.2). Identical strings (case-insensitive) score 1.0; both-empty scores 1.0.

@@ -144,7 +144,9 @@ Value DataGenerator::ValueFor(const Attribute& attr, int64_t row_index) {
 }
 
 Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
-                               const std::map<std::string, int>& overrides) {
+                               const std::map<std::string, int>& overrides,
+                               int scale) {
+  if (scale < 1) scale = 1;
   const Catalog& cat = db->catalog();
   const int n = cat.num_relations();
 
@@ -189,6 +191,17 @@ Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
     if (auto it = overrides.find(rel.name); it != overrides.end()) {
       rows = it->second;
     }
+    rows *= scale;
+    // A self-referencing FK must see the rows inserted so far (its references
+    // point at earlier tuples of the same relation), so those relations keep
+    // the row-at-a-time path; everything else bulk-loads in one batch. The
+    // generated values are identical either way.
+    bool self_ref = false;
+    for (int f : fk_of_attr[r]) {
+      if (f >= 0 && cat.foreign_key(f).to_relation == r) self_ref = true;
+    }
+    std::vector<Row> batch;
+    if (!self_ref) batch.reserve(rows);
     std::set<Row, bool (*)(const Row&, const Row&)> seen_keys(
         [](const Row& a, const Row& b) {
           for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
@@ -231,7 +244,14 @@ Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
         if (attempt == 19) ok = false;  // saturated the key space
       }
       if (!ok) break;
-      SFSQL_RETURN_IF_ERROR(db->Insert(r, std::move(row)));
+      if (self_ref) {
+        SFSQL_RETURN_IF_ERROR(db->Insert(r, std::move(row)));
+      } else {
+        batch.push_back(std::move(row));
+      }
+    }
+    if (!self_ref) {
+      SFSQL_RETURN_IF_ERROR(db->InsertRows(r, std::move(batch)));
     }
   }
   return Status::OK();

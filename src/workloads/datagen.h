@@ -22,12 +22,18 @@ class DataGenerator {
  public:
   explicit DataGenerator(uint64_t seed) : state_(seed ? seed : 1) {}
 
-  /// Fills every relation of `db` with `rows_per_relation` tuples (overridable
-  /// per relation via `overrides` keyed by relation name). Relations are
-  /// populated in FK-dependency order; single-column integer primary keys are
-  /// sequential, composite keys are de-duplicated random FK combinations.
+  /// Fills every relation of `db` with `scale * rows_per_relation` tuples
+  /// (overridable per relation via `overrides` keyed by relation name, also
+  /// multiplied by `scale`). Relations are populated in FK-dependency order;
+  /// single-column integer primary keys are sequential, composite keys are
+  /// de-duplicated random FK combinations. `scale` is the benchmark row-count
+  /// multiplier (bench_satisfiability's --scale): same vocabulary pools, just
+  /// proportionally more rows. Relations without self-referencing foreign
+  /// keys load through Database::InsertRows in one batch; the generated data
+  /// is identical either way.
   Status Populate(storage::Database* db, int rows_per_relation,
-                  const std::map<std::string, int>& overrides = {});
+                  const std::map<std::string, int>& overrides = {},
+                  int scale = 1);
 
   /// Injects a specific well-known tuple by (attribute -> value) map — used by
   /// workloads to plant the entities their queries mention (e.g. a person

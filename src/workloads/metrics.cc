@@ -78,6 +78,33 @@ bool IsColEqCol(const Expr& e) {
 
 }  // namespace
 
+void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
+                       const core::SchemaFreeEngine* engine) {
+  report->SetConfig("dataset_total_rows",
+                    static_cast<long long>(db.TotalRows()));
+  const catalog::Catalog& cat = db.catalog();
+  for (int r = 0; r < cat.num_relations(); ++r) {
+    report->AddRow("dataset",
+                   obs::BenchReport::Row()
+                       .Text("relation", cat.relation(r).name)
+                       .Number("rows",
+                               static_cast<double>(db.table(r).num_rows())));
+  }
+  const storage::ColumnIndexStats s = db.column_index_stats();
+  report->SetMetric("sat_index_probes",
+                    static_cast<double>(s.value_probes + s.like_probes));
+  report->SetMetric("sat_scan_probes", static_cast<double>(s.scan_probes));
+  report->SetMetric("index_builds", static_cast<double>(s.builds));
+  report->SetMetric("index_build_seconds", s.build_seconds);
+  report->SetMetric("like_candidates_verified",
+                    static_cast<double>(s.like_candidates_verified));
+  if (engine != nullptr) {
+    const core::SatisfiabilityMemoStats m = engine->mapper().memo_stats();
+    report->SetMetric("sat_memo_hits", static_cast<double>(m.hits));
+    report->SetMetric("sat_memo_misses", static_cast<double>(m.misses));
+  }
+}
+
 Result<int> SchemaFreeInfoUnits(std::string_view sfsql) {
   SFSQL_ASSIGN_OR_RETURN(sql::SelectPtr stmt, sql::ParseSelect(sfsql));
   std::set<std::string> names;

@@ -7,9 +7,19 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "core/engine.h"
+#include "obs/bench_report.h"
 #include "storage/database.h"
 
 namespace sfsql::workloads {
+
+/// Stamps per-run metadata into a bench report (every bench_* binary calls
+/// this right before WriteFile): the dataset's row counts (total in config,
+/// per relation in a "dataset" table) and the database's cumulative
+/// column-index counters — probes answered by index vs. scan, index builds
+/// and build time, LIKE candidates verified — plus, when `engine` is given,
+/// its satisfiability-memo hit/miss counters.
+void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
+                       const core::SchemaFreeEngine* engine = nullptr);
 
 /// Information-unit costs (§7.1). A schema element (relation or attribute
 /// name) is one information unit; approximately specified elements count as a

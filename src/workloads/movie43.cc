@@ -153,13 +153,14 @@ catalog::Catalog BuildMovie43Catalog() {
 
 }  // namespace
 
-std::unique_ptr<Database> BuildMovie43(uint64_t seed, int rows_per_relation) {
+std::unique_ptr<Database> BuildMovie43(uint64_t seed, int rows_per_relation,
+                                       int scale) {
   auto db = std::make_unique<Database>(BuildMovie43Catalog());
   SFSQL_CHECK(db->catalog().num_relations() == kMovie43Relations);
   SFSQL_CHECK(db->catalog().num_foreign_keys() == kMovie43ForeignKeys);
 
   DataGenerator gen(seed);
-  SFSQL_CHECK(gen.Populate(db.get(), rows_per_relation).ok());
+  SFSQL_CHECK(gen.Populate(db.get(), rows_per_relation, {}, scale).ok());
 
   auto S = [](const char* s) { return Value::String(s); };
   auto I = [](int64_t v) { return Value::Int(v); };

@@ -24,11 +24,14 @@ struct BenchQuery {
 inline constexpr int kMovie43Relations = 43;
 inline constexpr int kMovie43ForeignKeys = 71;
 
-/// Builds the 43-relation movie database with `rows_per_relation` generated
-/// tuples per relation (seeded) plus a planted cluster of the entities the
-/// benchmark queries mention (James Cameron, 20th Century Fox, Drama, ...).
+/// Builds the 43-relation movie database with `scale * rows_per_relation`
+/// generated tuples per relation (seeded) plus a planted cluster of the
+/// entities the benchmark queries mention (James Cameron, 20th Century Fox,
+/// Drama, ...). `scale` is the benchmark row-count multiplier (the --scale
+/// flag of bench_satisfiability), forwarded to DataGenerator::Populate.
 std::unique_ptr<storage::Database> BuildMovie43(uint64_t seed = 42,
-                                                int rows_per_relation = 60);
+                                                int rows_per_relation = 60,
+                                                int scale = 1);
 
 /// The 17 textbook-style queries of §7.2 / Fig. 13: single-relation queries,
 /// multi-relation joins, nested subqueries, and aggregations, written in the

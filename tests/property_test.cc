@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <random>
+#include <thread>
 
 #include "core/engine.h"
+#include "core/mapper.h"
 #include "core/mtjn_generator.h"
 #include "obs/clock.h"
 #include "exec/executor.h"
@@ -370,6 +373,258 @@ TEST(ParserPropertyTest, PrintParseFixpoint) {
     ASSERT_TRUE(second.ok()) << printed;
     EXPECT_EQ(printed, sql::PrintSelect(**second));
   }
+}
+
+// ---- §4.3 condition-satisfiability index properties ----
+
+/// Characters deliberately overlapping the LIKE metacharacters ('%', '_') and
+/// the escape used below ('!'), so random data and random patterns exercise
+/// every escaping path.
+std::string RandomPatternish(std::mt19937_64& rng, size_t max_len) {
+  static const char kAlpha[] = "ab%_!xy";
+  std::string s;
+  size_t len = rng() % (max_len + 1);
+  for (size_t i = 0; i < len; ++i) s += kAlpha[rng() % (sizeof(kAlpha) - 1)];
+  return s;
+}
+
+storage::Value RandomValue(std::mt19937_64& rng, catalog::ValueType type,
+                           bool allow_null) {
+  if (allow_null && rng() % 6 == 0) return storage::Value::Null_();
+  switch (type) {
+    case catalog::ValueType::kInt64:
+      return storage::Value::Int(static_cast<int64_t>(rng() % 21) - 10);
+    case catalog::ValueType::kDouble:
+      // Half the values are ints (legal in a double column), so probes hit
+      // the int64/double coercion in both the index and the scan.
+      return rng() % 2 ? storage::Value::Double(
+                             static_cast<double>(rng() % 41) / 4.0 - 5.0)
+                       : storage::Value::Int(static_cast<int64_t>(rng() % 11) -
+                                             5);
+    case catalog::ValueType::kBool:
+      return storage::Value::Bool(rng() % 2 == 0);
+    default:
+      return storage::Value::String(RandomPatternish(rng, 8));
+  }
+}
+
+TEST(IndexPropertyTest, IndexedMatchesScanOnRandomData) {
+  std::mt19937_64 rng(43);
+  SchemaBuilder b;
+  b.Rel("T", "id:int*, i:int, d:double, s:str, b:bool");
+  storage::Database db(b.Build());
+  auto insert_rows = [&](int count, int base) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(
+          db.Insert(0, {storage::Value::Int(base + i),
+                        RandomValue(rng, catalog::ValueType::kInt64, true),
+                        RandomValue(rng, catalog::ValueType::kDouble, true),
+                        RandomValue(rng, catalog::ValueType::kString, true),
+                        RandomValue(rng, catalog::ValueType::kBool, true)})
+              .ok());
+    }
+  };
+  insert_rows(300, 0);
+
+  const catalog::ValueType kTypes[] = {
+      catalog::ValueType::kInt64, catalog::ValueType::kDouble,
+      catalog::ValueType::kString, catalog::ValueType::kBool};
+  const char* kOps[] = {"=", "<>", "!=", "<", "<=", ">", ">="};
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Appending mid-stream exercises the stamp invalidation + lazy rebuild.
+    if (trial == 1000) insert_rows(100, 300);
+    const int attr = 1 + static_cast<int>(rng() % 4);
+    if (trial % 3 == 0) {
+      const char escape = rng() % 2 == 0 ? '!' : '\0';
+      const std::string pattern = RandomPatternish(rng, 6);
+      EXPECT_EQ(
+          db.AnyStringMatchesLike(0, attr, pattern, escape, /*use_index=*/true),
+          db.AnyStringMatchesLike(0, attr, pattern, escape,
+                                  /*use_index=*/false))
+          << "attr " << attr << " pattern '" << pattern << "' escape '"
+          << (escape ? escape : ' ') << "'";
+    } else {
+      const char* op = kOps[rng() % std::size(kOps)];
+      const storage::Value v = RandomValue(rng, kTypes[rng() % 4], true);
+      EXPECT_EQ(db.AnyTupleSatisfies(0, attr, op, v, /*use_index=*/true),
+                db.AnyTupleSatisfies(0, attr, op, v, /*use_index=*/false))
+          << "attr " << attr << " op " << op << " value " << v.ToSqlLiteral();
+    }
+  }
+}
+
+TEST(IndexPropertyTest, MemoizedMatchesUnmemoizedOnRandomConditions) {
+  std::mt19937_64 rng(4406);
+  SchemaBuilder b;
+  b.Rel("A", "a_id:int*, s:str, i:int, d:double, flag:bool");
+  b.Rel("B", "b_id:int*, s:str, ref:int");
+  b.Fk("B.ref", "A.a_id");
+  storage::Database db(b.Build());
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(
+        db.Insert(0, {storage::Value::Int(i),
+                      RandomValue(rng, catalog::ValueType::kString, true),
+                      RandomValue(rng, catalog::ValueType::kInt64, true),
+                      RandomValue(rng, catalog::ValueType::kDouble, true),
+                      RandomValue(rng, catalog::ValueType::kBool, true)})
+            .ok());
+    ASSERT_TRUE(
+        db.Insert(1, {storage::Value::Int(i),
+                      RandomValue(rng, catalog::ValueType::kString, true),
+                      storage::Value::Int(static_cast<int64_t>(rng() % 150))})
+            .ok());
+  }
+
+  // A pool of random conditions, every operator the mapper knows (IN lists,
+  // LIKE with and without escape, an unknown op) plus out-of-range ordinals.
+  struct Probe {
+    int relation;
+    int attr;
+    core::Condition cond;
+  };
+  const catalog::ValueType kTypes[] = {
+      catalog::ValueType::kInt64, catalog::ValueType::kDouble,
+      catalog::ValueType::kString, catalog::ValueType::kBool};
+  std::vector<Probe> pool;
+  const char* kOps[] = {"=", "<>", "<", "<=", ">", ">=", "~~nonsense"};
+  for (int i = 0; i < 80; ++i) {
+    Probe p;
+    p.relation = rng() % 10 == 0 ? 7 : static_cast<int>(rng() % 2);
+    p.attr = rng() % 10 == 0 ? 9 : static_cast<int>(rng() % 5);
+    switch (rng() % 4) {
+      case 0: {
+        p.cond.op = "in";
+        const size_t n = 1 + rng() % 3;
+        for (size_t k = 0; k < n; ++k) {
+          p.cond.values.push_back(RandomValue(rng, kTypes[rng() % 4], true));
+        }
+        break;
+      }
+      case 1: {
+        p.cond.op = "like";
+        p.cond.values.push_back(
+            storage::Value::String(RandomPatternish(rng, 6)));
+        if (rng() % 2 == 0) {
+          p.cond.values.push_back(storage::Value::String("!"));
+        }
+        break;
+      }
+      default: {
+        p.cond.op = kOps[rng() % std::size(kOps)];
+        p.cond.values.push_back(RandomValue(rng, kTypes[rng() % 4], true));
+      }
+    }
+    pool.push_back(std::move(p));
+  }
+
+  core::SimilarityConfig scan_cfg;
+  scan_cfg.use_column_index = false;
+  scan_cfg.satisfiability_memo_capacity = 0;
+  core::SimilarityConfig plain_cfg;
+  plain_cfg.satisfiability_memo_capacity = 0;
+  core::SimilarityConfig memo_cfg;
+  // Tiny capacity: the per-shard limit is hit constantly, so the clear-on-full
+  // path runs, not just the happy inserts.
+  memo_cfg.satisfiability_memo_capacity = 64;
+  core::RelationTreeMapper scan_mapper(&db, scan_cfg);
+  core::RelationTreeMapper plain_mapper(&db, plain_cfg);
+  core::RelationTreeMapper memo_mapper(&db, memo_cfg);
+
+  for (int step = 0; step < 1500; ++step) {
+    if (step == 750) {
+      // Appends invalidate both the indexes and every memoized stamp.
+      ASSERT_TRUE(db.Insert(0, {storage::Value::Int(150),
+                                storage::Value::String("a_b%c"),
+                                storage::Value::Int(3), storage::Value::Int(4),
+                                storage::Value::Bool(true)})
+                      .ok());
+    }
+    const Probe& p = pool[rng() % pool.size()];
+    const bool want = scan_mapper.ConditionSatisfiable(p.relation, p.attr,
+                                                       p.cond);
+    EXPECT_EQ(plain_mapper.ConditionSatisfiable(p.relation, p.attr, p.cond),
+              want)
+        << "step " << step << " cond " << p.cond.ToString();
+    EXPECT_EQ(memo_mapper.ConditionSatisfiable(p.relation, p.attr, p.cond),
+              want)
+        << "step " << step << " cond " << p.cond.ToString();
+  }
+  const core::SatisfiabilityMemoStats stats = memo_mapper.memo_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_EQ(plain_mapper.memo_stats().hits + plain_mapper.memo_stats().misses,
+            0u);
+}
+
+TEST(IndexPropertyTest, ConcurrentLazyIndexBuildIsConsistent) {
+  std::mt19937_64 rng(1106);
+  SchemaBuilder b;
+  b.Rel("A", "a_id:int*, s:str, i:int, d:double, flag:bool");
+  b.Rel("B", "b_id:int*, s:str, ref:int");
+  b.Rel("C", "c_id:int*, name:str, val:int");
+  storage::Database db(b.Build());
+  for (int r = 0; r < 3; ++r) {
+    const catalog::Relation& rel = db.catalog().relation(r);
+    for (int i = 0; i < 200; ++i) {
+      storage::Row row;
+      row.push_back(storage::Value::Int(i));
+      for (size_t a = 1; a < rel.attributes.size(); ++a) {
+        row.push_back(RandomValue(rng, rel.attributes[a].type, true));
+      }
+      ASSERT_TRUE(db.Insert(r, std::move(row)).ok());
+    }
+  }
+
+  // Reference answers via the scan path (builds no indexes), so the threads
+  // below are the first to touch every column index and race on the builds.
+  struct Probe {
+    int relation;
+    int attr;
+    std::string op;  // "like:<pattern>" encodes a LIKE probe
+    storage::Value value;
+    bool want = false;
+  };
+  std::vector<Probe> probes;
+  const char* kOps[] = {"=", "<>", "<", ">="};
+  for (int r = 0; r < 3; ++r) {
+    const catalog::Relation& rel = db.catalog().relation(r);
+    for (int a = 0; a < static_cast<int>(rel.attributes.size()); ++a) {
+      for (int k = 0; k < 8; ++k) {
+        Probe p{r, a, kOps[rng() % std::size(kOps)],
+                RandomValue(rng, rel.attributes[rng() % rel.attributes.size()]
+                                     .type,
+                            true),
+                false};
+        p.want = db.AnyTupleSatisfies(r, a, p.op, p.value, /*use_index=*/false);
+        probes.push_back(std::move(p));
+      }
+      Probe like{r, a, "like:" + RandomPatternish(rng, 5),
+                 storage::Value::Null_(), false};
+      like.want = db.AnyStringMatchesLike(r, a, like.op.substr(5), '!',
+                                          /*use_index=*/false);
+      probes.push_back(std::move(like));
+    }
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (const Probe& p : probes) {
+        const bool got =
+            p.op.rfind("like:", 0) == 0
+                ? db.AnyStringMatchesLike(p.relation, p.attr, p.op.substr(5),
+                                          '!', /*use_index=*/true)
+                : db.AnyTupleSatisfies(p.relation, p.attr, p.op, p.value,
+                                       /*use_index=*/true);
+        if (got != p.want) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Each column index was built exactly once despite eight racing readers.
+  EXPECT_EQ(db.column_index_stats().builds, 5u + 3u + 3u);
 }
 
 TEST(SimilarityPropertyTest, RangeAndSymmetry) {

@@ -98,6 +98,24 @@ TEST(DatabaseTest, IntAcceptedForDoubleColumn) {
   EXPECT_TRUE(db.Insert(0, {Value::Int(3)}).ok());
 }
 
+TEST(DatabaseTest, InsertRowsBulkLoad) {
+  Database db(MovieCatalog());
+  std::vector<Row> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back({Value::Int(i), Value::String("p" + std::to_string(i)),
+                    Value::String(i % 2 ? "male" : "female")});
+  }
+  EXPECT_TRUE(db.InsertRows(0, std::move(rows)).ok());
+  EXPECT_EQ(db.table(0).num_rows(), 5u);
+  // An invalid row stops the batch; rows before it stay inserted.
+  std::vector<Row> bad;
+  bad.push_back({Value::Int(5), Value::Null_(), Value::Null_()});
+  bad.push_back({Value::String("oops"), Value::Null_(), Value::Null_()});
+  bad.push_back({Value::Int(7), Value::Null_(), Value::Null_()});
+  EXPECT_FALSE(db.InsertRows(0, std::move(bad)).ok());
+  EXPECT_EQ(db.table(0).num_rows(), 6u);
+}
+
 TEST(DatabaseTest, AnyTupleSatisfies) {
   Database db(MovieCatalog());
   ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::String("James Cameron"),
@@ -115,6 +133,105 @@ TEST(DatabaseTest, AnyTupleSatisfies) {
   // Bad ordinals are unsatisfied rather than errors.
   EXPECT_FALSE(db.AnyTupleSatisfies(0, 9, "=", Value::Int(1)));
   EXPECT_FALSE(db.AnyTupleSatisfies(9, 0, "=", Value::Int(1)));
+}
+
+TEST(ColumnIndexTest, IndexedProbesMatchScanAcrossOpsAndTypes) {
+  Catalog c;
+  Relation r;
+  r.name = "T";
+  r.attributes = {{"i", ValueType::kInt64},
+                  {"d", ValueType::kDouble},
+                  {"b", ValueType::kBool}};
+  r.primary_key = {0};
+  ASSERT_TRUE(c.AddRelation(r).ok());
+  Database db(std::move(c));
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::Double(1.5),
+                            Value::Bool(true)}).ok());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(3), Value::Int(3),  // int in double col
+                            Value::Null_()}).ok());
+  ASSERT_TRUE(db.Insert(0, {Value::Null_(), Value::Double(-2.0),
+                            Value::Bool(true)}).ok());
+
+  const Value probes[] = {Value::Int(1),      Value::Int(2),
+                          Value::Double(3.0), Value::Double(1.5),
+                          Value::Bool(true),  Value::Bool(false),
+                          Value::String("x"), Value::Null_()};
+  const char* ops[] = {"=", "<>", "<", "<=", ">", ">=", "!=", "~"};
+  for (int a = 0; a < 3; ++a) {
+    for (const Value& v : probes) {
+      for (const char* op : ops) {
+        EXPECT_EQ(db.AnyTupleSatisfies(0, a, op, v, /*use_index=*/true),
+                  db.AnyTupleSatisfies(0, a, op, v, /*use_index=*/false))
+            << "attr " << a << " op " << op << " value " << v.ToSqlLiteral();
+      }
+    }
+  }
+}
+
+TEST(ColumnIndexTest, IndexedLikeMatchesScan) {
+  Database db(MovieCatalog());
+  const char* names[] = {"James Cameron", "Jane Campion", "100% Wolf",
+                         "Ang Lee", "J", ""};
+  int id = 0;
+  for (const char* n : names) {
+    ASSERT_TRUE(db.Insert(0, {Value::Int(id++), Value::String(n),
+                              Value::Null_()}).ok());
+  }
+  struct { const char* pattern; char escape; } cases[] = {
+      {"%Cameron", '\0'},  // trigram suffix hit
+      {"Ja%", '\0'},       // trigram prefix hit
+      {"J%", '\0'},        // 1-char prefix: sorted-range path
+      {"_ames Cameron", '\0'},  // '_' wildcard
+      {"James Cameron", '\0'},  // wildcard-free exact
+      {"%zq%xw42%", '\0'},      // absent trigram miss
+      {"100!%%", '!'},          // escaped '%' literal
+      {"100%", '\0'},           // unescaped: prefix semantics
+      {"%", '\0'},              // matches anything (incl. empty string)
+      {"", '\0'},               // matches only the empty string
+      {"zz%", '\0'},            // empty prefix range miss
+  };
+  for (const auto& cs : cases) {
+    EXPECT_EQ(
+        db.AnyStringMatchesLike(0, 1, cs.pattern, cs.escape, /*use_index=*/true),
+        db.AnyStringMatchesLike(0, 1, cs.pattern, cs.escape,
+                                /*use_index=*/false))
+        << "pattern " << cs.pattern;
+  }
+  // Non-string columns have no string class to match.
+  EXPECT_FALSE(db.AnyStringMatchesLike(0, 0, "%", '\0', /*use_index=*/true));
+}
+
+TEST(ColumnIndexTest, AppendInvalidatesIndex) {
+  Database db(MovieCatalog());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::String("Ang Lee"),
+                            Value::Null_()}).ok());
+  // First probes build the column indexes.
+  EXPECT_FALSE(db.AnyTupleSatisfies(0, 1, "=", Value::String("Jane Campion")));
+  EXPECT_FALSE(db.AnyStringMatchesLike(0, 1, "%Campion", '\0'));
+  // Appending must invalidate them (stamp mismatch -> lazy rebuild).
+  ASSERT_TRUE(db.Insert(0, {Value::Int(2), Value::String("Jane Campion"),
+                            Value::Null_()}).ok());
+  EXPECT_TRUE(db.AnyTupleSatisfies(0, 1, "=", Value::String("Jane Campion")));
+  EXPECT_TRUE(db.AnyStringMatchesLike(0, 1, "%Campion", '\0'));
+  const ColumnIndexStats s = db.column_index_stats();
+  EXPECT_EQ(s.builds, 2u);  // initial build + rebuild of the name column
+  EXPECT_EQ(s.value_probes, 2u);
+  EXPECT_EQ(s.like_probes, 2u);
+  EXPECT_EQ(s.scan_probes, 0u);
+}
+
+TEST(ColumnIndexTest, ScanFallbackCountsScanProbes) {
+  Database db(MovieCatalog());
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1), Value::String("Ang Lee"),
+                            Value::Null_()}).ok());
+  EXPECT_TRUE(
+      db.AnyTupleSatisfies(0, 0, "=", Value::Int(1), /*use_index=*/false));
+  EXPECT_TRUE(db.AnyStringMatchesLike(0, 1, "%Lee", '\0', /*use_index=*/false));
+  const ColumnIndexStats s = db.column_index_stats();
+  EXPECT_EQ(s.builds, 0u);
+  EXPECT_EQ(s.scan_probes, 2u);
+  EXPECT_EQ(s.value_probes, 0u);
+  EXPECT_EQ(s.like_probes, 0u);
 }
 
 }  // namespace
