@@ -10,6 +10,7 @@
 // one alternative point per ablation so CI can validate the output shape
 // quickly.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -33,13 +34,22 @@ struct Accuracy {
   int total = 0;
 };
 
+// Per-call wall times across every Evaluate() below, for the latency triple.
+std::vector<double>* g_translate_seconds = nullptr;
+
 Accuracy Evaluate(const storage::Database& db, const core::EngineConfig& cfg) {
   core::SchemaFreeEngine engine(&db, cfg);
   Accuracy acc;
   for (const auto& queries : {TextbookQueries(), SophisticatedQueries()}) {
     for (const BenchQuery& q : queries) {
       ++acc.total;
+      auto t0 = std::chrono::steady_clock::now();
       auto best = engine.TranslateBest(q.sfsql);
+      if (g_translate_seconds != nullptr) {
+        g_translate_seconds->push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count());
+      }
       if (!best.ok()) continue;
       auto match = TranslationMatchesGold(db, *best, q.gold_sql);
       if (match.ok() && *match) ++acc.correct;
@@ -76,6 +86,8 @@ int main(int argc, char** argv) {
   }
 
   auto db = BuildMovie43();
+  std::vector<double> translate_seconds;
+  g_translate_seconds = &translate_seconds;
   obs::BenchReport report("ablation");
   report.SetConfig("database", "movie43");
   report.SetConfig("smoke", static_cast<long long>(smoke ? 1 : 0));
@@ -169,6 +181,7 @@ int main(int argc, char** argv) {
   report.SetMetric("config_points_evaluated",
                    static_cast<double>(sigmas.size() + krefs.size() +
                                        crefs.size() + 2));
+  report.SetLatencyMetrics("translate_seconds", std::move(translate_seconds));
   RecordRunMetadata(&report, *db);
   (void)report.WriteFile();
   return 0;

@@ -95,6 +95,7 @@ int main() {
   report.SetMetric("cost_vs_gui", sum_sf / sum_gui);
   report.SetMetric("median_translate_seconds",
                    obs::BenchReport::Median(translate_seconds));
+  report.SetLatencyMetrics("translate_seconds", translate_seconds);
   report.SetMetric("median_map_seconds", obs::BenchReport::Median(phase_map));
   report.SetMetric("median_generate_seconds",
                    obs::BenchReport::Median(phase_generate));

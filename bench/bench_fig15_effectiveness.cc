@@ -11,6 +11,7 @@
 // query (keeping the simple->complex order) so CI can validate the output
 // shape quickly; headline numbers are then not comparable to the paper.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -45,7 +46,8 @@ std::vector<BucketCounts> RunPass(const storage::Database& db,
                                   bool with_views,
                                   const char* (*gold_of)(const CourseQuery&),
                                   const catalog::Catalog& derive_catalog,
-                                  int stride) {
+                                  int stride,
+                                  std::vector<double>* translate_seconds) {
   core::SchemaFreeEngine engine(&db);
   std::vector<BucketCounts> buckets(3);
   const auto& queries = CourseQueries();
@@ -56,7 +58,11 @@ std::vector<BucketCounts> RunPass(const storage::Database& db,
     BucketCounts& b = buckets[Bucket(q.relations53)];
     ++b.total;
     const char* gold = gold_of(q);
+    auto t0 = std::chrono::steady_clock::now();
     auto translations = engine.Translate(*sf, 10);
+    translate_seconds->push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
     if (translations.ok()) {
       for (size_t i = 0; i < translations->size(); ++i) {
         auto match = TranslationMatchesGold(db, (*translations)[i], gold);
@@ -99,10 +105,15 @@ int main(int argc, char** argv) {
               "schemas)...\n\n",
               smoke ? "every 4th of 48" : "48");
 
-  auto plain53 = RunPass(*db53, false, gold53, db53->catalog(), stride);
-  auto plain21 = RunPass(*db21, false, gold21, db53->catalog(), stride);
-  auto views53 = RunPass(*db53, true, gold53, db53->catalog(), stride);
-  auto views21 = RunPass(*db21, true, gold21, db53->catalog(), stride);
+  std::vector<double> translate_seconds;  // across all four passes
+  auto plain53 = RunPass(*db53, false, gold53, db53->catalog(), stride,
+                         &translate_seconds);
+  auto plain21 = RunPass(*db21, false, gold21, db53->catalog(), stride,
+                         &translate_seconds);
+  auto views53 = RunPass(*db53, true, gold53, db53->catalog(), stride,
+                         &translate_seconds);
+  auto views21 = RunPass(*db21, true, gold21, db53->catalog(), stride,
+                         &translate_seconds);
 
   const char* labels[3] = {"2-4", "5", "6-10"};
   std::printf("%-10s %-14s %-14s %-18s %-18s\n", "relations", "top-1",
@@ -156,6 +167,7 @@ int main(int argc, char** argv) {
                    sum_total == 0
                        ? 0.0
                        : static_cast<double>(sum_views_top1) / sum_total);
+  report.SetLatencyMetrics("translate_seconds", std::move(translate_seconds));
   // Dataset rows of both course databases; the index counters snapshot db53
   // (the second call wins), the run's primary dataset.
   RecordRunMetadata(&report, *db21);

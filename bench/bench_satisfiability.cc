@@ -103,6 +103,7 @@ struct RunResult {
   double seconds = 0.0;
   long long answered = 0;
   std::vector<char> answers;  ///< first-round answers, for cross-checking
+  std::vector<double> round_seconds;  ///< per-round wall time (one full sweep)
 };
 
 RunResult RunProbes(const storage::Database* db, bool use_index,
@@ -116,10 +117,15 @@ RunResult RunProbes(const storage::Database* db, bool use_index,
   out.answers.reserve(probes.size());
   const auto start = std::chrono::steady_clock::now();
   for (int round = 0; round < rounds; ++round) {
+    const auto round_start = std::chrono::steady_clock::now();
     for (const Probe& p : probes) {
       const bool ans = mapper.ConditionSatisfiable(p.relation, p.attr, p.cond);
       if (round == 0) out.answers.push_back(ans ? 1 : 0);
     }
+    out.round_seconds.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      round_start)
+            .count());
   }
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -174,6 +180,9 @@ int main(int argc, char** argv) {
 
   bool all_identical = true;
   double speedup_at_10 = 0.0;
+  // Per-round sweep times of the default engine path (index + memo), pooled
+  // across scales — the bench's primary latency distribution.
+  std::vector<double> memo_round_seconds;
   std::unique_ptr<storage::Database> last_db;
   for (int scale : scales) {
     auto db = BuildMovie43(seed, base_rows, scale);
@@ -193,6 +202,9 @@ int main(int argc, char** argv) {
     RunResult memoized = RunProbes(db.get(), /*use_index=*/true,
                                    /*memo_capacity=*/1 << 16, probes,
                                    index_rounds);
+    memo_round_seconds.insert(memo_round_seconds.end(),
+                              memoized.round_seconds.begin(),
+                              memoized.round_seconds.end());
 
     const bool identical =
         scan.answers == indexed.answers && scan.answers == memoized.answers;
@@ -243,6 +255,8 @@ int main(int argc, char** argv) {
   std::printf("answers identical across configs: %s\n",
               all_identical ? "yes" : "NO — BUG");
 
+  report.SetLatencyMetrics("memo_round_seconds",
+                           std::move(memo_round_seconds));
   RecordRunMetadata(&report, *last_db);
   (void)report.WriteFile();
   return all_identical ? 0 : 1;

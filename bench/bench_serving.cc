@@ -1,0 +1,197 @@
+// Concurrent serving throughput of the cross-query translation plan cache:
+// N threads share one engine and translate a Zipf-skewed stream drawn from
+// the movie43 benchmark mix expanded with literal variants
+// (workloads/serving.h), cache on vs cache off.
+//
+// Two phases:
+//   1. Correctness — single-threaded, every distinct request translated
+//      against a cache-enabled engine in an order that exercises all three
+//      serving paths (cold miss, tier-1 structure hit via a sibling variant,
+//      tier-2 exact hit on the second pass), cross-checked bit-identically
+//      (SQL text, join-network weight, network rendering, result order)
+//      against a cache-disabled engine. Any divergence fails the bench.
+//   2. Throughput — the threaded Zipf stream against a cache-enabled engine,
+//      then the same stream (shorter: every call pays the full pipeline)
+//      against a cache-disabled engine. Both engines first get one untimed
+//      pass over the distinct requests (the bench_satisfiability idiom) so
+//      the timed runs measure steady-state serving — similarity/mapping
+//      caches warm in both modes, plan-cache fills in the cache-on mode; the
+//      one-time fill cost is reported separately (warmup_*_seconds).
+//
+// Emits BENCH_serving.json with queries/sec for both modes, the speedup,
+// p50/p95/p99 per-call latencies, and the plan-cache counters.
+// `--smoke` shrinks the variant count and request counts for CI.
+//
+// Acceptance: cache-on throughput >= 10x cache-off, translations identical.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/plan_cache.h"
+#include "obs/bench_report.h"
+#include "workloads/metrics.h"
+#include "workloads/movie43.h"
+#include "workloads/serving.h"
+
+using namespace sfsql;             // NOLINT(build/namespaces)
+using namespace sfsql::workloads;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Renders one ranked translation list as a comparison key; any bit that
+/// could differ under a caching bug (text, order, weight, network) is
+/// included.
+std::string ResultKey(const Result<std::vector<core::Translation>>& r) {
+  if (!r.ok()) return "<" + r.status().ToString() + ">";
+  std::string key;
+  for (const core::Translation& t : *r) {
+    char weight[64];
+    std::snprintf(weight, sizeof(weight), "%.17g", t.weight);
+    key += t.sql + "\x1f" + weight + "\x1f" + t.network_text + "\x1e";
+  }
+  return key;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: bench_serving [--smoke] [--threads N]\n");
+      return 2;
+    }
+  }
+  if (threads < 1) threads = 1;
+
+  const int k = 5;
+  const int variants = smoke ? 3 : 6;
+  const double zipf_s = 1.0;
+  const uint64_t seed = 42;
+  const long long on_requests = smoke ? 600 : 8000;
+  const long long off_requests = smoke ? 40 : 240;
+
+  auto db = BuildMovie43(seed, 60);
+  const std::vector<std::string> requests = ServingRequests(variants);
+
+  obs::BenchReport report("serving");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("smoke", static_cast<long long>(smoke ? 1 : 0));
+  report.SetConfig("threads", static_cast<long long>(threads));
+  report.SetConfig("distinct_requests",
+                   static_cast<long long>(requests.size()));
+  report.SetConfig("variants_per_query", static_cast<long long>(variants));
+  report.SetConfig("zipf_s", zipf_s);
+  report.SetConfig("k", static_cast<long long>(k));
+  report.SetConfig("cache_on_requests", on_requests);
+  report.SetConfig("cache_off_requests", off_requests);
+
+  std::printf("plan-cache serving throughput — movie43, %zu distinct "
+              "requests, %d threads, Zipf(%.1f), k = %d\n\n",
+              requests.size(), threads, zipf_s, k);
+
+  // Phase 1 — bit-identical cross-check. Pass 1 in request order covers the
+  // cold miss (each query's first variant) and the tier-1 structure hits (its
+  // later variants, which share a probe signature); pass 2 repeats every
+  // request for the tier-2 exact hits.
+  core::EngineConfig off_cfg;
+  off_cfg.plan_cache_enabled = false;
+  core::SchemaFreeEngine engine_off(db.get(), off_cfg);
+  core::SchemaFreeEngine engine_on(db.get());
+  long long mismatches = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& request : requests) {
+      if (ResultKey(engine_on.Translate(request, k)) !=
+          ResultKey(engine_off.Translate(request, k))) {
+        ++mismatches;
+        std::fprintf(stderr, "MISMATCH (pass %d): %s\n", pass,
+                     request.c_str());
+      }
+    }
+  }
+  const core::PlanCacheStats check_stats = engine_on.plan_cache_stats();
+  const bool identical = mismatches == 0;
+  std::printf("cross-check: %zu requests x 2 passes, %lld mismatches — "
+              "tier-2 hits %llu, tier-1 hits %llu, misses %llu\n",
+              requests.size(), mismatches,
+              static_cast<unsigned long long>(check_stats.full_hits),
+              static_cast<unsigned long long>(check_stats.structure_hits),
+              static_cast<unsigned long long>(check_stats.structure_misses));
+
+  // Phase 2 — throughput, steady state. One untimed pass per engine fills
+  // the plan cache (cache-on) and warms the similarity/mapping caches
+  // (both); its cost is reported as warmup_*_seconds.
+  core::SchemaFreeEngine serve_on(db.get());
+  core::SchemaFreeEngine serve_off(db.get(), off_cfg);
+  auto warmup = [&](const core::SchemaFreeEngine& engine) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const std::string& request : requests) {
+      (void)engine.Translate(request, k);
+    }
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+  const double warmup_on_seconds = warmup(serve_on);
+  const double warmup_off_seconds = warmup(serve_off);
+
+  ServeResult on = RunServe(serve_on, requests, threads, on_requests, zipf_s,
+                            seed, k);
+  ServeResult off = RunServe(serve_off, requests, threads, off_requests,
+                             zipf_s, seed, k);
+
+  const double on_qps = on.ok / on.wall_seconds;
+  const double off_qps = off.ok / off.wall_seconds;
+  const double speedup = off_qps > 0 ? on_qps / off_qps : 0.0;
+  const core::PlanCacheStats serve_stats = serve_on.plan_cache_stats();
+
+  std::printf("\n%-10s %9s %9s %12s %12s %12s\n", "mode", "calls", "errors",
+              "wall s", "q/s", "p99 ms");
+  std::printf("%-10s %9lld %9lld %12.3f %12.1f %12.3f\n", "cache on",
+              on.ok + on.errors, on.errors, on.wall_seconds, on_qps,
+              1e3 * obs::BenchReport::Percentile(on.latencies_seconds, 99));
+  std::printf("%-10s %9lld %9lld %12.3f %12.1f %12.3f\n", "cache off",
+              off.ok + off.errors, off.errors, off.wall_seconds, off_qps,
+              1e3 * obs::BenchReport::Percentile(off.latencies_seconds, 99));
+  std::printf("\nspeedup (cache on / off): %.1fx — acceptance >= 10x: %s\n",
+              speedup, speedup >= 10.0 ? "PASS" : "MISS");
+  std::printf("translations identical (cache on vs off): %s\n",
+              identical ? "yes" : "NO — BUG");
+  std::printf("plan cache: %llu tier-2 hits, %llu tier-1 hits, %llu misses, "
+              "%zu entries\n",
+              static_cast<unsigned long long>(serve_stats.full_hits),
+              static_cast<unsigned long long>(serve_stats.structure_hits),
+              static_cast<unsigned long long>(serve_stats.structure_misses),
+              serve_stats.entries);
+
+  report.SetMetric("cache_on_queries_per_second", on_qps);
+  report.SetMetric("cache_off_queries_per_second", off_qps);
+  report.SetMetric("speedup_cache_on_vs_off", speedup);
+  report.SetMetric("translations_identical", identical ? 1 : 0);
+  report.SetMetric("cache_on_errors", static_cast<double>(on.errors));
+  report.SetMetric("cache_off_errors", static_cast<double>(off.errors));
+  report.SetMetric("warmup_on_seconds", warmup_on_seconds);
+  report.SetMetric("warmup_off_seconds", warmup_off_seconds);
+  report.SetMetric("tier2_hits", static_cast<double>(serve_stats.full_hits));
+  report.SetMetric("tier1_hits",
+                   static_cast<double>(serve_stats.structure_hits));
+  report.SetMetric("plan_misses",
+                   static_cast<double>(serve_stats.structure_misses));
+  report.SetMetric("plan_entries", static_cast<double>(serve_stats.entries));
+  report.SetLatencyMetrics("cache_on_translate_seconds",
+                           std::move(on.latencies_seconds));
+  report.SetLatencyMetrics("cache_off_translate_seconds",
+                           std::move(off.latencies_seconds));
+  RecordRunMetadata(&report, *db);
+  (void)report.WriteFile();
+  return identical ? 0 : 1;
+}

@@ -114,6 +114,20 @@ struct EngineConfig {
   /// or not at all, so LRU bookkeeping buys nothing here.
   size_t mapping_cache_capacity = 1 << 12;
 
+  // --- Cross-query translation plan cache (serving; see README) ---
+
+  /// Enables the two-tier translation plan cache. Tier 2 caches the complete
+  /// ranked translation list per exact statement text, stamped with the
+  /// database's data epoch; tier 1 caches per canonical (literal-stripped)
+  /// structure and condition-probe signature, so it survives data changes and
+  /// serves the same statement shape with different literal values. Hits are
+  /// bit-identical to cache-off translation. EXPLAIN calls always bypass the
+  /// cache (they need full provenance); errors are never cached.
+  bool plan_cache_enabled = true;
+  /// Capacity (entries) shared by both tiers and the per-structure probe
+  /// plans; LRU per shard. 0 also disables the cache.
+  size_t plan_cache_capacity = 1 << 10;
+
   // --- Observability (src/obs) ---
 
   /// Metrics registry the engine publishes into (translate counters, phase

@@ -1,14 +1,18 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <optional>
 
 #include "common/macros.h"
 #include "common/strings.h"
+#include "core/plan_cache.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "sql/canonicalize.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 
@@ -76,6 +80,30 @@ struct PipelineMetrics {
     like_verified = reg->GetCounter(
         "sfsql_like_candidates_verified_total",
         "Distinct strings LikeMatch-verified after trigram pre-filtering");
+    static constexpr const char* kPlanLookupHelp =
+        "Plan-cache lookups by tier and result";
+    plan_full_hits =
+        reg->GetCounter("sfsql_plan_cache_lookups_total", kPlanLookupHelp,
+                        obs::Labels{{"tier", "full"}, {"result", "hit"}});
+    plan_full_misses =
+        reg->GetCounter("sfsql_plan_cache_lookups_total", kPlanLookupHelp,
+                        obs::Labels{{"tier", "full"}, {"result", "miss"}});
+    plan_structure_hits =
+        reg->GetCounter("sfsql_plan_cache_lookups_total", kPlanLookupHelp,
+                        obs::Labels{{"tier", "structure"}, {"result", "hit"}});
+    plan_structure_misses =
+        reg->GetCounter("sfsql_plan_cache_lookups_total", kPlanLookupHelp,
+                        obs::Labels{{"tier", "structure"}, {"result", "miss"}});
+    static constexpr const char* kPlanEvictionHelp =
+        "Plan-cache entries dropped, by reason";
+    plan_evictions_lru =
+        reg->GetCounter("sfsql_plan_cache_evictions_total", kPlanEvictionHelp,
+                        obs::Labels{{"reason", "lru"}});
+    plan_evictions_stale =
+        reg->GetCounter("sfsql_plan_cache_evictions_total", kPlanEvictionHelp,
+                        obs::Labels{{"reason", "stale_epoch"}});
+    plan_entries =
+        reg->GetGauge("sfsql_plan_cache_entries", "Plan-cache occupancy");
   }
 
   obs::Counter* translate_total;
@@ -98,6 +126,13 @@ struct PipelineMetrics {
   obs::Counter* index_builds;
   obs::Gauge* index_build_seconds;
   obs::Counter* like_verified;
+  obs::Counter* plan_full_hits;
+  obs::Counter* plan_full_misses;
+  obs::Counter* plan_structure_hits;
+  obs::Counter* plan_structure_misses;
+  obs::Counter* plan_evictions_lru;
+  obs::Counter* plan_evictions_stale;
+  obs::Gauge* plan_entries;
 };
 
 namespace {
@@ -112,6 +147,13 @@ NetworkSummary SummarizeNetwork(const ExtendedViewGraph& graph,
   std::sort(out.relations.begin(), out.relations.end());
   std::sort(out.fk_edges.begin(), out.fk_edges.end());
   return out;
+}
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
 }
 
 /// Walks every expression of a block (not descending into subqueries) and
@@ -163,22 +205,40 @@ SchemaFreeEngine::SchemaFreeEngine(const storage::Database* db,
       name_index_(SchemaNames(db->catalog()), config.sim.qgram),
       sim_cache_(config.similarity_cache_capacity),
       mapper_(db, config.sim, &name_index_, &sim_cache_),
-      views_(&db->catalog()) {}
+      views_(&db->catalog()),
+      plan_cache_(config.plan_cache_enabled && config.plan_cache_capacity > 0
+                      ? std::make_unique<PlanCache>(config.plan_cache_capacity)
+                      : nullptr) {}
 
 SchemaFreeEngine::~SchemaFreeEngine() = default;
+
+void SchemaFreeEngine::ClearViews() {
+  views_.Clear();
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
+}
+
+PlanCacheStats SchemaFreeEngine::plan_cache_stats() const {
+  return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
 
 MappingSet SchemaFreeEngine::CachedMap(const RelationTree& rt) const {
   if (config_.mapping_cache_capacity == 0) return mapper_.Map(rt);
   const std::string key = rt.ToString();
+  // Stamp entries with the epoch read *before* mapping: if an insert lands
+  // while Map runs, the entry is already stale at birth and the stamp check
+  // below rejects it, instead of serving probe answers from a mix of states.
+  const uint64_t epoch = db_->epoch();
   {
     std::lock_guard<std::mutex> lock(map_cache_mu_);
     auto it = map_cache_.find(key);
-    if (it != map_cache_.end()) return it->second;
+    if (it != map_cache_.end() && it->second.first == epoch) {
+      return it->second.second;
+    }
   }
   MappingSet ms = mapper_.Map(rt);
   std::lock_guard<std::mutex> lock(map_cache_mu_);
   if (map_cache_.size() >= config_.mapping_cache_capacity) map_cache_.clear();
-  map_cache_.emplace(key, ms);
+  map_cache_.insert_or_assign(key, std::make_pair(epoch, ms));
   return ms;
 }
 
@@ -339,10 +399,13 @@ Status SchemaFreeEngine::AddViewFromSql(std::string_view full_sql) {
     if (view.status().code() == StatusCode::kNotFound) return Status::OK();
     return view.status();
   }
-  return views_.AddView(std::move(*view)).status();
+  return AddView(std::move(*view));
 }
 
 Status SchemaFreeEngine::AddView(View view) {
+  // A new view reshapes the extended view graph and with it every ranked
+  // translation list, so the plan cache starts over.
+  if (plan_cache_ != nullptr) plan_cache_->Clear();
   return views_.AddView(std::move(view)).status();
 }
 
@@ -680,6 +743,9 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateExplained(
 Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     std::string_view sfsql, int k, TranslateStats* stats,
     TranslationExplain* explain) const {
+  // EXPLAIN callers get full pipeline provenance, so the plan cache is
+  // bypassed for them (read-only peeks fill the EXPLAIN `cache` block).
+  const bool caller_explain = explain != nullptr;
   const bool slow_armed = config_.slow_translate_threshold_ms > 0.0;
   // An armed slow log needs the provenance of *every* call (whether a call is
   // slow is only known at the end); metrics and EXPLAIN both need the stats.
@@ -702,19 +768,109 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   text::SimilarityCache::Stats before;
   storage::ColumnIndexStats idx_before;
   SatisfiabilityMemoStats memo_before;
+  PlanCacheStats plan_before;
+  const bool plan_metrics = metrics_ != nullptr && plan_cache_ != nullptr;
   if (timing) {
     before = sim_cache_.stats();
     idx_before = db_->column_index_stats();
     memo_before = mapper_.memo_stats();
   }
+  if (plan_metrics) plan_before = plan_cache_->stats();
   const uint64_t start_nanos = timing ? clock->NowNanos() : 0;
 
   PhaseTimer timer(config_.clock, timing);
-  Result<sql::SelectPtr> stmt = sql::ParseSelect(sfsql);
-  if (timing) timer.Lap(&stats->parse_seconds);
-  Result<std::vector<Translation>> out =
-      stmt.ok() ? TranslateStatement(**stmt, {}, k, stats, explain)
-                : Result<std::vector<Translation>>(stmt.status());
+
+  // --- Plan-cache fast path ---
+  PlanCache* cache = (plan_cache_ != nullptr && !caller_explain && k > 0)
+                         ? plan_cache_.get()
+                         : nullptr;
+  // The epoch observed before any lookup or probe. Entries are only read and
+  // written against this single value; if the data moves mid-call, the call
+  // still answers (like a cache-off run racing the insert would) but leaves
+  // the cache untouched.
+  const uint64_t epoch0 = db_->epoch();
+  std::string full_key;
+  int served_tier = 0;  // 2 / 1 / 0 = pipeline ran (or cache off / bypassed)
+  Result<std::vector<Translation>> out = std::vector<Translation>{};
+  sql::CanonicalQuery canonical;
+  bool have_canonical = false;
+  std::string canonical_key;
+  std::string signature;
+  std::shared_ptr<const ProbePlan> probe_plan;
+
+  if (cache != nullptr) {
+    full_key = StrCat(k, ':', sfsql);
+    if (std::shared_ptr<const TranslationPlan> plan =
+            cache->GetFull(full_key, epoch0)) {
+      out = MaterializePlan(*plan, nullptr);
+      served_tier = 2;
+    }
+  }
+
+  if (served_tier == 0) {
+    Result<sql::SelectPtr> stmt = sql::ParseSelect(sfsql);
+    if (timing) timer.Lap(&stats->parse_seconds);
+
+    if (stmt.ok() && (cache != nullptr || caller_explain)) {
+      canonical = sql::Canonicalize(**stmt);
+      have_canonical = true;
+      canonical_key = StrCat(k, ':', canonical.text);
+    }
+    if (cache != nullptr && have_canonical) {
+      probe_plan = cache->GetProbePlan(canonical_key);
+      if (probe_plan != nullptr) {
+        signature = ComputeProbeSignature(*probe_plan, canonical.literals,
+                                          *db_, mapper_);
+        if (std::shared_ptr<const TranslationPlan> structure =
+                cache->GetStructure(canonical_key, signature)) {
+          // Tier-1 hit: substitute this query's literals into the cached
+          // structure. Promote the exact text to tier 2 unless the data
+          // moved while the signature was being probed.
+          std::shared_ptr<const TranslationPlan> full =
+              SubstitutePlan(*structure, canonical.literals);
+          if (db_->epoch() == epoch0) cache->PutFull(full_key, epoch0, full);
+          out = MaterializePlan(*full, nullptr);
+          served_tier = 1;
+        }
+      }
+    }
+
+    if (served_tier == 0) {
+      out = stmt.ok() ? TranslateStatement(**stmt, {}, k, stats, explain)
+                      : Result<std::vector<Translation>>(stmt.status());
+      if (cache != nullptr && out.ok() && have_canonical &&
+          db_->epoch() == epoch0) {
+        // Fill both tiers. Skipped when the epoch moved during the pipeline —
+        // such a run may mix pre- and post-insert probe answers and is not
+        // guaranteed valid for any single epoch. Errors are never cached.
+        std::shared_ptr<const TranslationPlan> plan =
+            BuildTranslationPlan(*out, canonical.literals);
+        cache->PutFull(full_key, epoch0, plan);
+        if (probe_plan == nullptr) {
+          if (std::optional<ProbePlan> built =
+                  BuildProbePlan(*canonical.statement)) {
+            probe_plan = std::make_shared<const ProbePlan>(std::move(*built));
+            cache->PutProbePlan(canonical_key, probe_plan);
+          }
+        }
+        if (probe_plan != nullptr) {
+          if (signature.empty()) {
+            signature = ComputeProbeSignature(*probe_plan, canonical.literals,
+                                              *db_, mapper_);
+          }
+          if (db_->epoch() == epoch0) {
+            cache->PutStructure(canonical_key, signature, plan);
+          }
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr && cache != nullptr) {
+    stats->plan_tier2_hits = served_tier == 2 ? 1 : 0;
+    stats->plan_tier1_hits = served_tier == 1 ? 1 : 0;
+    stats->plan_misses = served_tier == 0 ? 1 : 0;
+  }
 
   double total_seconds = 0.0;
   long long evictions_delta = 0;
@@ -744,6 +900,28 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     stats->like_candidates_verified =
         static_cast<long long>(idx_after.like_candidates_verified -
                                idx_before.like_candidates_verified);
+  }
+  if (explain != nullptr) {
+    explain->plan_cache_enabled = plan_cache_ != nullptr;
+    if (plan_cache_ == nullptr) {
+      explain->plan_cache_outcome = "disabled";
+    } else if (caller_explain) {
+      explain->plan_cache_outcome = "bypass";
+    } else {
+      explain->plan_cache_outcome = served_tier == 2   ? "tier2_hit"
+                                    : served_tier == 1 ? "tier1_hit"
+                                                       : "miss";
+    }
+    if (have_canonical) {
+      explain->canonical_text = canonical.text;
+      explain->canonical_fingerprint = HexFingerprint(canonical.fingerprint);
+      if (plan_cache_ != nullptr && caller_explain) {
+        explain->plan_cache_tier2_present =
+            plan_cache_->PeekFull(StrCat(k, ':', sfsql), epoch0) != nullptr;
+        explain->plan_cache_probe_plan_present =
+            plan_cache_->PeekProbePlan(canonical_key) != nullptr;
+      }
+    }
   }
   if (explain != nullptr) {
     explain->ok = out.ok();
@@ -791,9 +969,26 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     }
     m.like_verified->Increment(
         static_cast<uint64_t>(stats->like_candidates_verified));
+    if (plan_metrics) {
+      const PlanCacheStats plan_after = plan_cache_->stats();
+      m.plan_full_hits->Increment(plan_after.full_hits - plan_before.full_hits);
+      m.plan_full_misses->Increment(plan_after.full_misses -
+                                    plan_before.full_misses);
+      m.plan_structure_hits->Increment(plan_after.structure_hits -
+                                       plan_before.structure_hits);
+      m.plan_structure_misses->Increment(plan_after.structure_misses -
+                                         plan_before.structure_misses);
+      m.plan_evictions_lru->Increment(plan_after.lru_evictions -
+                                      plan_before.lru_evictions);
+      m.plan_evictions_stale->Increment(plan_after.stale_evictions -
+                                        plan_before.stale_evictions);
+      m.plan_entries->Set(static_cast<double>(plan_after.entries));
+    }
   }
 
-  if (slow_armed &&
+  // Cache hits skip the slow log: they carry no pipeline provenance, and a
+  // served-from-cache call is never the one worth debugging.
+  if (slow_armed && served_tier == 0 &&
       total_seconds * 1e3 >= config_.slow_translate_threshold_ms) {
     if (metrics_ != nullptr) metrics_->slow_translations->Increment();
     std::string dump =

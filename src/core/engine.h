@@ -1,10 +1,12 @@
 #ifndef SFSQL_CORE_ENGINE_H_
 #define SFSQL_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -24,6 +26,9 @@ namespace sfsql::core {
 /// only when EngineConfig::metrics is set, so a metrics-off engine carries a
 /// null pointer and runs zero instrumentation code.
 struct PipelineMetrics;
+
+class PlanCache;        // core/plan_cache.h
+struct PlanCacheStats;  // core/plan_cache.h
 
 /// Structural summary of the join network behind a translation; the
 /// effectiveness harness compares this against the gold query's join tree.
@@ -72,6 +77,14 @@ struct TranslateStats {
   double index_build_seconds = 0.0; ///< wall time of those builds
   long long like_candidates_verified = 0;  ///< LikeMatch calls surviving the
                                            ///< trigram pre-filter
+
+  // Plan-cache outcome of this call (see README "Serving & plan cache"). At
+  // most one of the three is 1; all stay 0 when the cache is disabled or
+  // bypassed (EXPLAIN calls).
+  long long plan_tier2_hits = 0;  ///< served verbatim: exact text + data epoch
+  long long plan_tier1_hits = 0;  ///< served by literal substitution into a
+                                  ///< cached structure (probe signature match)
+  long long plan_misses = 0;      ///< cache enabled but the pipeline ran
 };
 
 /// The end-to-end Schema-free SQL system (Fig. 3): parser → relation tree
@@ -98,12 +111,15 @@ class SchemaFreeEngine {
   /// Registers a hand-built view.
   Status AddView(View view);
 
-  void ClearViews() { views_.Clear(); }
+  void ClearViews();
   const ViewGraph& view_graph() const { return views_; }
   const RelationTreeMapper& mapper() const { return mapper_; }
   /// The engine's name-similarity memo (for its hit/miss/eviction counters; a
   /// capacity of 0 in EngineConfig makes it a counting pass-through).
   const text::SimilarityCache& similarity_cache() const { return sim_cache_; }
+  /// Lookup/eviction/occupancy counters of the translation plan cache
+  /// (all-zero when EngineConfig::plan_cache_enabled is false).
+  PlanCacheStats plan_cache_stats() const;
   /// Precomputed profiles of every relation and attribute name in the catalog.
   const text::SchemaNameIndex& name_index() const { return name_index_; }
 
@@ -200,9 +216,15 @@ class SchemaFreeEngine {
   RelationTreeMapper mapper_;
   ViewGraph views_;
   /// Memoized MAP(rt) results (see CachedMap). Guarded by map_cache_mu_ so a
-  /// const engine stays safe to Translate from several threads.
+  /// const engine stays safe to Translate from several threads. Entries carry
+  /// the database epoch at compute time: mapping scores read the stored data
+  /// through the satisfiability probes, so a data change invalidates them.
   mutable std::mutex map_cache_mu_;
-  mutable std::unordered_map<std::string, MappingSet> map_cache_;
+  mutable std::unordered_map<std::string, std::pair<uint64_t, MappingSet>>
+      map_cache_;
+  /// Two-tier translation plan cache (null when disabled by config). Cleared
+  /// whenever the view set changes — view weights shape every ranked list.
+  std::unique_ptr<PlanCache> plan_cache_;
 };
 
 }  // namespace sfsql::core

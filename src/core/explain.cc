@@ -36,6 +36,16 @@ std::string TranslationExplain::RenderTree() const {
          Ms(generate_seconds) + ", compose " + Ms(compose_seconds) + "\n";
   out += "├─ similarity cache: " + std::to_string(cache_hits) + " hit(s), " +
          std::to_string(cache_misses) + " miss(es)\n";
+  out += "├─ plan cache: " +
+         (plan_cache_outcome.empty() ? std::string("disabled")
+                                     : plan_cache_outcome);
+  if (plan_cache_enabled) {
+    out += ", fingerprint " + canonical_fingerprint + ", tier2 " +
+           (plan_cache_tier2_present ? "present" : "absent") +
+           ", structure " +
+           (plan_cache_probe_plan_present ? "known" : "unknown");
+  }
+  out += "\n";
   out += "├─ satisfiability: " + std::to_string(sat_index_probes) +
          " index probe(s), " + std::to_string(sat_scan_probes) +
          " scan probe(s), " + std::to_string(sat_memo_hits) +
@@ -114,6 +124,18 @@ std::string TranslationExplain::ToJson(bool pretty,
   w.BeginObject();
   w.KV("hits", cache_hits);
   w.KV("misses", cache_misses);
+  w.EndObject();
+
+  w.Key("cache");
+  w.BeginObject();
+  w.KV("enabled", plan_cache_enabled);
+  w.KV("outcome",
+       plan_cache_outcome.empty() ? std::string("disabled")
+                                  : plan_cache_outcome);
+  w.KV("canonical", canonical_text);
+  w.KV("fingerprint", canonical_fingerprint);
+  w.KV("tier2_present", plan_cache_tier2_present);
+  w.KV("probe_plan_present", plan_cache_probe_plan_present);
   w.EndObject();
 
   w.Key("satisfiability");

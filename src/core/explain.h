@@ -78,6 +78,16 @@ struct TranslationExplain {
   long long cache_hits = 0;
   long long cache_misses = 0;
 
+  // Plan-cache provenance (the `cache` block). EXPLAIN calls always bypass
+  // the cache, so these describe what a plain Translate of the same statement
+  // would have seen, probed read-only (no counters, no LRU promotion).
+  bool plan_cache_enabled = false;
+  std::string plan_cache_outcome;    ///< "disabled" | "bypass"
+  std::string canonical_text;        ///< literal-stripped canonical form
+  std::string canonical_fingerprint; ///< 64-bit FNV-1a of the text, hex
+  bool plan_cache_tier2_present = false;  ///< exact text + epoch cached
+  bool plan_cache_probe_plan_present = false;  ///< structure known to tier 1
+
   // Condition-satisfiability probe counters of the call (§4.3 layer).
   // Integer counts only — the build wall time lives in TranslateStats, so the
   // EXPLAIN document stays deterministic under a fake clock.

@@ -114,7 +114,7 @@ bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
   // Condition::ToString round-trips op, values (typed) and LIKE escapes, so
   // equal keys imply equal probes.
   std::string key = StrCat(relation_id, "#", attr_index, "#", cond.ToString());
-  const size_t stamp = db_->table(relation_id).num_rows();
+  const size_t stamp = db_->NumRows(relation_id);
   MemoShard& shard = memo_[std::hash<std::string>{}(key) % kMemoShards];
   {
     std::lock_guard<std::mutex> lock(shard.mu);

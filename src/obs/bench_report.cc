@@ -1,6 +1,7 @@
 #include "obs/bench_report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/strings.h"
@@ -28,6 +29,15 @@ void BenchReport::SetConfig(std::string_view key, long long value) {
 }
 
 void BenchReport::SetMetric(std::string_view key, double value) {
+  // Last write wins: setting the same key twice (e.g. a per-scale loop
+  // followed by an acceptance summary) must not emit duplicate JSON members.
+  for (Entry& e : metrics_) {
+    if (e.key == key) {
+      e.numeric = true;
+      e.number = value;
+      return;
+    }
+  }
   Entry e;
   e.key = std::string(key);
   e.numeric = true;
@@ -62,6 +72,25 @@ void BenchReport::AddRow(std::string_view table, Row row) {
     }
   }
   tables_.emplace_back(std::string(table), std::vector<Row>{std::move(row)});
+}
+
+double BenchReport::Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  if (p <= 0.0) return *std::min_element(values.begin(), values.end());
+  // Nearest rank: the smallest value with at least p% of the sample at or
+  // below it.
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values.size())));
+  size_t idx = std::min(values.size() - 1, rank == 0 ? 0 : rank - 1);
+  std::nth_element(values.begin(), values.begin() + idx, values.end());
+  return values[idx];
+}
+
+void BenchReport::SetLatencyMetrics(std::string_view prefix,
+                                    std::vector<double> values) {
+  SetMetric(StrCat(prefix, "_p50"), Percentile(values, 50.0));
+  SetMetric(StrCat(prefix, "_p95"), Percentile(values, 95.0));
+  SetMetric(StrCat(prefix, "_p99"), Percentile(std::move(values), 99.0));
 }
 
 double BenchReport::Median(std::vector<double> values) {

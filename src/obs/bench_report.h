@@ -60,6 +60,17 @@ class BenchReport {
   /// files report, robust against warm-up outliers.
   static double Median(std::vector<double> values);
 
+  /// Nearest-rank percentile of `values` (0 when empty); `p` in [0, 100].
+  /// Percentile(v, 50) is the upper median, so for odd sizes it matches
+  /// Median exactly.
+  static double Percentile(std::vector<double> values, double p);
+
+  /// Emits the standard latency summary of a per-call sample as the metrics
+  /// `<prefix>_p50`, `<prefix>_p95`, and `<prefix>_p99`. Every bench reports
+  /// this triple for its primary latency distribution, and
+  /// tools/validate_bench_json enforces presence and p50 <= p95 <= p99.
+  void SetLatencyMetrics(std::string_view prefix, std::vector<double> values);
+
   std::string ToJson(bool pretty = true) const;
 
   /// Writes `BENCH_<name>.json` into `directory` (default: the working

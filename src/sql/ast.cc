@@ -138,6 +138,78 @@ SelectPtr SelectStatement::Clone() const {
   return s;
 }
 
+bool ExprsEqual(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == ExprKind::kLiteral &&
+      (a.literal.type() != b.literal.type() || !a.literal.Equals(b.literal))) {
+    return false;
+  }
+  if (a.relation != b.relation || a.attribute != b.attribute) return false;
+  if (a.uop != b.uop || a.bop != b.bop || a.like_escape != b.like_escape) {
+    return false;
+  }
+  if (a.function_name != b.function_name || a.distinct != b.distinct ||
+      a.negated != b.negated) {
+    return false;
+  }
+  auto both_or_neither = [](const auto& x, const auto& y) {
+    return (x == nullptr) == (y == nullptr);
+  };
+  if (!both_or_neither(a.lhs, b.lhs) || !both_or_neither(a.rhs, b.rhs) ||
+      !both_or_neither(a.subquery, b.subquery)) {
+    return false;
+  }
+  if (a.lhs && !ExprsEqual(*a.lhs, *b.lhs)) return false;
+  if (a.rhs && !ExprsEqual(*a.rhs, *b.rhs)) return false;
+  if (a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!ExprsEqual(*a.args[i], *b.args[i])) return false;
+  }
+  if (a.subquery && !StatementsEqual(*a.subquery, *b.subquery)) return false;
+  return true;
+}
+
+bool StatementsEqual(const SelectStatement& a, const SelectStatement& b) {
+  if (a.distinct != b.distinct || a.limit != b.limit) return false;
+  if (a.select_items.size() != b.select_items.size() ||
+      a.from.size() != b.from.size() ||
+      a.group_by.size() != b.group_by.size() ||
+      a.order_by.size() != b.order_by.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.select_items.size(); ++i) {
+    if (a.select_items[i].alias != b.select_items[i].alias ||
+        !ExprsEqual(*a.select_items[i].expr, *b.select_items[i].expr)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.from.size(); ++i) {
+    if (a.from[i].relation != b.from[i].relation ||
+        a.from[i].alias != b.from[i].alias) {
+      return false;
+    }
+  }
+  auto both_or_neither = [](const ExprPtr& x, const ExprPtr& y) {
+    return (x == nullptr) == (y == nullptr);
+  };
+  if (!both_or_neither(a.where, b.where) ||
+      !both_or_neither(a.having, b.having)) {
+    return false;
+  }
+  if (a.where && !ExprsEqual(*a.where, *b.where)) return false;
+  for (size_t i = 0; i < a.group_by.size(); ++i) {
+    if (!ExprsEqual(*a.group_by[i], *b.group_by[i])) return false;
+  }
+  if (a.having && !ExprsEqual(*a.having, *b.having)) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].ascending != b.order_by[i].ascending ||
+        !ExprsEqual(*a.order_by[i].expr, *b.order_by[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void ForEachTopLevelExpr(SelectStatement& stmt,
                          const std::function<void(ExprPtr&)>& fn) {
   for (SelectItem& item : stmt.select_items) fn(item.expr);

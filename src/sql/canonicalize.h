@@ -1,0 +1,73 @@
+#ifndef SFSQL_SQL_CANONICALIZE_H_
+#define SFSQL_SQL_CANONICALIZE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/value.h"
+
+namespace sfsql::sql {
+
+/// The literal-stripped canonical form of a (schema-free) SELECT statement —
+/// the structural identity the cross-query plan cache keys on.
+///
+/// Canonicalization deep-clones the statement and replaces every string, int,
+/// and double literal (subqueries included, in deterministic walk order) with a
+/// slot-numbered placeholder of the same type:
+///   string  -> '$<slot>'
+///   int     -> <slot>
+///   double  -> <slot>.5
+/// so two statements that differ only in those literal values canonicalize to
+/// the same AST and the same printed text. Bool and NULL literals are left in
+/// place: they form a two- resp. one-value domain, so stripping them would buy
+/// no sharing while costing slot bookkeeping. Identifier spelling (case,
+/// aliases, vagueness markers) is preserved verbatim — printed SQL echoes the
+/// user's casing, and a cache hit must reproduce the output bit-identically.
+/// Whitespace and redundant parentheses are normalized implicitly because the
+/// canonical text is printed from the AST, not copied from the input.
+///
+/// The placeholder values round-trip through the printer and parser:
+/// Print(canonical) re-parses to an AST equal to `statement` (guarded by the
+/// workload round-trip test, so printer drift cannot silently split or alias
+/// cache keys).
+struct CanonicalQuery {
+  SelectPtr statement;  ///< literal-stripped deep clone
+  std::string text;     ///< PrintSelect(*statement) — the cache key text
+  uint64_t fingerprint = 0;  ///< FNV-1a 64 of `text` (shard selection)
+  /// The stripped literal values, by slot. Slot i corresponds to the i-th
+  /// slotted literal in walk order (ForEachLiteral).
+  std::vector<storage::Value> literals;
+};
+
+/// Canonicalizes `stmt` (which is not modified).
+CanonicalQuery Canonicalize(const SelectStatement& stmt);
+
+/// Calls `fn` on every kLiteral expression of the statement in the
+/// deterministic canonicalization walk order: select items, where, group by,
+/// having, order by — recursing into lhs/rhs/args and subqueries in place.
+/// This is the order CanonicalQuery::literals is numbered in; the plan cache
+/// replays it to substitute fresh literals into a cached translation.
+void ForEachLiteral(SelectStatement& stmt,
+                    const std::function<void(Expr&)>& fn);
+void ForEachLiteral(const SelectStatement& stmt,
+                    const std::function<void(const Expr&)>& fn);
+
+/// FNV-1a 64-bit hash (the fingerprint hasher; exposed for tests and for
+/// sharding other string keys).
+uint64_t FingerprintBytes(std::string_view bytes);
+
+/// True if canonical slot placeholder `v` decodes to slot `slot` of type
+/// matching `v` — the inverse of the placeholder encoding above. Used when
+/// deriving probe plans from a canonical AST: every slotted literal in a
+/// canonical statement satisfies DecodeSlot, everything else (bools, NULLs,
+/// structural values such as LIKE escape characters) does not.
+/// Returns -1 when `v` is not a slot placeholder.
+int DecodeSlot(const storage::Value& v);
+
+}  // namespace sfsql::sql
+
+#endif  // SFSQL_SQL_CANONICALIZE_H_

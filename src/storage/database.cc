@@ -46,7 +46,11 @@ Status Database::Insert(int relation_id, Row row) {
     return Status::InvalidArgument("insert into unknown relation");
   }
   SFSQL_RETURN_IF_ERROR(ValidateRow(catalog_.relation(relation_id), row));
-  tables_[relation_id].Append(std::move(row));
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    tables_[relation_id].Append(std::move(row));
+  }
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -55,19 +59,34 @@ Status Database::InsertRows(int relation_id, std::vector<Row> rows) {
     return Status::InvalidArgument("insert into unknown relation");
   }
   const catalog::Relation& rel = catalog_.relation(relation_id);
-  Table& table = tables_[relation_id];
-  table.Reserve(table.num_rows() + rows.size());
-  for (Row& row : rows) {
-    SFSQL_RETURN_IF_ERROR(ValidateRow(rel, row));
-    table.Append(std::move(row));
+  Status status = Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> lock(data_mu_);
+    Table& table = tables_[relation_id];
+    table.Reserve(table.num_rows() + rows.size());
+    for (Row& row : rows) {
+      status = ValidateRow(rel, row);
+      if (!status.ok()) break;
+      table.Append(std::move(row));
+    }
   }
-  return Status::OK();
+  // The epoch moves even on a failed batch: rows before the first invalid one
+  // stayed inserted, so readers must still observe a data change.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return status;
 }
 
 size_t Database::TotalRows() const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
   size_t total = 0;
   for (const Table& t : tables_) total += t.num_rows();
   return total;
+}
+
+size_t Database::NumRows(int relation_id) const {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) return 0;
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return tables_[relation_id].num_rows();
 }
 
 bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
@@ -79,6 +98,9 @@ bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
     return false;
   }
   if (value.is_null()) return false;  // NULL satisfies no comparison
+  // Shared-lock the row store: a probe may scan rows or build an index over
+  // them, and a concurrent Insert reallocates the row vector.
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
   if (!use_index) {
     indexes_.CountScanProbe();
     return AnyTupleSatisfiesScan(relation_id, attr_index, op, value);
@@ -121,6 +143,7 @@ bool Database::AnyStringMatchesLike(int relation_id, int attr_index,
   if (attr_index < 0 || attr_index >= static_cast<int>(rel.attributes.size())) {
     return false;
   }
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
   if (!use_index) {
     indexes_.CountScanProbe();
     for (const Row& row : tables_[relation_id].rows()) {

@@ -1,7 +1,10 @@
 #ifndef SFSQL_STORAGE_DATABASE_H_
 #define SFSQL_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <string_view>
 #include <vector>
 
@@ -40,9 +43,32 @@ class Database {
   /// Takes ownership of the catalog and creates an empty table per relation.
   explicit Database(catalog::Catalog catalog);
 
+  // Movable (test fixtures build databases by value). The mutex and the
+  // atomic epoch block the defaults; a move already requires that no reader
+  // or writer is concurrent, so a fresh mutex and a plain epoch copy are
+  // safe — same reasoning as ColumnIndexManager's moves.
+  Database(Database&& other) noexcept
+      : catalog_(std::move(other.catalog_)),
+        tables_(std::move(other.tables_)),
+        indexes_(std::move(other.indexes_)),
+        epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
+  Database& operator=(Database&& other) noexcept {
+    catalog_ = std::move(other.catalog_);
+    tables_ = std::move(other.tables_);
+    indexes_ = std::move(other.indexes_);
+    epoch_ = other.epoch_.load(std::memory_order_relaxed);
+    return *this;
+  }
+
   const catalog::Catalog& catalog() const { return catalog_; }
 
   const Table& table(int relation_id) const { return tables_[relation_id]; }
+
+  /// Row count of one relation, read under the data lock — safe against
+  /// concurrent Insert (table(r).num_rows() without the lock races with the
+  /// row vector growing). The mapper's satisfiability memo uses this as its
+  /// per-relation freshness stamp.
+  size_t NumRows(int relation_id) const;
 
   /// Appends `row` to relation `relation_id` after checking arity and that each
   /// value is NULL or matches the declared attribute type. Appending
@@ -57,6 +83,13 @@ class Database {
 
   /// Total tuples across all relations.
   size_t TotalRows() const;
+
+  /// Monotonic data-change stamp: bumped once per successful (or partially
+  /// successful) Insert / InsertRows call. The catalog is immutable after
+  /// construction, so this stamp versions everything a translation can read
+  /// from the database. The plan cache stamps full (tier-2) entries with it;
+  /// a mismatch invalidates the entry.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
   /// True if some tuple's `attr` value satisfies `op value` (used by the mapper's
   /// (m+1)/(n+1) condition factor). `op` is one of "=", "<>", "<", "<=", ">", ">=".
@@ -94,6 +127,13 @@ class Database {
   /// (a logically const read) may build, and ColumnIndexManager is internally
   /// synchronized for concurrent readers.
   mutable ColumnIndexManager indexes_;
+  /// Guards the row stores against concurrent mutation: inserts take it
+  /// exclusively, satisfiability probes (which may read rows to build an
+  /// index or to scan) take it shared. Query execution over result rows is a
+  /// separate, coarser concern and is not guarded here — the serving path
+  /// this protects is Translate, which touches rows only through the probes.
+  mutable std::shared_mutex data_mu_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace sfsql::storage

@@ -71,6 +71,14 @@ std::string Value::ToSqlLiteral() const {
     out += "'";
     return out;
   }
+  if (is_double()) {
+    // Keep the literal double-typed on re-parse: a bare "8" would come back
+    // as an int and break the printer/parser round trip the plan cache's
+    // canonical keys rely on.
+    std::string out = ToString();
+    if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+    return out;
+  }
   return ToString();
 }
 

@@ -1,0 +1,53 @@
+#ifndef SFSQL_WORKLOADS_SERVING_H_
+#define SFSQL_WORKLOADS_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace sfsql::workloads {
+
+/// The serving request set: the full movie43 benchmark mix (17 textbook + 6
+/// sophisticated + 30 user variants) expanded to `variants_per_query` literal
+/// variants each. Variant 0 is the original text; variants >= 1 rewrite every
+/// string/int/double literal to a unique value absent from the data
+/// ("zzz_q<q>_v<v>_s<slot>" strings, large negative numbers), so
+///   * each variant is a distinct request (its own tier-2 cache entry), and
+///   * all variants >= 1 of a query share one probe signature (every rewritten
+///     condition is unsatisfiable), so after one of them fills the structure
+///     tier the rest are tier-1 hits served by literal substitution.
+/// Queries whose text fails to re-parse are kept as the original only.
+std::vector<std::string> ServingRequests(int variants_per_query);
+
+/// Zipf(s) sampler over [0, n): P(i) proportional to 1/(i+1)^s. Skewed request
+/// popularity — the standard serving assumption (a few hot queries, a long
+/// tail).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  /// Draws an index from `u` uniform in [0, 1).
+  size_t Sample(double u) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One threaded serving run: `threads` workers share `engine`, each drawing
+/// Zipf-distributed requests (deterministically, from `seed` + worker id) and
+/// translating them at `k`, `total_requests` calls in all (split evenly).
+struct ServeResult {
+  double wall_seconds = 0.0;
+  long long ok = 0;      ///< calls that returned a translation list
+  long long errors = 0;  ///< calls that returned a status
+  std::vector<double> latencies_seconds;  ///< per call, all workers merged
+};
+ServeResult RunServe(const core::SchemaFreeEngine& engine,
+                     const std::vector<std::string>& requests, int threads,
+                     long long total_requests, double zipf_s, uint64_t seed,
+                     int k);
+
+}  // namespace sfsql::workloads
+
+#endif  // SFSQL_WORKLOADS_SERVING_H_

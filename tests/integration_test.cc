@@ -6,7 +6,9 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "core/plan_cache.h"
 #include "exec/executor.h"
+#include "storage/database.h"
 #include "workloads/movie43.h"
 #include "workloads/movie6.h"
 
@@ -250,7 +252,12 @@ TEST(DeterminismTest, ThreadAndCacheConfigsDoNotChangeTranslations) {
 
 TEST(TranslateStatsTest, PhaseTimingsAndCacheCountersArePopulated) {
   auto db = workloads::BuildMovie43(42, 60);
-  core::SchemaFreeEngine engine(db.get());
+  // Plan cache off: this test asserts on the *pipeline's* cache counters, so
+  // the repeat call must run the pipeline again instead of being served from
+  // the plan cache.
+  core::EngineConfig config;
+  config.plan_cache_enabled = false;
+  core::SchemaFreeEngine engine(db.get(), config);
   const char* q = "SELECT count(actor?.name?) WHERE director_name? = 'James "
                   "Cameron'";
 
@@ -275,6 +282,94 @@ TEST(TranslateStatsTest, PhaseTimingsAndCacheCountersArePopulated) {
   }
   EXPECT_GT(engine.similarity_cache().stats().hits, 0u);
   EXPECT_GT(engine.name_index().size(), 0u);
+}
+
+TEST(PlanCacheTest, ServedTierCountersAndBitIdenticalResults) {
+  auto db = workloads::BuildMovie43(42, 30);
+  core::SchemaFreeEngine engine(db.get());
+  // Two statements sharing a canonical form; the unique unsatisfiable
+  // strings give them the same probe signature, so the second is a tier-1
+  // (structure) hit served by literal substitution.
+  const char* qa = "SELECT title? WHERE genre? = 'zzz_plan_a'";
+  const char* qb = "SELECT title? WHERE genre? = 'zzz_plan_b'";
+
+  core::TranslateStats cold;
+  auto a1 = engine.Translate(qa, 5, &cold);
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(cold.plan_misses, 1);
+  EXPECT_EQ(cold.plan_tier1_hits, 0);
+  EXPECT_EQ(cold.plan_tier2_hits, 0);
+
+  core::TranslateStats warm;
+  auto a2 = engine.Translate(qa, 5, &warm);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(warm.plan_tier2_hits, 1);
+  EXPECT_EQ(warm.plan_misses, 0);
+
+  core::TranslateStats sibling;
+  auto b1 = engine.Translate(qb, 5, &sibling);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(sibling.plan_tier1_hits, 1) << "same structure + signature";
+  EXPECT_EQ(sibling.plan_misses, 0);
+
+  // Every cached answer bit-identical to a cache-disabled engine, including
+  // rank order and weights.
+  core::EngineConfig plain;
+  plain.plan_cache_enabled = false;
+  core::SchemaFreeEngine off(db.get(), plain);
+  for (const char* q : {qa, qb}) {
+    auto cached = engine.Translate(q, 5);
+    auto fresh = off.Translate(q, 5);
+    ASSERT_TRUE(cached.ok() && fresh.ok());
+    ASSERT_EQ(cached->size(), fresh->size());
+    for (size_t i = 0; i < cached->size(); ++i) {
+      EXPECT_EQ((*cached)[i].sql, (*fresh)[i].sql) << q << " rank " << i;
+      EXPECT_EQ((*cached)[i].weight, (*fresh)[i].weight) << q << " rank " << i;
+      EXPECT_EQ((*cached)[i].network_text, (*fresh)[i].network_text);
+    }
+  }
+
+  const core::PlanCacheStats stats = engine.plan_cache_stats();
+  EXPECT_GE(stats.full_hits, 1u);
+  EXPECT_GE(stats.structure_hits, 1u);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(PlanCacheTest, InsertInvalidatesCachedTranslations) {
+  auto db = workloads::BuildMovie43(42, 30);
+  core::SchemaFreeEngine engine(db.get());
+  const char* q = "SELECT title? WHERE genre? = 'zzz_epoch_probe'";
+
+  auto before = engine.Translate(q, 5);
+  ASSERT_TRUE(before.ok());
+  core::TranslateStats warm;
+  ASSERT_TRUE(engine.Translate(q, 5, &warm).ok());
+  EXPECT_EQ(warm.plan_tier2_hits, 1);
+
+  // The insert makes the condition satisfiable: the epoch bump must prevent
+  // both the tier-2 entry (stale epoch) and the tier-1 entry (different
+  // probe signature) from serving the old answer.
+  const int genre_rel = *db->catalog().FindRelation("Genre");
+  ASSERT_TRUE(db->Insert(genre_rel, {storage::Value::Int(999002),
+                                     storage::Value::String("zzz_epoch_probe"),
+                                     storage::Value()})
+                  .ok());
+
+  core::TranslateStats after_stats;
+  auto after = engine.Translate(q, 5, &after_stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after_stats.plan_tier2_hits, 0);
+
+  core::EngineConfig plain;
+  plain.plan_cache_enabled = false;
+  auto fresh = core::SchemaFreeEngine(db.get(), plain).Translate(q, 5);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_EQ(after->size(), fresh->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].sql, (*fresh)[i].sql) << "rank " << i;
+    EXPECT_EQ((*after)[i].weight, (*fresh)[i].weight) << "rank " << i;
+  }
+  EXPECT_GE(engine.plan_cache_stats().stale_evictions, 1u);
 }
 
 TEST(DeterminismTest, DifferentSeedSameStructure) {

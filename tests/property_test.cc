@@ -12,14 +12,17 @@
 #include "core/engine.h"
 #include "core/mapper.h"
 #include "core/mtjn_generator.h"
+#include "core/plan_cache.h"
 #include "obs/clock.h"
 #include "exec/executor.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "text/similarity.h"
 #include "workloads/datagen.h"
+#include "workloads/movie43.h"
 #include "workloads/movie6.h"
 #include "workloads/schema_builder.h"
+#include "workloads/serving.h"
 
 namespace sfsql {
 namespace {
@@ -647,6 +650,51 @@ TEST(SimilarityPropertyTest, RangeAndSymmetry) {
     EXPECT_DOUBLE_EQ(text::QGramJaccard(a, a), 1.0);
   }
   (void)rng;
+}
+
+/// Plan-cache transparency: over the serving request set (every movie43
+/// benchmark query plus literal variants that share probe signatures), a
+/// caching engine must return bit-identical ranked lists — SQL text, weights,
+/// network rendering, tie-break order — to a cache-disabled engine on every
+/// serving path: cold miss (pass 1, each query's first variant), tier-1
+/// structure hit with literal substitution (pass 1, later variants), and
+/// tier-2 exact hit (pass 2). Checked at two k values since k is part of the
+/// cache key.
+TEST(PlanCachePropertyTest, CachedServingBitIdenticalToUncached) {
+  auto db = workloads::BuildMovie43(42, 30);
+  const std::vector<std::string> requests = workloads::ServingRequests(3);
+  ASSERT_GT(requests.size(), 100u);
+
+  core::EngineConfig plain;
+  plain.plan_cache_enabled = false;
+  core::SchemaFreeEngine off(db.get(), plain);
+  core::SchemaFreeEngine on(db.get());
+
+  for (int k : {1, 5}) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::string& q : requests) {
+        auto cached = on.Translate(q, k);
+        auto fresh = off.Translate(q, k);
+        ASSERT_EQ(cached.ok(), fresh.ok()) << q;
+        if (!cached.ok()) {
+          EXPECT_EQ(cached.status().ToString(), fresh.status().ToString());
+          continue;
+        }
+        ASSERT_EQ(cached->size(), fresh->size()) << q;
+        for (size_t i = 0; i < cached->size(); ++i) {
+          EXPECT_EQ((*cached)[i].sql, (*fresh)[i].sql)
+              << "k=" << k << " pass=" << pass << " rank=" << i << "\n" << q;
+          EXPECT_EQ((*cached)[i].weight, (*fresh)[i].weight) << q;
+          EXPECT_EQ((*cached)[i].network_text, (*fresh)[i].network_text) << q;
+        }
+      }
+    }
+  }
+  // The run must actually have exercised both tiers.
+  const core::PlanCacheStats stats = on.plan_cache_stats();
+  EXPECT_GT(stats.full_hits, 0u);
+  EXPECT_GT(stats.structure_hits, 0u);
+  EXPECT_GT(stats.structure_misses, 0u);
 }
 
 }  // namespace

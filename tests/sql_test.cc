@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "sql/ast.h"
+#include "sql/canonicalize.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
+#include "workloads/movie43.h"
 
 namespace sfsql::sql {
 namespace {
@@ -263,6 +268,90 @@ TEST(AstTest, ForEachTopLevelExprVisitsAllClauses) {
   int count = 0;
   ForEachTopLevelExpr(**stmt, [&](ExprPtr&) { ++count; });
   EXPECT_EQ(count, 6);  // a, b, where, group, having, order
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization (the plan cache's structural key)
+
+TEST(CanonicalizeTest, StripsLiteralsIntoTypedSlots) {
+  auto stmt = ParseSelect(
+      "SELECT title? WHERE genre? = 'Drama' AND year? > 1990 "
+      "AND score? >= 7.5 AND active? = TRUE");
+  ASSERT_TRUE(stmt.ok());
+  CanonicalQuery canonical = Canonicalize(**stmt);
+  ASSERT_EQ(canonical.literals.size(), 3u);  // bool stays structural
+  EXPECT_EQ(canonical.literals[0].AsString(), "Drama");
+  EXPECT_EQ(canonical.literals[1].AsInt(), 1990);
+  EXPECT_EQ(canonical.literals[2].AsDouble(), 7.5);
+
+  // Slot placeholders decode to their index in walk order; nothing else does.
+  int next_slot = 0;
+  ForEachLiteral(*canonical.statement, [&](const Expr& e) {
+    int slot = DecodeSlot(e.literal);
+    if (e.literal.is_bool() || e.literal.is_null()) {
+      EXPECT_EQ(slot, -1);
+    } else {
+      EXPECT_EQ(slot, next_slot++);
+    }
+  });
+  EXPECT_EQ(next_slot, 3);
+}
+
+TEST(CanonicalizeTest, LiteralValuesDoNotSplitTheKey) {
+  auto a = ParseSelect("SELECT title? WHERE genre? = 'Drama' AND year? > 1990");
+  auto b = ParseSelect("SELECT title? WHERE genre? = 'Action' AND year? > 2005");
+  auto c = ParseSelect("SELECT title? WHERE genre? = 'Drama' AND year? < 1990");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  CanonicalQuery ca = Canonicalize(**a);
+  CanonicalQuery cb = Canonicalize(**b);
+  CanonicalQuery cc = Canonicalize(**c);
+  EXPECT_EQ(ca.text, cb.text);
+  EXPECT_EQ(ca.fingerprint, cb.fingerprint);
+  EXPECT_TRUE(StatementsEqual(*ca.statement, *cb.statement));
+  EXPECT_NE(ca.text, cc.text) << "operators are structure, not literals";
+}
+
+/// The plan cache requires Print(Canonicalize(Parse(q))) to re-parse to an
+/// equal AST: if printer or parser drift breaks this, canonical keys would
+/// silently split or alias. Guarded here over the entire movie43 workload
+/// (17 textbook + 6 sophisticated + 30 user variants), both for the
+/// canonical form and for the plain parse -> print -> parse round trip.
+TEST(CanonicalizeTest, Movie43WorkloadRoundTrips) {
+  std::vector<std::string> queries;
+  for (const auto& q : workloads::TextbookQueries()) queries.push_back(q.sfsql);
+  for (const auto& q : workloads::SophisticatedQueries()) {
+    queries.push_back(q.sfsql);
+  }
+  for (int i = 0; i < 6; ++i) {
+    for (const std::string& v : workloads::UserVariants(i)) {
+      queries.push_back(v);
+    }
+  }
+  ASSERT_EQ(queries.size(), 53u);
+
+  for (const std::string& q : queries) {
+    auto stmt = ParseSelect(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+
+    // Plain round trip: print -> parse -> equal AST, and the printed text is
+    // a fixpoint.
+    std::string printed = PrintSelect(**stmt);
+    auto reparsed = ParseSelect(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    EXPECT_TRUE(StatementsEqual(**stmt, **reparsed)) << q;
+    EXPECT_EQ(printed, PrintSelect(**reparsed)) << q;
+
+    // Canonical round trip: the canonical text re-parses to the canonical
+    // AST, re-canonicalizes to the same text (fixpoint, with slot
+    // placeholders surviving verbatim), and keeps the fingerprint.
+    CanonicalQuery canonical = Canonicalize(**stmt);
+    auto canon_parsed = ParseSelect(canonical.text);
+    ASSERT_TRUE(canon_parsed.ok()) << canonical.text;
+    EXPECT_TRUE(StatementsEqual(*canonical.statement, **canon_parsed)) << q;
+    CanonicalQuery again = Canonicalize(**canon_parsed);
+    EXPECT_EQ(again.text, canonical.text) << q;
+    EXPECT_EQ(again.fingerprint, canonical.fingerprint) << q;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Compares the current BENCH_*.json files against committed baselines and
+// fails on throughput regressions, so a perf-hostile change cannot land
+// silently. CI's bench-smoke job runs every bench in smoke mode and then:
+//
+//   bench_regression_check [--tolerance F] BASELINE_DIR CURRENT_DIR
+//
+// For every BENCH_<name>.json in BASELINE_DIR the same file must exist in
+// CURRENT_DIR (a vanished bench is itself a failure). Within a file, every
+// numeric metric whose key marks it as a throughput ("*_per_second",
+// "queries_per_second") or a dimensionless speedup ("speedup_*") is compared:
+// current < baseline * (1 - tolerance) fails. Speedups are machine-
+// independent; raw throughputs guard same-machine trends — regenerate the
+// baselines (bench/baselines/README.md) when hardware or workload changes.
+// Default tolerance: 0.25 (>25% regression fails).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using sfsql::obs::JsonValue;
+
+bool IsGuardedMetric(const std::string& key) {
+  if (key.rfind("speedup_", 0) == 0) return true;
+  const std::string suffix = "_per_second";
+  return key.size() >= suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const JsonValue* LoadMetrics(const std::string& path, JsonValue* storage) {
+  std::ifstream in(path);
+  if (!in) return nullptr;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = sfsql::obs::ParseJson(buf.str());
+  if (!parsed.ok()) return nullptr;
+  *storage = std::move(*parsed);
+  const JsonValue* metrics = storage->Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return nullptr;
+  return metrics;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.25;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      dirs.push_back(argv[i]);
+    }
+  }
+  if (dirs.size() != 2 || tolerance < 0.0 || tolerance >= 1.0) {
+    std::cerr << "usage: bench_regression_check [--tolerance F] "
+                 "BASELINE_DIR CURRENT_DIR\n";
+    return 2;
+  }
+
+  bool ok = true;
+  int files = 0, checked = 0;
+  std::vector<std::filesystem::path> baselines;
+  for (const auto& entry : std::filesystem::directory_iterator(dirs[0])) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      baselines.push_back(entry.path());
+    }
+  }
+  std::sort(baselines.begin(), baselines.end());
+  if (baselines.empty()) {
+    std::cerr << dirs[0] << ": no BENCH_*.json baselines found\n";
+    return 2;
+  }
+
+  for (const std::filesystem::path& base_path : baselines) {
+    ++files;
+    const std::string name = base_path.filename().string();
+    JsonValue base_doc, cur_doc;
+    const JsonValue* base = LoadMetrics(base_path.string(), &base_doc);
+    if (base == nullptr) {
+      std::cerr << name << ": FAIL — baseline unreadable\n";
+      ok = false;
+      continue;
+    }
+    const std::string cur_path = dirs[1] + "/" + name;
+    const JsonValue* cur = LoadMetrics(cur_path, &cur_doc);
+    if (cur == nullptr) {
+      std::cerr << name << ": FAIL — current run missing or unreadable ("
+                << cur_path << ")\n";
+      ok = false;
+      continue;
+    }
+    for (const auto& [key, value] : base->members) {
+      if (!value.is_number() || !IsGuardedMetric(key)) continue;
+      const JsonValue* now = cur->Find(key);
+      if (now == nullptr || !now->is_number()) {
+        std::cerr << name << ": FAIL — metric " << key
+                  << " vanished from the current run\n";
+        ok = false;
+        continue;
+      }
+      ++checked;
+      const double floor = value.number * (1.0 - tolerance);
+      if (now->number < floor) {
+        std::fprintf(stderr,
+                     "%s: FAIL — %s regressed: %.3f -> %.3f (floor %.3f at "
+                     "%.0f%% tolerance)\n",
+                     name.c_str(), key.c_str(), value.number, now->number,
+                     floor, 100.0 * tolerance);
+        ok = false;
+      } else {
+        std::printf("%s: %s %.3f -> %.3f ok\n", name.c_str(), key.c_str(),
+                    value.number, now->number);
+      }
+    }
+  }
+  std::printf("%d file(s), %d guarded metric(s), tolerance %.0f%%: %s\n",
+              files, checked, 100.0 * tolerance, ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+// Concurrent serving driver: N threads share one engine and translate a
+// Zipf-skewed request stream, printing throughput, latency percentiles, and
+// the plan-cache counters. The interactive companion to bench_serving — use
+// it to eyeball cache behavior under different knobs.
+//
+// Requests come from the built-in movie43 serving mix (workloads/serving.h)
+// or, with --stdin, one schema-free query per input line (popularity is then
+// Zipf over line order: earlier lines are hotter).
+//
+// Usage:
+//   serve_driver [--threads N] [--requests M] [--variants V] [--zipf S]
+//                [--k K] [--capacity C] [--no-cache] [--stdin]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/plan_cache.h"
+#include "obs/bench_report.h"
+#include "workloads/movie43.h"
+#include "workloads/serving.h"
+
+using namespace sfsql;             // NOLINT(build/namespaces)
+using namespace sfsql::workloads;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  int threads = 4;
+  long long total_requests = 2000;
+  int variants = 4;
+  double zipf_s = 1.0;
+  int k = 5;
+  long long capacity = 1 << 10;
+  bool cache = true;
+  bool from_stdin = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = next();
+      threads = v ? std::atoi(v) : 0;
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      const char* v = next();
+      total_requests = v ? std::atoll(v) : 0;
+    } else if (std::strcmp(argv[i], "--variants") == 0) {
+      const char* v = next();
+      variants = v ? std::atoi(v) : 0;
+    } else if (std::strcmp(argv[i], "--zipf") == 0) {
+      const char* v = next();
+      zipf_s = v ? std::atof(v) : -1.0;
+    } else if (std::strcmp(argv[i], "--k") == 0) {
+      const char* v = next();
+      k = v ? std::atoi(v) : 0;
+    } else if (std::strcmp(argv[i], "--capacity") == 0) {
+      const char* v = next();
+      capacity = v ? std::atoll(v) : -1;
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      cache = false;
+    } else if (std::strcmp(argv[i], "--stdin") == 0) {
+      from_stdin = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_driver [--threads N] [--requests M] "
+                   "[--variants V] [--zipf S] [--k K] [--capacity C] "
+                   "[--no-cache] [--stdin]\n");
+      return 2;
+    }
+  }
+  if (threads < 1 || total_requests < 1 || variants < 1 || zipf_s < 0.0 ||
+      k < 1 || capacity < 0) {
+    std::fprintf(stderr, "serve_driver: invalid argument value\n");
+    return 2;
+  }
+
+  std::vector<std::string> requests;
+  if (from_stdin) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) requests.push_back(line);
+    }
+    if (requests.empty()) {
+      std::fprintf(stderr, "serve_driver: --stdin given but no input lines\n");
+      return 2;
+    }
+  } else {
+    requests = ServingRequests(variants);
+  }
+
+  auto db = BuildMovie43();
+  core::EngineConfig cfg;
+  cfg.plan_cache_enabled = cache;
+  cfg.plan_cache_capacity = static_cast<size_t>(capacity);
+  core::SchemaFreeEngine engine(db.get(), cfg);
+
+  std::printf("serving %lld requests (%zu distinct), %d threads, "
+              "Zipf(%.2f), k = %d, plan cache %s (capacity %lld)\n",
+              total_requests, requests.size(), threads, zipf_s, k,
+              cache ? "on" : "off", capacity);
+
+  ServeResult r =
+      RunServe(engine, requests, threads, total_requests, zipf_s, 42, k);
+
+  const double qps = r.wall_seconds > 0 ? r.ok / r.wall_seconds : 0.0;
+  std::printf("\n%lld ok, %lld errors in %.3f s — %.1f q/s\n", r.ok, r.errors,
+              r.wall_seconds, qps);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f\n",
+              1e3 * obs::BenchReport::Percentile(r.latencies_seconds, 50),
+              1e3 * obs::BenchReport::Percentile(r.latencies_seconds, 95),
+              1e3 * obs::BenchReport::Percentile(r.latencies_seconds, 99));
+  const core::PlanCacheStats stats = engine.plan_cache_stats();
+  std::printf("plan cache: tier-2 %llu/%llu hit, tier-1 %llu/%llu hit, "
+              "%zu entries, %llu lru + %llu stale evictions\n",
+              static_cast<unsigned long long>(stats.full_hits),
+              static_cast<unsigned long long>(stats.full_hits +
+                                              stats.full_misses),
+              static_cast<unsigned long long>(stats.structure_hits),
+              static_cast<unsigned long long>(stats.structure_hits +
+                                              stats.structure_misses),
+              stats.entries,
+              static_cast<unsigned long long>(stats.lru_evictions),
+              static_cast<unsigned long long>(stats.stale_evictions));
+  return 0;
+}

@@ -5,6 +5,10 @@
 //     "config": object, "metrics": non-empty object of numbers,
 //     "tables": object of arrays of objects }
 //
+// Every bench additionally reports at least one latency percentile triple
+// (<prefix>_p50 / _p95 / _p99, emitted by BenchReport::SetLatencyMetrics);
+// each triple must be complete and ordered p50 <= p95 <= p99.
+//
 // CI's bench-smoke job runs every bench in smoke mode and then this tool over
 // the emitted files; a schema drift fails the build instead of silently
 // breaking the perf-tracking pipeline.
@@ -63,6 +67,34 @@ bool ValidateFile(const std::string& path) {
     if (!value.is_number()) {
       return Fail(path, "metrics." + key + " is not a number");
     }
+  }
+  // Latency percentile triples: every *_p50 needs its *_p95 and *_p99
+  // siblings in order, and at least one triple must be present.
+  int triples = 0;
+  auto metric = [&](const std::string& key) {
+    return metrics->Find(key);
+  };
+  for (const auto& [key, value] : metrics->members) {
+    const std::string suffix = "_p50";
+    if (key.size() <= suffix.size() ||
+        key.compare(key.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string prefix = key.substr(0, key.size() - suffix.size());
+    const JsonValue* p95 = metric(prefix + "_p95");
+    const JsonValue* p99 = metric(prefix + "_p99");
+    if (p95 == nullptr || !p95->is_number() || p99 == nullptr ||
+        !p99->is_number()) {
+      return Fail(path, "metrics." + key + " lacks its _p95/_p99 siblings");
+    }
+    if (value.number > p95->number || p95->number > p99->number) {
+      return Fail(path, "metrics." + prefix +
+                            "_p50/_p95/_p99 are not in ascending order");
+    }
+    ++triples;
+  }
+  if (triples == 0) {
+    return Fail(path, "no latency percentile triple (*_p50/_p95/_p99)");
   }
   const JsonValue* tables = doc.Find("tables");
   if (tables == nullptr || !tables->is_object()) {
