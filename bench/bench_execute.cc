@@ -1,0 +1,248 @@
+// End-to-end query execution throughput of the index-aware executor
+// (exec/access_path planning + IndexScan + predicate pushdown) against the
+// naive fold (ExecConfig::use_index_scan = false) at growing data sizes.
+//
+// Builds movie43 at --scale multiples of the base row count (default sweep
+// 1, 10, 100) and runs a fixed workload of fully specified, selective SQL
+// queries — point lookups, joins anchored by a selective predicate, LIKE
+// prefix/infix matches, range and IN predicates — through both executor
+// configurations. Every query's result rows are cross-checked between the
+// two configurations each scale; any divergence fails the bench (non-zero
+// exit), so the speedup numbers are only ever reported for identical answers.
+// One untimed warmup pass triggers the lazy column-index builds so the timed
+// rounds measure steady-state execution.
+//
+// Emits BENCH_execute.json with queries/sec per (scale, config), the
+// index-vs-scan speedup per scale, and the indexed per-query latency
+// distribution (p50/p95/p99), plus the executor's cumulative access-path
+// counters in the run metadata.
+//
+// Acceptance: indexed execution >= 5x the forced-scan fold at 100x scale.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "obs/bench_report.h"
+#include "workloads/metrics.h"
+#include "workloads/movie43.h"
+
+using namespace sfsql;             // NOLINT(build/namespaces)
+using namespace sfsql::workloads;  // NOLINT(build/namespaces)
+
+namespace {
+
+// Selective queries over the movie43 schema, anchored on the planted
+// benchmark entities (present at every scale; the generated bulk rows make
+// them rarer as --scale grows, so selectivity improves with data size).
+const std::vector<std::string>& Workload() {
+  static const std::vector<std::string> queries = {
+      // Point lookups.
+      "SELECT name, gender FROM Person WHERE name = 'James Cameron'",
+      "SELECT title, release_year FROM Movie WHERE title = 'Titanic'",
+      "SELECT name FROM Genre WHERE name = 'Drama'",
+      // Joins anchored by one selective predicate (pushdown prunes the build
+      // sides before the hash joins).
+      "SELECT Movie.title FROM Person, Director, Movie "
+      "WHERE Person.person_id = Director.person_id "
+      "AND Director.movie_id = Movie.movie_id "
+      "AND Person.name = 'James Cameron'",
+      "SELECT Movie.title FROM Movie, Movie_Genre, Genre "
+      "WHERE Movie.movie_id = Movie_Genre.movie_id "
+      "AND Movie_Genre.genre_id = Genre.genre_id "
+      "AND Genre.name = 'Drama'",
+      "SELECT Person.name FROM Person, Actor, Movie "
+      "WHERE Person.person_id = Actor.person_id "
+      "AND Actor.movie_id = Movie.movie_id AND Movie.title = 'Titanic'",
+      // LIKE through the trigram postings.
+      "SELECT title FROM Movie WHERE title LIKE 'Tita%'",
+      "SELECT name FROM Person WHERE name LIKE '%Cameron%'",
+      // Range / IN / compound.
+      "SELECT title FROM Movie WHERE release_year BETWEEN 1997 AND 1998",
+      "SELECT name FROM Company WHERE name IN "
+      "('20th Century Fox', 'zzz no such company')",
+      "SELECT COUNT(*) FROM Movie WHERE release_year = 1997",
+      "SELECT Person.name FROM Person WHERE Person.name = 'James Cameron' "
+      "AND gender = 'male'",
+  };
+  return queries;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  long long executed = 0;
+  std::vector<exec::QueryResult> first_round;  ///< for cross-checking
+  std::vector<double> query_seconds;           ///< per-query wall times
+};
+
+RunResult RunWorkload(exec::Executor& ex, const std::vector<std::string>& qs,
+                      int rounds, bool* ok) {
+  RunResult out;
+  out.first_round.reserve(qs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (const std::string& q : qs) {
+      const auto q_start = std::chrono::steady_clock::now();
+      auto r = ex.ExecuteSql(q);
+      out.query_seconds.push_back(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        q_start)
+              .count());
+      if (!r.ok()) {
+        std::fprintf(stderr, "execute failed: %s\n  %s\n",
+                     r.status().ToString().c_str(), q.c_str());
+        *ok = false;
+        return out;
+      }
+      if (round == 0) out.first_round.push_back(std::move(*r));
+    }
+  }
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.executed = static_cast<long long>(qs.size()) * rounds;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int single_scale = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      single_scale = std::atoi(argv[++i]);
+      if (single_scale < 1) {
+        std::fprintf(stderr, "usage: bench_execute [--smoke] [--scale N>=1]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: bench_execute [--smoke] [--scale N>=1]\n");
+      return 2;
+    }
+  }
+  const uint64_t seed = 42;
+  const int base_rows = 60;
+  // The scan fold is O(rows) per table, so a few rounds suffice at 100x; the
+  // indexed fold needs more rounds for timing resolution.
+  const int scan_rounds = smoke ? 1 : 5;
+  const int index_rounds = smoke ? 3 : 40;
+  std::vector<int> scales = single_scale > 0 ? std::vector<int>{single_scale}
+                                             : std::vector<int>{1, 10, 100};
+
+  obs::BenchReport report("execute");
+  report.SetConfig("database", "movie43");
+  report.SetConfig("seed", static_cast<long long>(seed));
+  report.SetConfig("base_rows_per_relation", static_cast<long long>(base_rows));
+  report.SetConfig("scan_rounds", static_cast<long long>(scan_rounds));
+  report.SetConfig("index_rounds", static_cast<long long>(index_rounds));
+  report.SetConfig("workload_queries",
+                   static_cast<long long>(Workload().size()));
+
+  std::printf("index-aware execution throughput — movie43, scales x%d..x%d, "
+              "%zu queries\n\n",
+              scales.front(), scales.back(), Workload().size());
+  std::printf("%7s %10s %15s %15s %9s\n", "scale", "rows", "scan q/s",
+              "index q/s", "speedup");
+
+  bool all_identical = true;
+  double speedup_at_100 = 0.0;
+  std::vector<double> index_query_seconds;
+  std::unique_ptr<storage::Database> last_db;
+  std::unique_ptr<exec::Executor> last_indexed;
+  exec::ExecStats final_stats;
+  for (int scale : scales) {
+    auto db = BuildMovie43(seed, base_rows, scale);
+
+    exec::ExecConfig naive_cfg;
+    naive_cfg.use_index_scan = false;
+    exec::Executor naive(db.get(), naive_cfg);
+    // Defaults: index scan + join reorder on.
+    auto indexed_ptr = std::make_unique<exec::Executor>(db.get());
+    exec::Executor& indexed = *indexed_ptr;
+
+    bool ok = true;
+    // Untimed warmup: builds every lazy column index the workload touches.
+    (void)RunWorkload(indexed, Workload(), 1, &ok);
+    if (!ok) return 1;
+
+    RunResult scan = RunWorkload(naive, Workload(), scan_rounds, &ok);
+    if (!ok) return 1;
+    RunResult index = RunWorkload(indexed, Workload(), index_rounds, &ok);
+    if (!ok) return 1;
+    index_query_seconds.insert(index_query_seconds.end(),
+                               index.query_seconds.begin(),
+                               index.query_seconds.end());
+
+    bool identical = scan.first_round.size() == index.first_round.size();
+    for (size_t i = 0; identical && i < scan.first_round.size(); ++i) {
+      identical = scan.first_round[i].SameRows(index.first_round[i]);
+    }
+    all_identical = all_identical && identical;
+
+    const double scan_qps = scan.executed / scan.seconds;
+    const double index_qps = index.executed / index.seconds;
+    const double speedup = index_qps / scan_qps;
+    if (scale == 100) speedup_at_100 = speedup;
+
+    std::printf("%6dx %10zu %15.0f %15.0f %8.1fx%s\n", scale, db->TotalRows(),
+                scan_qps, index_qps, speedup,
+                identical ? "" : "  RESULTS DIVERGE — BUG");
+
+    const std::string suffix = "_scale" + std::to_string(scale);
+    const exec::ExecStats stats = indexed.stats();
+    report.AddRow(
+        "scales",
+        obs::BenchReport::Row()
+            .Number("scale", scale)
+            .Number("dataset_rows", static_cast<double>(db->TotalRows()))
+            .Number("scan_queries_per_second", scan_qps)
+            .Number("index_queries_per_second", index_qps)
+            .Number("speedup_index_vs_scan", speedup)
+            .Number("index_scans", static_cast<double>(stats.index_scans))
+            .Number("table_scans", static_cast<double>(stats.table_scans))
+            .Number("index_joins", static_cast<double>(stats.index_joins))
+            .Number("rows_pruned", static_cast<double>(stats.rows_pruned))
+            .Number("results_identical", identical ? 1 : 0));
+    report.SetMetric("scan_queries_per_second" + suffix, scan_qps);
+    report.SetMetric("index_queries_per_second" + suffix, index_qps);
+    report.SetMetric("speedup_index_vs_scan" + suffix, speedup);
+    final_stats = stats;
+    last_db = std::move(db);  // the executor's db pointer stays valid
+    last_indexed = std::move(indexed_ptr);
+  }
+
+  report.SetMetric("results_identical", all_identical ? 1 : 0);
+  if (speedup_at_100 > 0.0) {
+    std::printf("\nacceptance: indexed >= 5x scan at 100x scale — %.1fx %s\n",
+                speedup_at_100, speedup_at_100 >= 5.0 ? "PASS" : "MISS");
+  }
+  std::printf("results identical across configs: %s\n",
+              all_identical ? "yes" : "NO — BUG");
+  std::printf("access paths at last scale: %llu index scan(s), %llu table "
+              "scan(s), %llu index join(s), %llu row(s) pruned, %llu pushed "
+              "predicate(s)\n",
+              static_cast<unsigned long long>(final_stats.index_scans),
+              static_cast<unsigned long long>(final_stats.table_scans),
+              static_cast<unsigned long long>(final_stats.index_joins),
+              static_cast<unsigned long long>(final_stats.rows_pruned),
+              static_cast<unsigned long long>(final_stats.pushed_predicates));
+
+  report.SetLatencyMetrics("index_query_seconds",
+                           std::move(index_query_seconds));
+  report.SetMetric("exec_index_scans_last_scale",
+                   static_cast<double>(final_stats.index_scans));
+  report.SetMetric("exec_rows_pruned_last_scale",
+                   static_cast<double>(final_stats.rows_pruned));
+  RecordRunMetadata(&report, *last_db, /*engine=*/nullptr,
+                    last_indexed.get());
+  (void)report.WriteFile();
+  return all_identical ? 0 : 1;
+}

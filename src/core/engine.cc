@@ -939,6 +939,27 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     explain->sat_memo_hits = stats->sat_memo_hits;
     explain->index_builds = stats->index_builds;
   }
+  if (caller_explain && out.ok() && !out->empty()) {
+    // Execution access paths of the top-1 translation: what the index-aware
+    // executor would do with it (plans only — nothing is executed).
+    exec::Executor executor(db_);
+    explain->execution.clear();
+    for (const exec::TableAccessExplain& t :
+         executor.ExplainAccessPaths(*(*out)[0].statement)) {
+      ExplainTableAccess e;
+      e.binding = t.binding;
+      e.relation = t.relation;
+      e.access = t.index_scan ? "index_scan"
+                 : t.index_join ? "index_join"
+                                : "table_scan";
+      e.index_predicates = t.index_predicates;
+      e.pushed_predicates = t.pushed_predicates;
+      e.table_rows = static_cast<long long>(t.table_rows);
+      e.estimated_rows = static_cast<long long>(t.estimated_rows);
+      e.selectivity = t.selectivity;
+      explain->execution.push_back(std::move(e));
+    }
+  }
 
   if (metrics_ != nullptr) {
     PipelineMetrics& m = *metrics_;

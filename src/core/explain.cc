@@ -87,6 +87,20 @@ std::string TranslationExplain::RenderTree() const {
            std::to_string(r.emitted) + (r.truncated ? " (TRUNCATED)" : "") +
            "\n";
   }
+  if (!execution.empty()) {
+    out += "├─ execution access paths (fold order)\n";
+    for (size_t i = 0; i < execution.size(); ++i) {
+      const ExplainTableAccess& t = execution[i];
+      out += "│  ";
+      out += (i + 1 == execution.size()) ? "└─ " : "├─ ";
+      out += t.binding + " (" + t.relation + "): " + t.access + ", " +
+             std::to_string(t.index_predicates) + " index pred(s), " +
+             std::to_string(t.pushed_predicates) + " pushed, est " +
+             std::to_string(t.estimated_rows) + "/" +
+             std::to_string(t.table_rows) + " rows, sel " +
+             Num(t.selectivity) + "\n";
+    }
+  }
   out += "└─ results\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ExplainResult& r = results[i];
@@ -210,6 +224,22 @@ std::string TranslationExplain::ToJson(bool pretty,
   }
   w.EndArray();
   w.EndObject();
+
+  w.Key("execution");
+  w.BeginArray();
+  for (const ExplainTableAccess& t : execution) {
+    w.BeginObject();
+    w.KV("binding", t.binding);
+    w.KV("relation", t.relation);
+    w.KV("access", t.access);
+    w.KV("index_predicates", t.index_predicates);
+    w.KV("pushed_predicates", t.pushed_predicates);
+    w.KV("table_rows", t.table_rows);
+    w.KV("estimated_rows", t.estimated_rows);
+    w.KV("selectivity", t.selectivity);
+    w.EndObject();
+  }
+  w.EndArray();
 
   w.Key("results");
   w.BeginArray();

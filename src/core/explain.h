@@ -57,6 +57,21 @@ struct ExplainResult {
   std::string sql;
 };
 
+/// Access path of one FROM entry of the top-1 translation, as the executor's
+/// pre-execution planner (exec/access_path) would run it: IndexScan vs Scan,
+/// how many conjuncts the column index answers vs are pushed per base row,
+/// and the exact-count selectivity estimate behind the choice.
+struct ExplainTableAccess {
+  std::string binding;   ///< FROM binding (alias or relation), lower-cased
+  std::string relation;  ///< catalog relation name
+  std::string access;    ///< "index_scan" | "table_scan"
+  long long index_predicates = 0;
+  long long pushed_predicates = 0;
+  long long table_rows = 0;
+  long long estimated_rows = 0;
+  double selectivity = 1.0;
+};
+
 /// Full provenance of one Translate call — the translation EXPLAIN mode.
 /// Collected by SchemaFreeEngine::TranslateExplained, rendered either as an
 /// indented tree for humans (RenderTree) or as JSON for machines (ToJson,
@@ -104,6 +119,11 @@ struct TranslationExplain {
   std::vector<ExplainRootSearch> roots;
 
   std::vector<ExplainResult> results;
+
+  /// Execution access paths of the top-1 translation, in join (fold) order.
+  /// Empty when there are no results or the executor would take its naive
+  /// fallback fold (unplannable block).
+  std::vector<ExplainTableAccess> execution;
 
   /// Indented tree rendering (what tools/explain_translate prints to stderr
   /// and what the slow-translation log emits).

@@ -1,0 +1,680 @@
+#include "exec/access_path.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/strings.h"
+#include "exec/like.h"
+#include "sql/printer.h"
+
+namespace sfsql::exec {
+
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::SelectStatement;
+using sql::UnaryOp;
+using storage::Value;
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kAnd) {
+    SplitConjuncts(e->lhs.get(), out);
+    SplitConjuncts(e->rhs.get(), out);
+    return;
+  }
+  out.push_back(e);
+}
+
+bool IsAggregateName(const std::string& name) {
+  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
+         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
+         EqualsIgnoreCase(name, "max");
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall && IsAggregateName(e.function_name)) {
+    return true;
+  }
+  if (e.lhs && ContainsAggregate(*e.lhs)) return true;
+  if (e.rhs && ContainsAggregate(*e.rhs)) return true;
+  for (const ExprPtr& a : e.args) {
+    if (ContainsAggregate(*a)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// True if `e`'s value over a group is independent of the order rows entered
+/// the group: group-by expressions (matched textually, like EvalGrouped),
+/// literals, COUNT/MIN/MAX aggregates, and compositions thereof. Bare
+/// columns read the group's first-seen representative row, and SUM/AVG
+/// accumulate doubles in row order — both order-sensitive.
+bool OrderInsensitive(const Expr& e, const std::vector<std::string>& gb_text) {
+  const std::string text = sql::PrintExpr(e);
+  for (const std::string& g : gb_text) {
+    if (text == g) return true;
+  }
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kFunctionCall:
+      if (IsAggregateName(e.function_name)) {
+        // COUNT is a set size; MIN/MAX are Compare-extrema (ties within a
+        // typed column are identical values, appends never reorder a column's
+        // type). SUM/AVG accumulate in row order and drift on doubles.
+        return EqualsIgnoreCase(e.function_name, "count") ||
+               EqualsIgnoreCase(e.function_name, "min") ||
+               EqualsIgnoreCase(e.function_name, "max");
+      }
+      for (const ExprPtr& a : e.args) {
+        if (!OrderInsensitive(*a, gb_text)) return false;
+      }
+      return true;
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+    case ExprKind::kInSubquery:
+    case ExprKind::kExistsSubquery:
+    case ExprKind::kScalarSubquery:
+      return false;
+    default:
+      if (e.lhs && !OrderInsensitive(*e.lhs, gb_text)) return false;
+      if (e.rhs && !OrderInsensitive(*e.rhs, gb_text)) return false;
+      for (const ExprPtr& a : e.args) {
+        if (!OrderInsensitive(*a, gb_text)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace
+
+bool ReorderSafe(const SelectStatement& stmt) {
+  // LIMIT picks a prefix of the emission order; reordering would change
+  // which rows survive.
+  if (stmt.limit.has_value()) return false;
+  bool has_aggregate = !stmt.group_by.empty();
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (ContainsAggregate(*item.expr)) has_aggregate = true;
+  }
+  if (stmt.having && ContainsAggregate(*stmt.having)) has_aggregate = true;
+  for (const sql::OrderItem& o : stmt.order_by) {
+    if (ContainsAggregate(*o.expr)) has_aggregate = true;
+  }
+  // Non-aggregate blocks are multiset-stable under any fold order (DISTINCT
+  // keeps one row per equality class, ORDER BY re-sorts; only tie order can
+  // move, which row-multiset semantics ignore).
+  if (!has_aggregate) return true;
+  std::vector<std::string> gb_text;
+  gb_text.reserve(stmt.group_by.size());
+  for (const ExprPtr& g : stmt.group_by) {
+    gb_text.push_back(sql::PrintExpr(*g));
+  }
+  for (const sql::SelectItem& item : stmt.select_items) {
+    if (!OrderInsensitive(*item.expr, gb_text)) return false;
+  }
+  if (stmt.having && !OrderInsensitive(*stmt.having, gb_text)) return false;
+  for (const sql::OrderItem& o : stmt.order_by) {
+    if (!OrderInsensitive(*o.expr, gb_text)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct PlannerSlot {
+  std::string binding_lower;
+  int relation_id = -1;
+};
+
+enum class Resolution { kOk, kNotFound, kAmbiguous, kError };
+
+/// Mirrors BlockExecutor::ResolveInSchema over the planner's slot list:
+/// same exactness requirements, same qualified-vs-bare lookup, and the same
+/// NotFound / error distinction (an attribute missing from a named relation
+/// is an error, not NotFound).
+Resolution ResolveRef(const catalog::Catalog& catalog,
+                      const std::vector<PlannerSlot>& slots,
+                      const sql::NameRef& relation,
+                      const sql::NameRef& attribute, int* table, int* attr) {
+  if (!attribute.exact() || (relation.specified() && !relation.exact())) {
+    return Resolution::kError;
+  }
+  if (relation.specified()) {
+    const std::string want = ToLower(relation.name);
+    for (size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].binding_lower != want) continue;
+      int idx = catalog.relation(slots[i].relation_id)
+                    .AttributeIndex(attribute.name);
+      if (idx < 0) return Resolution::kError;
+      *table = static_cast<int>(i);
+      *attr = idx;
+      return Resolution::kOk;
+    }
+    return Resolution::kNotFound;
+  }
+  int found_table = -1, found_attr = -1;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    int idx =
+        catalog.relation(slots[i].relation_id).AttributeIndex(attribute.name);
+    if (idx < 0) continue;
+    if (found_table >= 0) return Resolution::kAmbiguous;
+    found_table = static_cast<int>(i);
+    found_attr = idx;
+  }
+  if (found_table < 0) return Resolution::kNotFound;
+  *table = found_table;
+  *attr = found_attr;
+  return Resolution::kOk;
+}
+
+/// What one conjunct's column references add up to against a slot list.
+struct RefScan {
+  bool resolved = true;    ///< every ref resolved within the slots
+  bool ambiguous = false;  ///< some bare ref matched several slots
+  bool opaque = false;     ///< contains a subquery or star (never pushable)
+  std::vector<char> used;  ///< per-slot: referenced by some resolved ref
+};
+
+void ScanRefs(const Expr& e, const catalog::Catalog& catalog,
+              const std::vector<PlannerSlot>& slots, RefScan& scan) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      int table = -1, attr = -1;
+      switch (ResolveRef(catalog, slots, e.relation, e.attribute, &table,
+                         &attr)) {
+        case Resolution::kOk:
+          scan.used[table] = 1;
+          break;
+        case Resolution::kAmbiguous:
+          scan.resolved = false;
+          scan.ambiguous = true;
+          break;
+        default:
+          scan.resolved = false;
+          break;
+      }
+      return;
+    }
+    case ExprKind::kInSubquery:
+    case ExprKind::kExistsSubquery:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kStar:
+      scan.opaque = true;
+      return;
+    default:
+      break;
+  }
+  if (e.lhs) ScanRefs(*e.lhs, catalog, slots, scan);
+  if (e.rhs) ScanRefs(*e.rhs, catalog, slots, scan);
+  for (const ExprPtr& a : e.args) {
+    ScanRefs(*a, catalog, slots, scan);
+  }
+}
+
+RefScan ScanConjunct(const Expr& e, const catalog::Catalog& catalog,
+                     const std::vector<PlannerSlot>& slots) {
+  RefScan scan;
+  scan.used.assign(slots.size(), 0);
+  ScanRefs(e, catalog, slots, scan);
+  return scan;
+}
+
+/// The literal value of `e`, folding a unary minus over a numeric or NULL
+/// literal (what Eval would produce); nullopt when `e` is not a literal
+/// (or would type-error, e.g. -'text').
+std::optional<Value> LiteralOf(const Expr& e) {
+  if (e.kind == ExprKind::kLiteral) return e.literal;
+  if (e.kind == ExprKind::kUnary && e.uop == UnaryOp::kNeg && e.lhs &&
+      e.lhs->kind == ExprKind::kLiteral) {
+    const Value& v = e.lhs->literal;
+    if (v.is_null()) return Value::Null_();
+    if (v.is_int()) return Value::Int(-v.AsInt());
+    if (v.is_double()) return Value::Double(-v.AsDouble());
+  }
+  return std::nullopt;
+}
+
+const char* CompareOpString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    default: return nullptr;
+  }
+}
+
+/// `lit op col` rewritten as `col op' lit`.
+const char* FlipOp(const char* op) {
+  if (op[0] == '<' && op[1] == '\0') return ">";
+  if (op[0] == '>' && op[1] == '\0') return "<";
+  if (op[0] == '<' && op[1] == '=') return ">=";
+  if (op[0] == '>' && op[1] == '=') return "<=";
+  return op;  // = and <> are symmetric
+}
+
+/// True if a scan comparing every non-null value of a column declared as
+/// `declared` against `lit` with an inequality operator cannot type-error
+/// (Insert enforces runtime type == declared type).
+bool InequalityClassMatches(catalog::ValueType declared, const Value& lit) {
+  switch (declared) {
+    case catalog::ValueType::kBool: return lit.is_bool();
+    case catalog::ValueType::kInt64:
+    case catalog::ValueType::kDouble: return lit.is_numeric();
+    case catalog::ValueType::kString: return lit.is_string();
+    default: return false;
+  }
+}
+
+/// An always-empty sargable predicate ("col = NULL" shape): both the count
+/// and row-id paths return nothing, matching two-valued-logic scans.
+SargablePredicate EmptyPredicate(int conjunct, int attr) {
+  SargablePredicate p;
+  p.kind = SargablePredicate::Kind::kCompare;
+  p.conjunct = conjunct;
+  p.attr_index = attr;
+  p.op = "=";
+  p.values.push_back(Value::Null_());
+  return p;
+}
+
+/// Tries to turn a fully-local single-table conjunct into a predicate the
+/// column index answers exactly — with the same result multiset and the
+/// same (absence of) type errors as evaluating it per row. `*table_out`
+/// receives the slot the predicate binds to.
+std::optional<SargablePredicate> TryExtractSargable(
+    const Expr& c, int conjunct, const catalog::Catalog& catalog,
+    const std::vector<PlannerSlot>& slots, int* table_out) {
+  auto resolve = [&](const Expr& col, int* table, int* attr) {
+    return col.kind == ExprKind::kColumnRef &&
+           ResolveRef(catalog, slots, col.relation, col.attribute, table,
+                      attr) == Resolution::kOk;
+  };
+  if (c.kind == ExprKind::kBinary && c.bop == BinaryOp::kLike) {
+    int table = -1, attr = -1;
+    if (!c.lhs || !c.rhs || !resolve(*c.lhs, &table, &attr)) {
+      return std::nullopt;
+    }
+    std::optional<Value> pattern = LiteralOf(*c.rhs);
+    if (!pattern.has_value()) return std::nullopt;
+    *table_out = table;
+    if (pattern->is_null()) return EmptyPredicate(conjunct, attr);
+    const catalog::ValueType declared =
+        catalog.relation(slots[table].relation_id).attributes[attr].type;
+    // A non-string column (or pattern) type-errors on the first non-null
+    // row — leave it to per-row evaluation.
+    if (!pattern->is_string() || declared != catalog::ValueType::kString) {
+      return std::nullopt;
+    }
+    SargablePredicate p;
+    p.kind = SargablePredicate::Kind::kLike;
+    p.conjunct = conjunct;
+    p.attr_index = attr;
+    p.like_pattern = pattern->AsString();
+    p.like_escape = LikeEscapeChar(c.like_escape);
+    return p;
+  }
+  if (c.kind == ExprKind::kBinary) {
+    const char* op = CompareOpString(c.bop);
+    if (op == nullptr || !c.lhs || !c.rhs) return std::nullopt;
+    int table = -1, attr = -1;
+    std::optional<Value> lit;
+    if (resolve(*c.lhs, &table, &attr)) {
+      lit = LiteralOf(*c.rhs);
+    } else if (resolve(*c.rhs, &table, &attr)) {
+      lit = LiteralOf(*c.lhs);
+      if (lit.has_value()) op = FlipOp(op);
+    }
+    if (!lit.has_value()) return std::nullopt;
+    *table_out = table;
+    if (lit->is_null()) return EmptyPredicate(conjunct, attr);
+    const bool equality = op[0] == '=' || (op[0] == '<' && op[1] == '>');
+    if (!equality) {
+      // Inequalities type-error on incomparable operands; only push them to
+      // the index when the scan could not have errored.
+      const catalog::ValueType declared =
+          catalog.relation(slots[table].relation_id).attributes[attr].type;
+      if (!InequalityClassMatches(declared, *lit)) return std::nullopt;
+    }
+    SargablePredicate p;
+    p.kind = SargablePredicate::Kind::kCompare;
+    p.conjunct = conjunct;
+    p.attr_index = attr;
+    p.op = op;
+    p.values.push_back(std::move(*lit));
+    return p;
+  }
+  if (c.kind == ExprKind::kBetween && !c.negated) {
+    int table = -1, attr = -1;
+    if (!c.lhs || c.args.size() != 2 || !resolve(*c.lhs, &table, &attr)) {
+      return std::nullopt;
+    }
+    std::optional<Value> low = LiteralOf(*c.args[0]);
+    std::optional<Value> high = LiteralOf(*c.args[1]);
+    if (!low.has_value() || !high.has_value()) return std::nullopt;
+    *table_out = table;
+    SargablePredicate p;
+    p.kind = SargablePredicate::Kind::kBetween;
+    p.conjunct = conjunct;
+    p.attr_index = attr;
+    p.values = {std::move(*low), std::move(*high)};
+    return p;
+  }
+  if (c.kind == ExprKind::kInList && !c.negated) {
+    int table = -1, attr = -1;
+    if (!c.lhs || !resolve(*c.lhs, &table, &attr)) return std::nullopt;
+    std::vector<Value> items;
+    items.reserve(c.args.size());
+    for (const ExprPtr& item : c.args) {
+      std::optional<Value> v = LiteralOf(*item);
+      if (!v.has_value()) return std::nullopt;
+      items.push_back(std::move(*v));
+    }
+    *table_out = table;
+    SargablePredicate p;
+    p.kind = SargablePredicate::Kind::kIn;
+    p.conjunct = conjunct;
+    p.attr_index = attr;
+    p.values = std::move(items);
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> IntersectSorted(std::vector<uint32_t> a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
+                    const std::vector<const Expr*>& conjuncts,
+                    const ExecConfig& config) {
+  BlockPlan plan;
+  const catalog::Catalog& catalog = db.catalog();
+  if (stmt.from.empty()) return plan;  // nothing to scan; legacy path is fine
+
+  // FROM entries -> planner slots. Anything the legacy fold would reject
+  // (unresolved names, duplicate bindings) stays on the legacy path so its
+  // exact error surfaces.
+  std::vector<PlannerSlot> slots;
+  slots.reserve(stmt.from.size());
+  for (const sql::TableRef& ref : stmt.from) {
+    if (!ref.relation.exact()) return plan;
+    Result<int> rel_id = catalog.FindRelation(ref.relation.name);
+    if (!rel_id.ok()) return plan;
+    PlannerSlot slot;
+    slot.binding_lower = ToLower(ref.BindingName());
+    slot.relation_id = *rel_id;
+    for (const PlannerSlot& existing : slots) {
+      if (existing.binding_lower == slot.binding_lower) return plan;
+    }
+    slots.push_back(std::move(slot));
+  }
+
+  // Classify every conjunct against the full FROM schema.
+  const size_t n = slots.size();
+  std::vector<TablePlan> tables(n);
+  for (size_t t = 0; t < n; ++t) {
+    tables[t].from_index = static_cast<int>(t);
+    tables[t].relation_id = slots[t].relation_id;
+    tables[t].binding_lower = slots[t].binding_lower;
+    tables[t].table_rows = db.table(slots[t].relation_id).rows().size();
+  }
+  std::vector<int> constants;  // table-independent conjuncts
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    const Expr& c = *conjuncts[ci];
+    RefScan scan = ScanConjunct(c, catalog, slots);
+    if (scan.opaque) {
+      plan.residual.push_back(static_cast<int>(ci));
+      continue;
+    }
+    if (!scan.resolved) {
+      if (scan.ambiguous) {
+        // Hazard: a bare ref ambiguous in the full schema may still resolve
+        // in a proper prefix of the original FROM order — the legacy fold
+        // would push the conjunct there with that prefix's binding. Don't
+        // replicate the quirk; run the legacy fold.
+        for (size_t len = 1; len < n; ++len) {
+          std::vector<PlannerSlot> prefix(slots.begin(),
+                                          slots.begin() + len);
+          RefScan sub = ScanConjunct(c, catalog, prefix);
+          if (sub.resolved && !sub.opaque) return plan;
+        }
+      }
+      // Correlated or erroneous refs: the post-join filter evaluates them
+      // against the full environment, same as the legacy fold.
+      plan.residual.push_back(static_cast<int>(ci));
+      continue;
+    }
+    std::vector<int> used;
+    for (size_t t = 0; t < n; ++t) {
+      if (scan.used[t]) used.push_back(static_cast<int>(t));
+    }
+    if (used.empty()) {
+      constants.push_back(static_cast<int>(ci));
+      continue;
+    }
+    if (used.size() == 1) {
+      int table = -1;
+      std::optional<SargablePredicate> sarg =
+          TryExtractSargable(c, static_cast<int>(ci), catalog, slots, &table);
+      if (sarg.has_value()) {
+        tables[table].sargable.push_back(std::move(*sarg));
+      } else {
+        tables[used[0]].pushed.push_back(static_cast<int>(ci));
+      }
+      continue;
+    }
+    if (used.size() == 2 && c.kind == ExprKind::kBinary &&
+        c.bop == BinaryOp::kEq && c.lhs &&
+        c.lhs->kind == ExprKind::kColumnRef && c.rhs &&
+        c.rhs->kind == ExprKind::kColumnRef) {
+      int lt = -1, la = -1, rt = -1, ra = -1;
+      if (ResolveRef(catalog, slots, c.lhs->relation, c.lhs->attribute, &lt,
+                     &la) == Resolution::kOk &&
+          ResolveRef(catalog, slots, c.rhs->relation, c.rhs->attribute, &rt,
+                     &ra) == Resolution::kOk &&
+          lt != rt) {
+        PlannedEquiJoin edge;
+        edge.conjunct = static_cast<int>(ci);
+        edge.left_from = lt;
+        edge.left_attr = la;
+        edge.right_from = rt;
+        edge.right_attr = ra;
+        plan.equi_joins.push_back(edge);
+        continue;
+      }
+    }
+    PlannedJoinFilter filter;
+    filter.conjunct = static_cast<int>(ci);
+    filter.tables = std::move(used);
+    plan.join_filters.push_back(std::move(filter));
+  }
+
+  // Access path per table: exact cardinality estimates from the column
+  // indexes first; row ids are collected only for the chosen IndexScans.
+  for (size_t t = 0; t < n; ++t) {
+    TablePlan& tp = tables[t];
+    if (tp.sargable.empty()) {
+      tp.estimated_rows = tp.table_rows;
+      tp.selectivity = 1.0;
+      continue;
+    }
+    std::vector<std::vector<uint32_t>> like_rows(tp.sargable.size());
+    size_t min_estimate = tp.table_rows;
+    for (size_t s = 0; s < tp.sargable.size(); ++s) {
+      SargablePredicate& p = tp.sargable[s];
+      const storage::ColumnIndex* idx =
+          db.ColumnIndexFor(tp.relation_id, p.attr_index);
+      switch (p.kind) {
+        case SargablePredicate::Kind::kCompare:
+          p.estimated_rows = idx->CountSatisfying(p.op, p.values[0]);
+          break;
+        case SargablePredicate::Kind::kIn:
+          p.estimated_rows = idx->CountIn(p.values);
+          break;
+        case SargablePredicate::Kind::kBetween:
+          p.estimated_rows = idx->CountBetween(p.values[0], p.values[1]);
+          break;
+        case SargablePredicate::Kind::kLike:
+          // LIKE has no cheap count; materialize once and reuse below.
+          like_rows[s] = idx->RowsMatchingLike(p.like_pattern, p.like_escape);
+          p.estimated_rows = like_rows[s].size();
+          break;
+      }
+      min_estimate = std::min(min_estimate, p.estimated_rows);
+    }
+    const bool scan_cheaper =
+        static_cast<double>(min_estimate) >
+        config.max_index_selectivity * static_cast<double>(tp.table_rows);
+    if (tp.table_rows == 0 || !scan_cheaper) {
+      tp.index_scan = true;
+      bool first = true;
+      for (size_t s = 0; s < tp.sargable.size(); ++s) {
+        const SargablePredicate& p = tp.sargable[s];
+        const storage::ColumnIndex* idx =
+            db.ColumnIndexFor(tp.relation_id, p.attr_index);
+        std::vector<uint32_t> rows;
+        switch (p.kind) {
+          case SargablePredicate::Kind::kCompare:
+            rows = idx->RowsSatisfying(p.op, p.values[0]);
+            break;
+          case SargablePredicate::Kind::kIn:
+            rows = idx->RowsIn(p.values);
+            break;
+          case SargablePredicate::Kind::kBetween:
+            rows = idx->RowsBetween(p.values[0], p.values[1]);
+            break;
+          case SargablePredicate::Kind::kLike:
+            rows = std::move(like_rows[s]);
+            break;
+        }
+        tp.row_ids = first ? std::move(rows)
+                           : IntersectSorted(std::move(tp.row_ids), rows);
+        first = false;
+        if (tp.row_ids.empty()) break;
+      }
+      tp.estimated_rows = tp.row_ids.size();
+    } else {
+      // Scan wins: the sargable conjuncts demote to per-row evaluation, the
+      // exact single-predicate estimate still informs the join order.
+      for (const SargablePredicate& p : tp.sargable) {
+        tp.pushed.push_back(p.conjunct);
+      }
+      tp.sargable.clear();
+      tp.estimated_rows = min_estimate;
+    }
+    tp.selectivity =
+        tp.table_rows == 0
+            ? 0.0
+            : static_cast<double>(tp.estimated_rows) /
+                  static_cast<double>(tp.table_rows);
+  }
+
+  // Join order: cheapest estimated cardinality first, preferring tables
+  // connected to the placed set by an equi edge (keeps the fold a hash join
+  // instead of a cross product). Original FROM order when reordering is off
+  // or the block's output could depend on emission order.
+  std::vector<int> order(n);
+  for (size_t t = 0; t < n; ++t) order[t] = static_cast<int>(t);
+  if (config.reorder_joins && n > 1 && ReorderSafe(stmt)) {
+    std::vector<std::vector<int>> adjacent(n);
+    for (const PlannedEquiJoin& e : plan.equi_joins) {
+      adjacent[e.left_from].push_back(e.right_from);
+      adjacent[e.right_from].push_back(e.left_from);
+    }
+    std::vector<char> placed(n, 0);
+    std::vector<int> greedy;
+    greedy.reserve(n);
+    while (greedy.size() < n) {
+      int best = -1;
+      bool best_connected = false;
+      for (size_t t = 0; t < n; ++t) {
+        if (placed[t]) continue;
+        bool connected = false;
+        for (int other : adjacent[t]) {
+          if (placed[other]) connected = true;
+        }
+        if (greedy.empty()) connected = false;
+        const bool better =
+            best < 0 || (connected && !best_connected) ||
+            (connected == best_connected &&
+             tables[t].estimated_rows < tables[best].estimated_rows);
+        if (better) {
+          best = static_cast<int>(t);
+          best_connected = connected;
+        }
+      }
+      placed[best] = 1;
+      greedy.push_back(best);
+    }
+    for (size_t t = 0; t < n; ++t) {
+      if (greedy[t] != order[t]) plan.reordered = true;
+    }
+    order = std::move(greedy);
+  }
+
+  plan.tables.reserve(n);
+  for (int t : order) plan.tables.push_back(std::move(tables[t]));
+  // Table-independent conjuncts gate the whole result; evaluate them on the
+  // first (cheapest) table's base rows.
+  for (int ci : constants) plan.tables[0].pushed.push_back(ci);
+
+  // Mark index nested-loop join candidates: a table without an IndexScan that
+  // joins to an earlier fold step through an equi edge can be answered by
+  // probing its column index per accumulated join key instead of scanning.
+  // The probe column is the first such edge's attribute on this table; the
+  // executor verifies any further edges per probed row.
+  std::vector<int> step_of(n, -1);
+  for (size_t t = 0; t < n; ++t) step_of[plan.tables[t].from_index] = t;
+  for (size_t t = 1; t < n; ++t) {
+    TablePlan& tp = plan.tables[t];
+    if (tp.index_scan) continue;
+    for (const PlannedEquiJoin& e : plan.equi_joins) {
+      const int ts = static_cast<int>(t);
+      if (step_of[e.left_from] == ts && step_of[e.right_from] < ts) {
+        tp.index_join_attr = e.left_attr;
+      } else if (step_of[e.right_from] == ts && step_of[e.left_from] < ts) {
+        tp.index_join_attr = e.right_attr;
+      }
+      if (tp.index_join_attr >= 0) break;
+    }
+  }
+
+  plan.usable = true;
+  return plan;
+}
+
+std::vector<TableAccessExplain> ExplainPlan(const storage::Database& db,
+                                            const BlockPlan& plan) {
+  std::vector<TableAccessExplain> out;
+  if (!plan.usable) return out;
+  out.reserve(plan.tables.size());
+  for (const TablePlan& tp : plan.tables) {
+    TableAccessExplain e;
+    e.binding = tp.binding_lower;
+    e.relation = db.catalog().relation(tp.relation_id).name;
+    e.index_scan = tp.index_scan;
+    e.index_join = tp.index_join_attr >= 0;
+    e.index_predicates = static_cast<int>(tp.sargable.size());
+    e.pushed_predicates = static_cast<int>(tp.pushed.size());
+    e.table_rows = tp.table_rows;
+    e.estimated_rows = tp.estimated_rows;
+    e.selectivity = tp.selectivity;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace sfsql::exec

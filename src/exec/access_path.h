@@ -1,0 +1,161 @@
+#ifndef SFSQL_EXEC_ACCESS_PATH_H_
+#define SFSQL_EXEC_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace sfsql::exec {
+
+/// Execution knobs. `use_index_scan = false` forces the original naive
+/// fold (full scan per FROM entry, predicates classified during the fold) —
+/// kept as the differential-testing and benchmarking baseline.
+struct ExecConfig {
+  bool use_index_scan = true;
+  /// Reorder the join fold by post-pushdown cardinality (cheapest build side
+  /// first). Only applied when the block is provably order-insensitive — see
+  /// ReorderSafe below.
+  bool reorder_joins = true;
+  /// An IndexScan is chosen only when the best single-predicate estimate
+  /// keeps at most this fraction of the table; above it, the scan's
+  /// sequential pass wins over materializing row-id lists.
+  double max_index_selectivity = 0.25;
+};
+
+/// Per-execution access-path counters, accumulated across every block
+/// (including subquery re-executions, so correlated blocks count once per
+/// outer row).
+struct ExecStats {
+  uint64_t index_scans = 0;        ///< base tables answered by an IndexScan
+  uint64_t table_scans = 0;        ///< base tables answered by a full scan
+  uint64_t index_joins = 0;        ///< base tables probed via index join
+  uint64_t rows_pruned = 0;        ///< base rows eliminated below the join
+  uint64_t pushed_predicates = 0;  ///< predicates evaluated below the join
+};
+
+/// One sargable conjunct bound to a column: a shape the column index can
+/// answer exactly (see ColumnIndex::Rows*). Operand values are literals only
+/// (after folding unary minus), so the predicate is environment-independent
+/// and the plan is valid for correlated re-executions too.
+struct SargablePredicate {
+  enum class Kind { kCompare, kIn, kBetween, kLike };
+  Kind kind = Kind::kCompare;
+  int conjunct = -1;    ///< index into the block's conjunct list
+  int attr_index = -1;  ///< attribute within the table's relation
+  std::string op;       ///< kCompare: "=", "<>", "<", "<=", ">", ">="
+  std::vector<storage::Value> values;  ///< operand / IN list / [low, high]
+  std::string like_pattern;            ///< kLike
+  char like_escape = '\0';
+  size_t estimated_rows = 0;  ///< exact match count from the column index
+};
+
+/// Access path for one FROM entry.
+struct TablePlan {
+  int from_index = -1;  ///< position in the statement's FROM list
+  int relation_id = -1;
+  std::string binding_lower;
+  bool index_scan = false;
+  /// Conjuncts answered by the index (row_ids is their intersection).
+  /// When the scan is chosen instead, these demote into `pushed`.
+  std::vector<SargablePredicate> sargable;
+  /// Conjunct indices evaluated once per base row, below the join.
+  std::vector<int> pushed;
+  /// IndexScan row positions (ascending), materialized at plan time — valid
+  /// while Database::ReadLock() is held (see the staleness contract in
+  /// column_index.h).
+  std::vector<uint32_t> row_ids;
+  size_t table_rows = 0;
+  size_t estimated_rows = 0;  ///< post-pushdown cardinality estimate
+  double selectivity = 1.0;   ///< estimated_rows / table_rows
+  /// Attribute eligible for an index nested-loop join: this table has no
+  /// IndexScan, but joins to an earlier fold step through `attr = attr` on
+  /// this column, so the executor may probe the column index once per
+  /// accumulated row instead of scanning. -1 when ineligible; the executor
+  /// still falls back to scan + hash join when the accumulated side is large.
+  int index_join_attr = -1;
+};
+
+/// col = col conjunct across two FROM entries — a hash-join key edge,
+/// applied at the fold step where the later side is placed.
+struct PlannedEquiJoin {
+  int conjunct = -1;
+  int left_from = -1;
+  int left_attr = -1;
+  int right_from = -1;
+  int right_attr = -1;
+};
+
+/// Multi-table conjunct that is not an equi-key: evaluated on the combined
+/// row at the fold step where its last table is placed.
+struct PlannedJoinFilter {
+  int conjunct = -1;
+  std::vector<int> tables;  ///< FROM positions referenced
+};
+
+/// The access-path plan of one query block. `usable = false` means the
+/// planner bailed (unresolved FROM, duplicate bindings, or a pushdown
+/// classification hazard) and the executor must run the legacy fold, whose
+/// error surface the planner does not try to reproduce.
+struct BlockPlan {
+  bool usable = false;
+  bool reordered = false;  ///< tables differ from FROM order
+  std::vector<TablePlan> tables;  ///< in join (fold) order
+  std::vector<PlannedEquiJoin> equi_joins;
+  std::vector<PlannedJoinFilter> join_filters;
+  std::vector<int> residual;  ///< conjunct indices for the post-join filter
+};
+
+/// One row of the EXPLAIN execution block.
+struct TableAccessExplain {
+  std::string binding;
+  std::string relation;
+  bool index_scan = false;
+  bool index_join = false;  ///< eligible for an index nested-loop join
+  int index_predicates = 0;   ///< conjuncts answered by the index
+  int pushed_predicates = 0;  ///< conjuncts evaluated per base row
+  size_t table_rows = 0;
+  size_t estimated_rows = 0;
+  double selectivity = 1.0;
+};
+
+/// Flattens a WHERE AND-tree into conjuncts (borrowed pointers). The
+/// executor and the planner must agree on conjunct order; both use this.
+void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>& out);
+
+/// True if `name` is one of the five aggregate functions.
+bool IsAggregateName(const std::string& name);
+
+/// True if `e` contains an aggregate call outside of any nested subquery.
+bool ContainsAggregate(const sql::Expr& e);
+
+/// True if the block's output multiset is provably independent of the join
+/// fold order: no LIMIT, and (for aggregate blocks) every output expression
+/// reduces to group-by expressions, literals, and order-insensitive
+/// aggregates (COUNT/MIN/MAX — SUM and AVG accumulate floats in row order,
+/// and bare columns read the group's first-seen representative row).
+bool ReorderSafe(const sql::SelectStatement& stmt);
+
+/// Plans one block's access paths: splits per-table sargable conjuncts from
+/// residual predicates, probes the column indexes for exact cardinality
+/// estimates, picks IndexScan vs Scan per table, and (when safe) orders the
+/// fold by ascending estimated cardinality. `conjuncts` is the
+/// SplitConjuncts output for stmt.where. The caller must hold
+/// Database::ReadLock() — row ids are materialized against the pinned row
+/// counts.
+BlockPlan PlanBlock(const storage::Database& db,
+                    const sql::SelectStatement& stmt,
+                    const std::vector<const sql::Expr*>& conjuncts,
+                    const ExecConfig& config);
+
+/// The EXPLAIN view of a plan (empty when the plan is unusable — the
+/// executor falls back to the naive fold).
+std::vector<TableAccessExplain> ExplainPlan(const storage::Database& db,
+                                            const BlockPlan& plan);
+
+}  // namespace sfsql::exec
+
+#endif  // SFSQL_EXEC_ACCESS_PATH_H_

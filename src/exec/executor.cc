@@ -43,6 +43,10 @@ struct Slot {
 struct BlockSchema {
   std::vector<Slot> slots;
   int width = 0;
+  /// Slot visit order for star expansion. The planned fold may place slots
+  /// in join order; stars must still expand in the original FROM order.
+  /// Empty = slot order (the legacy fold, which never reorders).
+  std::vector<int> star_order;
 };
 
 /// A row bound to its schema; environments chain outward for correlated
@@ -59,35 +63,9 @@ struct ColumnLoc {
   int column = -1;  // flat column index within the frame's row
 };
 
-bool IsAggregateName(const std::string& name) {
-  return EqualsIgnoreCase(name, "count") || EqualsIgnoreCase(name, "sum") ||
-         EqualsIgnoreCase(name, "avg") || EqualsIgnoreCase(name, "min") ||
-         EqualsIgnoreCase(name, "max");
-}
-
-/// True if `e` contains an aggregate call outside of any nested subquery.
-bool ContainsAggregate(const Expr& e) {
-  if (e.kind == ExprKind::kFunctionCall && IsAggregateName(e.function_name)) {
-    return true;
-  }
-  if (e.lhs && ContainsAggregate(*e.lhs)) return true;
-  if (e.rhs && ContainsAggregate(*e.rhs)) return true;
-  for (const ExprPtr& a : e.args) {
-    if (ContainsAggregate(*a)) return true;
-  }
-  return false;
-}
-
-/// Flattens an AND tree into conjuncts (borrowed pointers into the statement).
-void SplitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
-  if (e == nullptr) return;
-  if (e->kind == ExprKind::kBinary && e->bop == BinaryOp::kAnd) {
-    SplitConjuncts(e->lhs.get(), out);
-    SplitConjuncts(e->rhs.get(), out);
-    return;
-  }
-  out.push_back(e);
-}
+// IsAggregateName / ContainsAggregate / SplitConjuncts live in
+// exec/access_path.{h,cc} now — the planner classifies with the exact same
+// rules the executor evaluates with.
 
 // ---------------------------------------------------------------------------
 // Block executor
@@ -95,7 +73,9 @@ void SplitConjuncts(const Expr* e, std::vector<const Expr*>& out) {
 
 class BlockExecutor {
  public:
-  explicit BlockExecutor(const storage::Database* db) : db_(db) {}
+  BlockExecutor(const storage::Database* db, const ExecConfig* config,
+                ExecStats* stats)
+      : db_(db), config_(config), stats_(stats) {}
 
   Result<QueryResult> ExecuteBlock(const SelectStatement& stmt, const Env& outer);
 
@@ -515,7 +495,30 @@ class BlockExecutor {
                                          std::vector<const Expr*>& conjuncts,
                                          std::vector<bool>& conjunct_used);
 
+  Result<std::vector<Row>> BuildFromRowsPlanned(
+      const BlockPlan& plan, BlockSchema& schema, const Env& outer,
+      const std::vector<const Expr*>& conjuncts,
+      std::vector<bool>& conjunct_used);
+
+  /// The cached access-path plan for a block, keyed by statement identity —
+  /// correlated subqueries re-execute the same SelectStatement many times,
+  /// and plans are environment-independent (sargable operands are literals).
+  /// Cached row ids stay valid because one BlockExecutor lives within one
+  /// Execute, which holds the database read lock throughout.
+  const BlockPlan& GetPlan(const SelectStatement& stmt,
+                           const std::vector<const Expr*>& conjuncts) {
+    auto it = plans_.find(&stmt);
+    if (it == plans_.end()) {
+      it = plans_.emplace(&stmt, PlanBlock(*db_, stmt, conjuncts, *config_))
+               .first;
+    }
+    return it->second;
+  }
+
   const storage::Database* db_;
+  const ExecConfig* config_;
+  ExecStats* stats_;
+  std::unordered_map<const SelectStatement*, BlockPlan> plans_;
 };
 
 Result<std::vector<Row>> BlockExecutor::BuildFromRows(
@@ -524,6 +527,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRows(
   std::vector<Row> rows;
   rows.push_back(Row{});  // one empty row: identity for the fold below
 
+  stats_->table_scans += stmt.from.size();
   for (const sql::TableRef& ref : stmt.from) {
     if (!ref.relation.exact()) {
       return Status::ExecutionError(
@@ -653,6 +657,233 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRows(
   return rows;
 }
 
+Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
+    const BlockPlan& plan, BlockSchema& schema, const Env& outer,
+    const std::vector<const Expr*>& conjuncts,
+    std::vector<bool>& conjunct_used) {
+  // Everything the plan routed below or into the join is consumed here; the
+  // residual conjuncts stay unused for the caller's post-join filter.
+  for (const TablePlan& tp : plan.tables) {
+    for (int ci : tp.pushed) conjunct_used[ci] = true;
+    for (const SargablePredicate& p : tp.sargable) {
+      conjunct_used[p.conjunct] = true;
+    }
+  }
+  for (const PlannedEquiJoin& e : plan.equi_joins) {
+    conjunct_used[e.conjunct] = true;
+  }
+  for (const PlannedJoinFilter& f : plan.join_filters) {
+    conjunct_used[f.conjunct] = true;
+  }
+
+  // Single-slot frame for evaluating a table's pushed conjuncts against one
+  // base row (instead of once per joined tuple).
+  const size_t n = plan.tables.size();
+  auto slot_for = [&](const TablePlan& tp, int offset) {
+    Slot slot;
+    slot.binding_lower = tp.binding_lower;
+    slot.relation_id = tp.relation_id;
+    slot.offset = offset;
+    slot.width = static_cast<int>(
+        db_->catalog().relation(tp.relation_id).attributes.size());
+    return slot;
+  };
+  auto passes_pushed = [&](const TablePlan& tp, const BlockSchema& local,
+                           const Row& row) -> Result<bool> {
+    Env env = outer;
+    env.push_back(Frame{&local, &row});
+    for (int ci : tp.pushed) {
+      SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*conjuncts[ci], env));
+      if (!Truthy(v)) return false;
+    }
+    return true;
+  };
+
+  // Stage 1, run lazily at each fold step: the filtered base-row list of one
+  // table. An IndexScan starts from the plan's row ids (sargable conjuncts
+  // already satisfied); either way the pushed predicates run once per base
+  // row. Tables answered by an index nested-loop join skip this entirely.
+  auto materialize = [&](const TablePlan& tp) -> Result<std::vector<const Row*>> {
+    const std::vector<Row>& table_rows = db_->table(tp.relation_id).rows();
+    BlockSchema local;
+    local.slots.push_back(slot_for(tp, 0));
+    local.width = local.slots[0].width;
+    std::vector<const Row*> base;
+    if (tp.index_scan) {
+      ++stats_->index_scans;
+      base.reserve(tp.row_ids.size());
+      for (uint32_t id : tp.row_ids) {
+        const Row& row = table_rows[id];
+        SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
+        if (ok) base.push_back(&row);
+      }
+    } else {
+      ++stats_->table_scans;
+      for (const Row& row : table_rows) {
+        SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
+        if (ok) base.push_back(&row);
+      }
+    }
+    stats_->rows_pruned += table_rows.size() - base.size();
+    stats_->pushed_predicates += tp.pushed.size() + tp.sargable.size();
+    return base;
+  };
+
+  // Stage 2: fold in plan order — hash joins on the planned equi edges, join
+  // filters evaluated at the step where their last table is placed.
+  std::vector<int> step_of(n, -1);    // FROM position -> fold step
+  std::vector<int> offset_of(n, -1);  // FROM position -> flat offset
+  for (size_t t = 0; t < n; ++t) {
+    step_of[plan.tables[t].from_index] = static_cast<int>(t);
+  }
+  std::vector<std::vector<const Expr*>> step_filters(n);
+  for (const PlannedJoinFilter& f : plan.join_filters) {
+    int last = 0;
+    for (int tab : f.tables) last = std::max(last, step_of[tab]);
+    step_filters[last].push_back(conjuncts[f.conjunct]);
+  }
+
+  std::vector<Row> rows;
+  rows.push_back(Row{});  // fold identity, as in the legacy path
+  for (size_t t = 0; t < n; ++t) {
+    const TablePlan& tp = plan.tables[t];
+    Slot slot;
+    slot.binding_lower = tp.binding_lower;
+    slot.relation_id = tp.relation_id;
+    slot.offset = schema.width;
+    slot.width = static_cast<int>(
+        db_->catalog().relation(tp.relation_id).attributes.size());
+    BlockSchema next = schema;
+    next.slots.push_back(slot);
+    next.width += slot.width;
+    offset_of[tp.from_index] = slot.offset;
+
+    struct EquiKey {
+      int existing_col;  // flat index in the accumulated schema
+      int new_col;       // attribute index within the new slot
+    };
+    std::vector<EquiKey> keys;
+    for (const PlannedEquiJoin& e : plan.equi_joins) {
+      const int ts = static_cast<int>(t);
+      if (step_of[e.left_from] == ts && step_of[e.right_from] < ts) {
+        keys.push_back(
+            EquiKey{offset_of[e.right_from] + e.right_attr, e.left_attr});
+      } else if (step_of[e.right_from] == ts && step_of[e.left_from] < ts) {
+        keys.push_back(
+            EquiKey{offset_of[e.left_from] + e.left_attr, e.right_attr});
+      }
+    }
+    const std::vector<const Expr*>& filters = step_filters[t];
+
+    std::vector<Row> joined;
+    auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
+      Row combined;
+      combined.reserve(base.size() + extra.size());
+      combined.insert(combined.end(), base.begin(), base.end());
+      combined.insert(combined.end(), extra.begin(), extra.end());
+      Env env = outer;
+      env.push_back(Frame{&next, &combined});
+      for (const Expr* p : filters) {
+        SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*p, env));
+        if (!Truthy(v)) return Status::OK();
+      }
+      joined.push_back(std::move(combined));
+      return Status::OK();
+    };
+
+    // Index nested-loop join: when the accumulated side is small relative to
+    // the table, probe the join column's index once per accumulated row
+    // instead of scanning + hash-building the whole table. Probe row ids come
+    // back ascending, so emission order matches the hash join exactly (per
+    // accumulated row, matches in table order). `=` probes use Value::Compare
+    // equality, which coincides with the hash join's Equals for non-nulls.
+    const std::vector<Row>& table_rows = db_->table(tp.relation_id).rows();
+    const bool index_join = tp.index_join_attr >= 0 && !keys.empty() &&
+                            rows.size() * 4 <= table_rows.size();
+    if (index_join) {
+      ++stats_->index_joins;
+      stats_->pushed_predicates += tp.pushed.size();
+      const storage::ColumnIndex* idx =
+          db_->ColumnIndexFor(tp.relation_id, tp.index_join_attr);
+      BlockSchema local;
+      local.slots.push_back(slot_for(tp, 0));
+      local.width = local.slots[0].width;
+      size_t probe_key = 0;
+      while (keys[probe_key].new_col != tp.index_join_attr) ++probe_key;
+      for (const Row& base : rows) {
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (base[k.existing_col].is_null()) has_null = true;
+        }
+        if (has_null) continue;
+        for (uint32_t id :
+             idx->RowsSatisfying("=", base[keys[probe_key].existing_col])) {
+          const Row& trow = table_rows[id];
+          bool match = true;
+          for (size_t k = 0; k < keys.size() && match; ++k) {
+            if (k == probe_key) continue;
+            const Value& v = trow[keys[k].new_col];
+            match = !v.is_null() && v.Equals(base[keys[k].existing_col]);
+          }
+          if (!match) continue;
+          SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, trow));
+          if (!ok) continue;
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, trow));
+        }
+      }
+      schema = std::move(next);
+      rows = std::move(joined);
+      continue;
+    }
+
+    SFSQL_ASSIGN_OR_RETURN(std::vector<const Row*> base_rows, materialize(tp));
+    if (!keys.empty()) {
+      // Hash join: build on the new (filtered) table, probe with the
+      // accumulated rows. NULL keys never join, matching the legacy fold.
+      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
+      for (const Row* trow : base_rows) {
+        Row key;
+        key.reserve(keys.size());
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if ((*trow)[k.new_col].is_null()) has_null = true;
+          key.push_back((*trow)[k.new_col]);
+        }
+        if (has_null) continue;
+        build[std::move(key)].push_back(trow);
+      }
+      for (const Row& base : rows) {
+        Row probe;
+        probe.reserve(keys.size());
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (base[k.existing_col].is_null()) has_null = true;
+          probe.push_back(base[k.existing_col]);
+        }
+        if (has_null) continue;
+        auto it = build.find(probe);
+        if (it == build.end()) continue;
+        for (const Row* trow : it->second) {
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+        }
+      }
+    } else {
+      for (const Row& base : rows) {
+        for (const Row* trow : base_rows) {
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+        }
+      }
+    }
+    schema = std::move(next);
+    rows = std::move(joined);
+  }
+
+  // Stars expand in the original FROM order regardless of the fold order:
+  // slot step_of[f] holds FROM entry f.
+  schema.star_order.assign(step_of.begin(), step_of.end());
+  return rows;
+}
+
 Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
                                                 const Env& outer) {
   std::vector<const Expr*> conjuncts;
@@ -662,9 +893,21 @@ Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
   std::vector<bool> conjunct_used(conjuncts.size(), false);
 
   BlockSchema schema;
-  SFSQL_ASSIGN_OR_RETURN(
-      std::vector<Row> rows,
-      BuildFromRows(stmt, schema, outer, conjuncts, conjunct_used));
+  std::vector<Row> rows;
+  {
+    const BlockPlan* plan = nullptr;
+    if (config_->use_index_scan && !stmt.from.empty()) {
+      plan = &GetPlan(stmt, conjuncts);
+      if (!plan->usable) plan = nullptr;  // legacy fold reproduces the edge
+    }
+    Result<std::vector<Row>> built =
+        plan != nullptr
+            ? BuildFromRowsPlanned(*plan, schema, outer, conjuncts,
+                                   conjunct_used)
+            : BuildFromRows(stmt, schema, outer, conjuncts, conjunct_used);
+    if (!built.ok()) return built.status();
+    rows = std::move(*built);
+  }
 
   // Final filter: conjuncts not consumed by the pipeline (subqueries,
   // outer-correlated predicates, OR trees).
@@ -706,7 +949,10 @@ Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
   // Expand stars for the non-aggregate path.
   auto expand_star = [&](const Expr& star, Row& out_row, const Row& src,
                          bool label_pass) {
-    for (const Slot& slot : schema.slots) {
+    for (size_t si = 0; si < schema.slots.size(); ++si) {
+      const Slot& slot = schema.slots[schema.star_order.empty()
+                                          ? si
+                                          : schema.star_order[si]];
       if (star.relation.specified() &&
           ToLower(star.relation.name) != slot.binding_lower) {
         continue;
@@ -912,6 +1158,8 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
     clock_ = nullptr;
     execute_total_ = execute_errors_ = execute_rows_ = nullptr;
     execute_seconds_ = nullptr;
+    index_scans_total_ = table_scans_total_ = index_joins_total_ = nullptr;
+    rows_pruned_total_ = pushed_predicates_total_ = nullptr;
     return;
   }
   clock_ = obs::ClockOrSteady(clock);
@@ -923,13 +1171,40 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
                                        "Result rows materialized");
   execute_seconds_ = registry->GetHistogram(
       "sfsql_execute_seconds", "Execution wall time", obs::LatencyBuckets());
+  index_scans_total_ = registry->GetCounter(
+      "sfsql_exec_index_scans_total", "Base tables answered by an IndexScan");
+  table_scans_total_ = registry->GetCounter(
+      "sfsql_exec_table_scans_total", "Base tables answered by a full scan");
+  index_joins_total_ = registry->GetCounter(
+      "sfsql_exec_index_joins_total",
+      "Base tables answered by an index nested-loop join");
+  rows_pruned_total_ = registry->GetCounter(
+      "sfsql_exec_rows_pruned_total",
+      "Base rows eliminated below the join by pushed predicates");
+  pushed_predicates_total_ = registry->GetCounter(
+      "sfsql_exec_pushed_predicates_total",
+      "Predicates evaluated below the join (index-answered or per base row)");
 }
 
 Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
   const uint64_t start =
       execute_seconds_ != nullptr ? clock_->NowNanos() : 0;
-  BlockExecutor block(db_);
-  Result<QueryResult> out = block.ExecuteBlock(stmt, Env{});
+  ExecStats stats;
+  Result<QueryResult> out = QueryResult{};
+  {
+    // Pin every table's row count for the whole execution: IndexScan row ids
+    // stay exactly valid (column_index.h staleness contract) and concurrent
+    // inserts wait instead of racing the row vectors.
+    auto lock = db_->ReadLock();
+    BlockExecutor block(db_, &config_, &stats);
+    out = block.ExecuteBlock(stmt, Env{});
+  }
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  index_scans_.fetch_add(stats.index_scans, kRelaxed);
+  table_scans_.fetch_add(stats.table_scans, kRelaxed);
+  index_joins_.fetch_add(stats.index_joins, kRelaxed);
+  rows_pruned_.fetch_add(stats.rows_pruned, kRelaxed);
+  pushed_predicates_.fetch_add(stats.pushed_predicates, kRelaxed);
   if (execute_seconds_ != nullptr) {
     execute_seconds_->Observe(obs::NanosToSeconds(clock_->NowNanos() - start));
     execute_total_->Increment();
@@ -938,8 +1213,33 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
     } else {
       execute_errors_->Increment();
     }
+    index_scans_total_->Increment(stats.index_scans);
+    table_scans_total_->Increment(stats.table_scans);
+    index_joins_total_->Increment(stats.index_joins);
+    rows_pruned_total_->Increment(stats.rows_pruned);
+    pushed_predicates_total_->Increment(stats.pushed_predicates);
   }
   return out;
+}
+
+ExecStats Executor::stats() const {
+  constexpr auto kRelaxed = std::memory_order_relaxed;
+  ExecStats s;
+  s.index_scans = index_scans_.load(kRelaxed);
+  s.table_scans = table_scans_.load(kRelaxed);
+  s.index_joins = index_joins_.load(kRelaxed);
+  s.rows_pruned = rows_pruned_.load(kRelaxed);
+  s.pushed_predicates = pushed_predicates_.load(kRelaxed);
+  return s;
+}
+
+std::vector<TableAccessExplain> Executor::ExplainAccessPaths(
+    const sql::SelectStatement& stmt) const {
+  auto lock = db_->ReadLock();
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), conjuncts);
+  if (!config_.use_index_scan) return {};
+  return ExplainPlan(*db_, PlanBlock(*db_, stmt, conjuncts, config_));
 }
 
 Result<QueryResult> Executor::ExecuteSql(std::string_view sql_text) {

@@ -1,10 +1,12 @@
 #ifndef SFSQL_EXEC_EXECUTOR_H_
 #define SFSQL_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "exec/access_path.h"
 #include "sql/ast.h"
 #include "storage/database.h"
 
@@ -48,13 +50,29 @@ struct QueryResult {
 ///
 /// Statements containing unresolved schema-free elements are rejected with
 /// kExecutionError — translate them first (core/).
+///
+/// Execution is index-aware: before running a block, an access-path plan
+/// (exec/access_path) routes sargable WHERE conjuncts through the per-column
+/// indexes and pushes per-table predicates below the join; ExecConfig
+/// controls the planner (use_index_scan = false forces the naive fold).
+/// Execute holds Database::ReadLock() for its whole duration, which pins row
+/// counts so IndexScan row ids stay exactly valid (column_index.h documents
+/// the staleness contract) and makes Execute safe to race against inserts.
 class Executor {
  public:
   explicit Executor(const storage::Database* db) : db_(db) {}
+  Executor(const storage::Database* db, const ExecConfig& config)
+      : db_(db), config_(config) {}
+
+  const ExecConfig& config() const { return config_; }
+  void set_config(const ExecConfig& config) { config_ = config; }
 
   /// Publishes per-execution metrics into `registry`:
   ///   sfsql_execute_total, sfsql_execute_errors_total,
-  ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total.
+  ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total,
+  ///   sfsql_exec_index_scans_total, sfsql_exec_table_scans_total,
+  ///   sfsql_exec_index_joins_total, sfsql_exec_rows_pruned_total,
+  ///   sfsql_exec_pushed_predicates_total.
   /// Null `registry` (the default state) disables metrics entirely; `clock`
   /// overrides the steady clock for the latency histogram (tests).
   void EnableMetrics(obs::MetricsRegistry* registry,
@@ -66,13 +84,34 @@ class Executor {
   /// Convenience: parse + execute a full SQL string.
   Result<QueryResult> ExecuteSql(std::string_view sql);
 
+  /// Cumulative access-path counters across every Execute on this instance
+  /// (atomics inside, so concurrent Executes accumulate safely).
+  ExecStats stats() const;
+
+  /// Plans the top-level block of `stmt` under the current config and
+  /// returns its EXPLAIN view without executing (empty when the planner
+  /// falls back to the naive fold). Takes the database read lock itself.
+  std::vector<TableAccessExplain> ExplainAccessPaths(
+      const sql::SelectStatement& stmt) const;
+
  private:
   const storage::Database* db_;
+  ExecConfig config_;
   const obs::Clock* clock_ = nullptr;
   obs::Counter* execute_total_ = nullptr;
   obs::Counter* execute_errors_ = nullptr;
   obs::Counter* execute_rows_ = nullptr;
   obs::Histogram* execute_seconds_ = nullptr;
+  obs::Counter* index_scans_total_ = nullptr;
+  obs::Counter* table_scans_total_ = nullptr;
+  obs::Counter* index_joins_total_ = nullptr;
+  obs::Counter* rows_pruned_total_ = nullptr;
+  obs::Counter* pushed_predicates_total_ = nullptr;
+  std::atomic<uint64_t> index_scans_{0};
+  std::atomic<uint64_t> table_scans_{0};
+  std::atomic<uint64_t> index_joins_{0};
+  std::atomic<uint64_t> rows_pruned_{0};
+  std::atomic<uint64_t> pushed_predicates_{0};
 };
 
 }  // namespace sfsql::exec

@@ -47,6 +47,37 @@ ColumnIndex ColumnIndex::Build(const Table& table, int attr_index, int ngram) {
       idx.postings_[std::move(g)].push_back(static_cast<uint32_t>(i));
     }
   }
+
+  // Second pass: CSR row-id lists per distinct value. Counting first and
+  // filling in row order keeps each bucket ascending without a per-bucket
+  // sort.
+  auto bucket_of = [&](const Value& v) {
+    return static_cast<size_t>(
+        std::lower_bound(idx.values_.begin(), idx.values_.end(), v,
+                         [](const Value& a, const Value& b) {
+                           return a.Compare(b) < 0;
+                         }) -
+        idx.values_.begin());
+  };
+  idx.row_id_begin_.assign(idx.values_.size() + 1, 0);
+  size_t non_null = 0;
+  for (const Row& row : table.rows()) {
+    const Value& v = row[attr_index];
+    if (v.is_null()) continue;
+    ++idx.row_id_begin_[bucket_of(v) + 1];
+    ++non_null;
+  }
+  for (size_t i = 1; i < idx.row_id_begin_.size(); ++i) {
+    idx.row_id_begin_[i] += idx.row_id_begin_[i - 1];
+  }
+  idx.row_ids_.resize(non_null);
+  std::vector<uint32_t> cursor(idx.row_id_begin_.begin(),
+                               idx.row_id_begin_.end() - 1);
+  for (size_t r = 0; r < table.rows().size(); ++r) {
+    const Value& v = table.rows()[r][attr_index];
+    if (v.is_null()) continue;
+    idx.row_ids_[cursor[bucket_of(v)]++] = static_cast<uint32_t>(r);
+  }
   return idx;
 }
 
@@ -55,6 +86,191 @@ std::pair<size_t, size_t> ColumnIndex::ClassRange(const Value& probe) const {
   if (probe.is_numeric()) return {numeric_begin_, string_begin_};
   if (probe.is_string()) return {string_begin_, values_.size()};
   return {0, 0};  // NULL probes satisfy nothing
+}
+
+namespace {
+bool ValueLess(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+}  // namespace
+
+std::pair<size_t, size_t> ColumnIndex::EqualRange(const Value& value) const {
+  auto [lo, hi] =
+      std::equal_range(values_.begin(), values_.end(), value, ValueLess);
+  return {static_cast<size_t>(lo - values_.begin()),
+          static_cast<size_t>(hi - values_.begin())};
+}
+
+void ColumnIndex::CollectRows(size_t first, size_t last,
+                              std::vector<uint32_t>* out) const {
+  if (first >= last) return;
+  const size_t old = out->size();
+  out->insert(out->end(), row_ids_.begin() + row_id_begin_[first],
+              row_ids_.begin() + row_id_begin_[last]);
+  if (last - first > 1) std::sort(out->begin() + old, out->end());
+}
+
+std::vector<uint32_t> ColumnIndex::RowsSatisfying(std::string_view op,
+                                                  const Value& value) const {
+  std::vector<uint32_t> out;
+  if (value.is_null()) return out;  // two-valued logic: NULL probe keeps nothing
+  if (op == "=") {
+    auto [lo, hi] = EqualRange(value);
+    CollectRows(lo, hi, &out);
+    return out;
+  }
+  if (op == "<>" || op == "!=") {
+    // Equals-complement over the whole domain: values of other type classes
+    // compare unequal, hence satisfy '<>', exactly like the scan.
+    auto [lo, hi] = EqualRange(value);
+    CollectRows(0, lo, &out);
+    CollectRows(hi, values_.size(), &out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  // Inequalities stay inside the probe's type class; callers gate on the
+  // declared column type so a scan would not have raised a TypeError.
+  auto [lo, hi] = ClassRange(value);
+  if (lo == hi) return out;
+  size_t first = lo, last = hi;
+  if (op == "<") {
+    last = static_cast<size_t>(std::lower_bound(values_.begin() + lo,
+                                                values_.begin() + hi, value,
+                                                ValueLess) -
+                               values_.begin());
+  } else if (op == "<=") {
+    last = static_cast<size_t>(std::upper_bound(values_.begin() + lo,
+                                                values_.begin() + hi, value,
+                                                ValueLess) -
+                               values_.begin());
+  } else if (op == ">") {
+    first = static_cast<size_t>(std::upper_bound(values_.begin() + lo,
+                                                 values_.begin() + hi, value,
+                                                 ValueLess) -
+                                values_.begin());
+  } else if (op == ">=") {
+    first = static_cast<size_t>(std::lower_bound(values_.begin() + lo,
+                                                 values_.begin() + hi, value,
+                                                 ValueLess) -
+                                values_.begin());
+  } else {
+    return out;  // unrecognized op: the scan keeps nothing either
+  }
+  CollectRows(first, last, &out);
+  return out;
+}
+
+std::vector<uint32_t> ColumnIndex::RowsIn(
+    const std::vector<Value>& values) const {
+  std::vector<uint32_t> out;
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    auto [lo, hi] = EqualRange(v);
+    CollectRows(lo, hi, &out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<uint32_t> ColumnIndex::RowsBetween(const Value& low,
+                                               const Value& high) const {
+  std::vector<uint32_t> out;
+  if (low.is_null() || high.is_null()) return out;
+  // BETWEEN compares across the whole Compare total order (no type check in
+  // the executor), so the range is over all of values_, not one class.
+  const size_t first = static_cast<size_t>(
+      std::lower_bound(values_.begin(), values_.end(), low, ValueLess) -
+      values_.begin());
+  const size_t last = static_cast<size_t>(
+      std::upper_bound(values_.begin(), values_.end(), high, ValueLess) -
+      values_.begin());
+  if (first < last) CollectRows(first, last, &out);
+  return out;
+}
+
+std::vector<uint32_t> ColumnIndex::RowsMatchingLike(std::string_view pattern,
+                                                    char escape,
+                                                    uint64_t* verified) const {
+  std::vector<uint32_t> out;
+  const std::vector<uint32_t> distinct =
+      MatchingDistinctStrings(pattern, escape, verified, /*first_only=*/false);
+  for (uint32_t id : distinct) {
+    CollectRows(id, id + 1, &out);
+  }
+  if (distinct.size() > 1) std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t ColumnIndex::CountSatisfying(std::string_view op,
+                                    const Value& value) const {
+  if (value.is_null()) return 0;
+  auto span = [&](size_t first, size_t last) {
+    return first < last
+               ? static_cast<size_t>(row_id_begin_[last] - row_id_begin_[first])
+               : 0;
+  };
+  if (op == "=") {
+    auto [lo, hi] = EqualRange(value);
+    return span(lo, hi);
+  }
+  if (op == "<>" || op == "!=") {
+    auto [lo, hi] = EqualRange(value);
+    return span(0, values_.size()) - span(lo, hi);
+  }
+  auto [lo, hi] = ClassRange(value);
+  if (lo == hi) return 0;
+  size_t first = lo, last = hi;
+  if (op == "<") {
+    last = static_cast<size_t>(std::lower_bound(values_.begin() + lo,
+                                                values_.begin() + hi, value,
+                                                ValueLess) -
+                               values_.begin());
+  } else if (op == "<=") {
+    last = static_cast<size_t>(std::upper_bound(values_.begin() + lo,
+                                                values_.begin() + hi, value,
+                                                ValueLess) -
+                               values_.begin());
+  } else if (op == ">") {
+    first = static_cast<size_t>(std::upper_bound(values_.begin() + lo,
+                                                 values_.begin() + hi, value,
+                                                 ValueLess) -
+                                values_.begin());
+  } else if (op == ">=") {
+    first = static_cast<size_t>(std::lower_bound(values_.begin() + lo,
+                                                 values_.begin() + hi, value,
+                                                 ValueLess) -
+                                values_.begin());
+  } else {
+    return 0;
+  }
+  return span(first, last);
+}
+
+size_t ColumnIndex::CountIn(const std::vector<Value>& values) const {
+  // Deduplicate by equal-range start so repeated list elements (1, 1.0) do
+  // not double-count their shared bucket.
+  std::vector<size_t> firsts;
+  firsts.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    auto [lo, hi] = EqualRange(v);
+    if (lo < hi) firsts.push_back(lo);
+  }
+  std::sort(firsts.begin(), firsts.end());
+  firsts.erase(std::unique(firsts.begin(), firsts.end()), firsts.end());
+  size_t n = 0;
+  for (size_t lo : firsts) n += row_id_begin_[lo + 1] - row_id_begin_[lo];
+  return n;
+}
+
+size_t ColumnIndex::CountBetween(const Value& low, const Value& high) const {
+  if (low.is_null() || high.is_null()) return 0;
+  const size_t first = static_cast<size_t>(
+      std::lower_bound(values_.begin(), values_.end(), low, ValueLess) -
+      values_.begin());
+  const size_t last = static_cast<size_t>(
+      std::upper_bound(values_.begin(), values_.end(), high, ValueLess) -
+      values_.begin());
+  return first < last ? row_id_begin_[last] - row_id_begin_[first] : 0;
 }
 
 bool ColumnIndex::AnySatisfies(std::string_view op, const Value& value) const {
@@ -82,7 +298,15 @@ bool ColumnIndex::AnySatisfies(std::string_view op, const Value& value) const {
 
 bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
                                uint64_t* verified) const {
-  if (string_begin_ == values_.size()) return false;
+  return !MatchingDistinctStrings(pattern, escape, verified, /*first_only=*/true)
+              .empty();
+}
+
+std::vector<uint32_t> ColumnIndex::MatchingDistinctStrings(
+    std::string_view pattern, char escape, uint64_t* verified,
+    bool first_only) const {
+  std::vector<uint32_t> out;
+  if (string_begin_ == values_.size()) return out;
   const exec::LikePatternInfo info = exec::AnalyzeLikePattern(pattern, escape);
 
   if (!info.has_wildcards) {
@@ -90,9 +314,12 @@ bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
     std::string literal;
     for (const std::string& run : info.literal_runs) literal += run;
     const Value probe = Value::String(std::move(literal));
-    return std::binary_search(
-        values_.begin() + string_begin_, values_.end(), probe,
-        [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+    auto it = std::lower_bound(values_.begin() + string_begin_, values_.end(),
+                               probe, ValueLess);
+    if (it != values_.end() && it->Compare(probe) == 0) {
+      out.push_back(static_cast<uint32_t>(it - values_.begin()));
+    }
+    return out;
   }
 
   // Every trigram of every literal run must occur in a matching string.
@@ -110,6 +337,11 @@ bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
     if (verified != nullptr) ++*verified;
     return exec::LikeMatch(values_[id].AsString(), pattern, escape);
   };
+  auto take = [&](uint32_t id) {
+    if (!matches(id)) return false;
+    out.push_back(id);
+    return first_only;  // true stops the caller's loop at the first match
+  };
 
   if (required.empty()) {
     // No literal run long enough for a trigram. A literal prefix still helps:
@@ -119,32 +351,31 @@ bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
     if (!info.prefix.empty()) {
       const Value probe = Value::String(info.prefix);
       size_t i = static_cast<size_t>(
-          std::lower_bound(
-              values_.begin() + string_begin_, values_.end(), probe,
-              [](const Value& a, const Value& b) { return a.Compare(b) < 0; }) -
+          std::lower_bound(values_.begin() + string_begin_, values_.end(),
+                           probe, ValueLess) -
           values_.begin());
       for (; i < values_.size(); ++i) {
         if (values_[i].AsString().compare(0, info.prefix.size(), info.prefix) !=
             0) {
           break;
         }
-        if (matches(static_cast<uint32_t>(i))) return true;
+        if (take(static_cast<uint32_t>(i))) break;
       }
-      return false;
+      return out;
     }
     // No selective literal at all (e.g. '%a%', '___'): verify every distinct
     // string — still a big win over the row scan when values repeat.
     for (size_t i = string_begin_; i < values_.size(); ++i) {
-      if (matches(static_cast<uint32_t>(i))) return true;
+      if (take(static_cast<uint32_t>(i))) break;
     }
-    return false;
+    return out;
   }
 
   std::vector<const std::vector<uint32_t>*> lists;
   lists.reserve(required.size());
   for (const std::string& g : required) {
     auto it = postings_.find(g);
-    if (it == postings_.end()) return false;  // gram absent: nothing can match
+    if (it == postings_.end()) return out;  // gram absent: nothing can match
     lists.push_back(&it->second);
   }
   std::sort(lists.begin(), lists.end(),
@@ -160,9 +391,9 @@ bool ColumnIndex::AnyLikeMatch(std::string_view pattern, char escape,
     candidates.swap(next);
   }
   for (uint32_t id : candidates) {
-    if (matches(id)) return true;
+    if (take(id)) break;
   }
-  return false;
+  return out;  // candidates were ascending, so out is too
 }
 
 void ColumnIndexManager::Reset(const std::vector<size_t>& attrs_per_relation) {

@@ -30,8 +30,7 @@ struct ColumnIndexStats {
 };
 
 /// Immutable content summary of one (relation, attribute) column, built in one
-/// pass over the table (§4.3 satisfiability is the only consumer, so the index
-/// answers existence questions, not row retrieval):
+/// pass over the table:
 ///
 ///  * the distinct non-null values, sorted by Value::Compare — the total order
 ///    groups values into type classes (bool < numeric < string) and coincides
@@ -40,9 +39,25 @@ struct ColumnIndexStats {
 ///  * a trigram posting-list index over the distinct strings: a string
 ///    matching a LIKE pattern must contain every literal run of the pattern,
 ///    hence every trigram of every run, so intersecting posting lists leaves
-///    only a few candidates for exact LikeMatch verification.
+///    only a few candidates for exact LikeMatch verification;
+///  * per distinct value, the ascending list of row positions holding that
+///    value (CSR layout), so the same structure answers both the §4.3
+///    existence probes and the executor's IndexScan row retrieval.
 ///
 /// Instances are immutable after Build and safe to share across threads.
+///
+/// Staleness contract for the row-id path: every row id returned by a Rows*
+/// method is a position into Table::rows() *as of built_rows()*. Tables are
+/// append-only, so the ids stay valid while the table still has exactly
+/// built_rows() rows; once NumRows advances, the ids are merely incomplete
+/// (they miss the appended rows), and ColumnIndexManager::Get — whose stamp
+/// check compares built_rows() against the live size — rebuilds before
+/// handing the index out again. A consumer that plans an IndexScan must
+/// therefore either (a) hold Database::ReadLock() across both the Get and
+/// every row access, so the size cannot advance in between (what the executor
+/// does), or (b) re-check built_rows() == num_rows() at use time and replan
+/// on mismatch — the same epoch discipline as the mapper's satisfiability
+/// memo.
 class ColumnIndex {
  public:
   /// Scans `table`'s column `attr_index` once and builds the summary. `ngram`
@@ -66,6 +81,52 @@ class ColumnIndex {
   bool AnyLikeMatch(std::string_view pattern, char escape,
                     uint64_t* verified = nullptr) const;
 
+  // --- row retrieval (the executor's IndexScan; see the staleness contract
+  // above). All methods return ascending row positions of the rows whose
+  // column value is non-null and satisfies the predicate — exactly the rows
+  // the executor's two-valued-logic evaluation would keep, since a NULL
+  // operand always evaluates the predicate to false.
+
+  /// Rows satisfying `v op value` for op in =, <>/!=, <, <=, >, >=.
+  /// Mirrors exec two-valued comparison semantics: '='/'<>' use
+  /// Equals-equivalence across the whole domain (so '<>' keeps values of
+  /// other type classes); the inequalities compare within the probe's type
+  /// class (callers gate on declared column type so a scan would not have
+  /// type-errored). NULL probes (and unrecognized ops) return no rows.
+  std::vector<uint32_t> RowsSatisfying(std::string_view op,
+                                       const Value& value) const;
+
+  /// Rows whose value Equals some element of `values` (the IN-list arm).
+  /// NULL list elements match nothing.
+  std::vector<uint32_t> RowsIn(const std::vector<Value>& values) const;
+
+  /// Rows with low <= v <= high in the Value::Compare total order — exactly
+  /// the executor's BETWEEN, which compares across type classes without
+  /// error. NULL bounds return no rows (the predicate is two-valued false).
+  std::vector<uint32_t> RowsBetween(const Value& low, const Value& high) const;
+
+  /// Rows whose string value matches the LIKE pattern, via trigram-posting
+  /// intersection (or the sorted literal-prefix range) and LikeMatch
+  /// verification of the surviving *distinct* strings only. `*verified` is
+  /// incremented per candidate handed to LikeMatch.
+  std::vector<uint32_t> RowsMatchingLike(std::string_view pattern, char escape,
+                                         uint64_t* verified = nullptr) const;
+
+  // --- cardinality estimates (exact counts, no row ids materialized). The
+  // access-path planner calls these first and collects row ids only for the
+  // predicates it actually routes through the index.
+
+  /// Exactly RowsSatisfying(op, value).size(), in O(log distinct) from the
+  /// CSR offsets.
+  size_t CountSatisfying(std::string_view op, const Value& value) const;
+
+  /// Exactly RowsIn(values).size() (duplicate list elements are deduplicated
+  /// by equal-range start, so the count stays exact).
+  size_t CountIn(const std::vector<Value>& values) const;
+
+  /// Exactly RowsBetween(low, high).size().
+  size_t CountBetween(const Value& low, const Value& high) const;
+
   size_t num_distinct() const { return values_.size(); }
   size_t num_distinct_strings() const { return values_.size() - string_begin_; }
 
@@ -76,12 +137,30 @@ class ColumnIndex {
   /// NULL probes.
   std::pair<size_t, size_t> ClassRange(const Value& probe) const;
 
+  /// [first, last) equal range of `value` across the whole Compare order.
+  std::pair<size_t, size_t> EqualRange(const Value& value) const;
+
+  /// Appends the row ids of distinct values [first, last) to `out`; the
+  /// result is sorted ascending (per-bucket lists are ascending, multiple
+  /// buckets are merged by a final sort unless there is at most one).
+  void CollectRows(size_t first, size_t last, std::vector<uint32_t>* out) const;
+
+  /// Distinct-string offsets (into values_) matching the LIKE pattern;
+  /// `first_only` stops at the first match (the existence probes).
+  std::vector<uint32_t> MatchingDistinctStrings(std::string_view pattern,
+                                                char escape, uint64_t* verified,
+                                                bool first_only) const;
+
   std::vector<Value> values_;  ///< distinct non-null values, Compare-sorted
   size_t numeric_begin_ = 0;   ///< bools live in [0, numeric_begin_)
   size_t string_begin_ = 0;    ///< numerics in [numeric_begin_, string_begin_)
   /// Trigram -> ascending offsets into values_ (absolute, all >= string_begin_)
   /// of the distinct strings containing that gram.
   std::unordered_map<std::string, std::vector<uint32_t>> postings_;
+  /// CSR row-id storage: row_ids_[row_id_begin_[i], row_id_begin_[i+1]) are
+  /// the ascending row positions holding distinct value i.
+  std::vector<uint32_t> row_ids_;
+  std::vector<uint32_t> row_id_begin_;  ///< values_.size() + 1 offsets
   size_t built_rows_ = 0;
   int ngram_ = 3;
 };

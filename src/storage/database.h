@@ -114,6 +114,28 @@ class Database {
   /// over the database's lifetime, shared by all engines probing it.
   ColumnIndexStats column_index_stats() const { return indexes_.stats(); }
 
+  /// Shared data lock for executors. Holding it pins every table's row count,
+  /// which (tables being append-only) freezes row contents too — so a column
+  /// index fetched under the lock stays exactly valid for every row id it
+  /// returns until the lock is released (see the staleness contract in
+  /// column_index.h). Inserts block for the duration; probes and other
+  /// readers proceed. Callers must not re-acquire (std::shared_mutex is not
+  /// recursive) — the executor takes it once per top-level Execute, and the
+  /// satisfiability probes take it internally only on their own call paths.
+  std::shared_lock<std::shared_mutex> ReadLock() const {
+    return std::shared_lock<std::shared_mutex>(data_mu_);
+  }
+
+  /// The current column index for (relation, attribute), building lazily on
+  /// first use. Callers planning an IndexScan must hold ReadLock() across
+  /// this call and every access to the returned row ids (otherwise a
+  /// concurrent insert makes the ids incomplete — column_index.h documents
+  /// the full contract). The pointer itself stays valid for the database's
+  /// lifetime.
+  const ColumnIndex* ColumnIndexFor(int relation_id, int attr_index) const {
+    return indexes_.Get(tables_[relation_id], attr_index);
+  }
+
  private:
   /// Arity + per-value type check of Insert, shared with the bulk path.
   static Status ValidateRow(const catalog::Relation& rel, const Row& row);

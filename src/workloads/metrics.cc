@@ -79,7 +79,8 @@ bool IsColEqCol(const Expr& e) {
 }  // namespace
 
 void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
-                       const core::SchemaFreeEngine* engine) {
+                       const core::SchemaFreeEngine* engine,
+                       const exec::Executor* executor) {
   report->SetConfig("dataset_total_rows",
                     static_cast<long long>(db.TotalRows()));
   const catalog::Catalog& cat = db.catalog();
@@ -102,6 +103,15 @@ void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
     const core::SatisfiabilityMemoStats m = engine->mapper().memo_stats();
     report->SetMetric("sat_memo_hits", static_cast<double>(m.hits));
     report->SetMetric("sat_memo_misses", static_cast<double>(m.misses));
+  }
+  if (executor != nullptr) {
+    const exec::ExecStats e = executor->stats();
+    report->SetMetric("exec_index_scans", static_cast<double>(e.index_scans));
+    report->SetMetric("exec_table_scans", static_cast<double>(e.table_scans));
+    report->SetMetric("exec_index_joins", static_cast<double>(e.index_joins));
+    report->SetMetric("exec_rows_pruned", static_cast<double>(e.rows_pruned));
+    report->SetMetric("exec_pushed_predicates",
+                      static_cast<double>(e.pushed_predicates));
   }
 }
 

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "core/engine.h"
+#include "exec/executor.h"
 #include "obs/bench_report.h"
 #include "storage/database.h"
 
@@ -17,9 +18,12 @@ namespace sfsql::workloads {
 /// per relation in a "dataset" table) and the database's cumulative
 /// column-index counters — probes answered by index vs. scan, index builds
 /// and build time, LIKE candidates verified — plus, when `engine` is given,
-/// its satisfiability-memo hit/miss counters.
+/// its satisfiability-memo hit/miss counters, and when `executor` is given,
+/// its cumulative access-path counters (index scans vs table scans, rows
+/// pruned below the join, predicates pushed).
 void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
-                       const core::SchemaFreeEngine* engine = nullptr);
+                       const core::SchemaFreeEngine* engine = nullptr,
+                       const exec::Executor* executor = nullptr);
 
 /// Information-unit costs (§7.1). A schema element (relation or attribute
 /// name) is one information unit; approximately specified elements count as a
