@@ -12,12 +12,23 @@
 // One untimed warmup pass triggers the lazy column-index builds so the timed
 // rounds measure steady-state execution.
 //
-// Emits BENCH_execute.json with queries/sec per (scale, config), the
-// index-vs-scan speedup per scale, and the indexed per-query latency
-// distribution (p50/p95/p99), plus the executor's cumulative access-path
-// counters in the run metadata.
+// A second section measures chunk-stat pruning in isolation: a wide 20-column
+// table whose sargable `seq` column is monotone in insertion order, so every
+// chunk covers a disjoint [min, max] range and range predicates rule out
+// whole chunks from their per-chunk statistics alone. The pruning
+// configuration disables the column indexes entirely (ExecConfig::
+// use_column_index = false) — only zone maps and predicate pushdown remain —
+// and is compared against the naive full-scan fold with the same SameRows
+// cross-check.
 //
-// Acceptance: indexed execution >= 5x the forced-scan fold at 100x scale.
+// Emits BENCH_execute.json with queries/sec per (scale, config), the
+// index-vs-scan speedup per scale, the pruning-vs-scan speedup and
+// chunks-pruned counter of the wide-table section, and the indexed per-query
+// latency distribution (p50/p95/p99), plus the executor's cumulative
+// access-path counters in the run metadata.
+//
+// Acceptance: indexed execution >= 5x the forced-scan fold at 100x scale, and
+// chunk-stat pruning (indexes off) >= 2x the full scan on the wide table.
 
 #include <chrono>
 #include <cstdio>
@@ -27,8 +38,10 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "obs/bench_report.h"
+#include "storage/database.h"
 #include "workloads/metrics.h"
 #include "workloads/movie43.h"
 
@@ -107,6 +120,55 @@ RunResult RunWorkload(exec::Executor& ex, const std::vector<std::string>& qs,
           .count();
   out.executed = static_cast<long long>(qs.size()) * rounds;
   return out;
+}
+
+// Wide table for the chunk-pruning section: 20 int columns, `seq` monotone in
+// insertion order so consecutive chunks hold disjoint [min, max] ranges.
+constexpr int kWideCols = 20;
+
+std::unique_ptr<storage::Database> BuildWideDb(size_t rows,
+                                               size_t chunk_capacity) {
+  catalog::Catalog c;
+  catalog::Relation w;
+  w.name = "Wide";
+  w.attributes.push_back({"seq", catalog::ValueType::kInt64});
+  for (int i = 1; i < kWideCols; ++i) {
+    w.attributes.push_back({"c" + std::to_string(i),
+                            catalog::ValueType::kInt64});
+  }
+  w.primary_key = {0};
+  if (!c.AddRelation(w).ok()) return nullptr;
+  auto db = std::make_unique<storage::Database>(std::move(c), chunk_capacity);
+  std::vector<storage::Row> batch;
+  batch.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    storage::Row row;
+    row.reserve(kWideCols);
+    row.push_back(storage::Value::Int(static_cast<int64_t>(r)));
+    for (int a = 1; a < kWideCols; ++a) {
+      row.push_back(storage::Value::Int(
+          static_cast<int64_t>((r * static_cast<size_t>(a + 1)) % 1000)));
+    }
+    batch.push_back(std::move(row));
+  }
+  if (!db->InsertRows(0, std::move(batch)).ok()) return nullptr;
+  return db;
+}
+
+// Range / point predicates over `seq`, each covering at most a couple of the
+// table's chunks; only one or two of the 20 columns are referenced, so the
+// planned scan also skips materializing the rest.
+std::vector<std::string> WideWorkload(size_t rows) {
+  const auto n = [](size_t v) { return std::to_string(v); };
+  return {
+      "SELECT seq, c1 FROM Wide WHERE seq BETWEEN " + n(rows / 4) + " AND " +
+          n(rows / 4 + rows / 32),
+      "SELECT c2 FROM Wide WHERE seq > " + n(rows - rows / 16),
+      "SELECT COUNT(*) FROM Wide WHERE seq < " + n(rows / 16),
+      "SELECT c3 FROM Wide WHERE seq = " + n(rows / 2),
+      "SELECT seq FROM Wide WHERE seq >= " + n(rows / 2) + " AND seq <= " +
+          n(rows / 2 + rows / 64),
+  };
 }
 
 }  // namespace
@@ -219,11 +281,89 @@ int main(int argc, char** argv) {
     last_indexed = std::move(indexed_ptr);
   }
 
+  // --- Wide-table chunk-stat pruning section (indexes disabled) ---
+  const size_t wide_chunk_capacity = 4096;
+  const size_t wide_rows = smoke ? 4 * wide_chunk_capacity
+                                 : 16 * wide_chunk_capacity;
+  const int wide_scan_rounds = smoke ? 1 : 3;
+  const int wide_pruning_rounds = smoke ? 2 : 12;
+  report.SetConfig("wide_rows", static_cast<long long>(wide_rows));
+  report.SetConfig("wide_columns", static_cast<long long>(kWideCols));
+  report.SetConfig("wide_chunk_capacity",
+                   static_cast<long long>(wide_chunk_capacity));
+  double pruning_speedup = 0.0;
+  {
+    auto wide_db = BuildWideDb(wide_rows, wide_chunk_capacity);
+    if (wide_db == nullptr) {
+      std::fprintf(stderr, "wide table build failed\n");
+      return 1;
+    }
+    const std::vector<std::string> wide_queries = WideWorkload(wide_rows);
+
+    exec::ExecConfig naive_cfg;
+    naive_cfg.use_index_scan = false;
+    exec::Executor naive(wide_db.get(), naive_cfg);
+    exec::ExecConfig pruning_cfg;
+    pruning_cfg.use_index_scan = true;
+    pruning_cfg.use_column_index = false;  // zone maps + pushdown only
+    exec::Executor pruning(wide_db.get(), pruning_cfg);
+
+    bool ok = true;
+    (void)RunWorkload(pruning, wide_queries, 1, &ok);  // warmup
+    if (!ok) return 1;
+    RunResult scan = RunWorkload(naive, wide_queries, wide_scan_rounds, &ok);
+    if (!ok) return 1;
+    RunResult pruned =
+        RunWorkload(pruning, wide_queries, wide_pruning_rounds, &ok);
+    if (!ok) return 1;
+
+    bool identical = scan.first_round.size() == pruned.first_round.size();
+    for (size_t i = 0; identical && i < scan.first_round.size(); ++i) {
+      identical = scan.first_round[i].SameRows(pruned.first_round[i]);
+    }
+    all_identical = all_identical && identical;
+
+    const double scan_qps = scan.executed / scan.seconds;
+    const double pruning_qps = pruned.executed / pruned.seconds;
+    pruning_speedup = pruning_qps / scan_qps;
+    const exec::ExecStats pstats = pruning.stats();
+
+    std::printf("\nchunk-stat pruning — wide table, %zu rows x %d cols, "
+                "chunks of %zu (indexes off)\n",
+                wide_rows, kWideCols, wide_chunk_capacity);
+    std::printf("%15s %15s %9s %15s\n", "scan q/s", "pruning q/s", "speedup",
+                "chunks pruned");
+    std::printf("%15.0f %15.0f %8.1fx %15llu%s\n", scan_qps, pruning_qps,
+                pruning_speedup,
+                static_cast<unsigned long long>(pstats.chunks_pruned),
+                identical ? "" : "  RESULTS DIVERGE — BUG");
+
+    report.AddRow("pruning",
+                  obs::BenchReport::Row()
+                      .Number("rows", static_cast<double>(wide_rows))
+                      .Number("scan_queries_per_second", scan_qps)
+                      .Number("pruning_queries_per_second", pruning_qps)
+                      .Number("speedup_pruning_vs_scan", pruning_speedup)
+                      .Number("chunks_pruned",
+                              static_cast<double>(pstats.chunks_pruned))
+                      .Number("results_identical", identical ? 1 : 0));
+    report.SetMetric("wide_scan_queries_per_second", scan_qps);
+    report.SetMetric("wide_pruning_queries_per_second", pruning_qps);
+    report.SetMetric("speedup_pruning_vs_scan", pruning_speedup);
+    // The run-metadata block also emits exec_chunks_pruned for the movie43
+    // executor; this one isolates the wide-table pruning configuration.
+    report.SetMetric("wide_chunks_pruned",
+                     static_cast<double>(pstats.chunks_pruned));
+  }
+
   report.SetMetric("results_identical", all_identical ? 1 : 0);
   if (speedup_at_100 > 0.0) {
     std::printf("\nacceptance: indexed >= 5x scan at 100x scale — %.1fx %s\n",
                 speedup_at_100, speedup_at_100 >= 5.0 ? "PASS" : "MISS");
   }
+  std::printf("acceptance: chunk pruning >= 2x scan on the wide table — "
+              "%.1fx %s\n",
+              pruning_speedup, pruning_speedup >= 2.0 ? "PASS" : "MISS");
   std::printf("results identical across configs: %s\n",
               all_identical ? "yes" : "NO — BUG");
   std::printf("access paths at last scale: %llu index scan(s), %llu table "

@@ -60,7 +60,8 @@ std::vector<Probe> BuildProbes(const storage::Database& db) {
     for (int a = 0; a < static_cast<int>(rel.attributes.size()); ++a) {
       storage::Value sample;
       for (size_t i = 0; i < n && sample.is_null(); ++i) {
-        sample = table.rows()[(i + 7 * static_cast<size_t>(r) + a) % n][a];
+        sample = table.at((i + 7 * static_cast<size_t>(r) + a) % n,
+                          static_cast<size_t>(a));
       }
       auto add = [&](std::string op, std::vector<storage::Value> values) {
         probes.push_back(

@@ -149,6 +149,33 @@ NetworkSummary SummarizeNetwork(const ExtendedViewGraph& graph,
   return out;
 }
 
+/// Builds the tier-2 relation stamp of a cached plan: the union of the
+/// relations read by its translations, each paired with its epoch from the
+/// `epochs` snapshot. An empty translation list (or a translation with no
+/// recorded network) gives no read-set to reason about, so every relation is
+/// stamped — a write anywhere then invalidates the entry, which is the
+/// pre-per-relation behavior and always safe.
+RelationStamp StampForPlan(const TranslationPlan& plan,
+                           const std::vector<uint64_t>& epochs) {
+  std::vector<char> read(epochs.size(), 0);
+  bool stamp_all = plan.translations.empty();
+  for (const CachedTranslation& ct : plan.translations) {
+    if (ct.network.relations.empty()) stamp_all = true;
+    for (int r : ct.network.relations) {
+      if (r < 0 || static_cast<size_t>(r) >= read.size()) {
+        stamp_all = true;
+      } else {
+        read[static_cast<size_t>(r)] = 1;
+      }
+    }
+  }
+  RelationStamp stamp;
+  for (size_t r = 0; r < epochs.size(); ++r) {
+    if (stamp_all || read[r]) stamp.emplace_back(static_cast<int>(r), epochs[r]);
+  }
+  return stamp;
+}
+
 std::string HexFingerprint(uint64_t fp) {
   char buf[20];
   std::snprintf(buf, sizeof(buf), "%016llx",
@@ -784,11 +811,14 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   PlanCache* cache = (plan_cache_ != nullptr && !caller_explain && k > 0)
                          ? plan_cache_.get()
                          : nullptr;
-  // The epoch observed before any lookup or probe. Entries are only read and
-  // written against this single value; if the data moves mid-call, the call
+  // The epochs observed before any lookup or probe. Entries are only read and
+  // written against this single snapshot; if the data moves mid-call, the call
   // still answers (like a cache-off run racing the insert would) but leaves
-  // the cache untouched.
+  // the cache untouched. epochs0 carries the per-relation stamps: a tier-2
+  // entry is servable as long as every relation its translations read is
+  // unchanged, regardless of writes elsewhere.
   const uint64_t epoch0 = db_->epoch();
+  const std::vector<uint64_t> epochs0 = db_->RelationEpochs();
   std::string full_key;
   int served_tier = 0;  // 2 / 1 / 0 = pipeline ran (or cache off / bypassed)
   Result<std::vector<Translation>> out = std::vector<Translation>{};
@@ -801,7 +831,7 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   if (cache != nullptr) {
     full_key = StrCat(k, ':', sfsql);
     if (std::shared_ptr<const TranslationPlan> plan =
-            cache->GetFull(full_key, epoch0)) {
+            cache->GetFull(full_key, epochs0)) {
       out = MaterializePlan(*plan, nullptr);
       served_tier = 2;
     }
@@ -828,7 +858,9 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
           // moved while the signature was being probed.
           std::shared_ptr<const TranslationPlan> full =
               SubstitutePlan(*structure, canonical.literals);
-          if (db_->epoch() == epoch0) cache->PutFull(full_key, epoch0, full);
+          if (db_->epoch() == epoch0) {
+            cache->PutFull(full_key, StampForPlan(*full, epochs0), full);
+          }
           out = MaterializePlan(*full, nullptr);
           served_tier = 1;
         }
@@ -845,7 +877,7 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
         // guaranteed valid for any single epoch. Errors are never cached.
         std::shared_ptr<const TranslationPlan> plan =
             BuildTranslationPlan(*out, canonical.literals);
-        cache->PutFull(full_key, epoch0, plan);
+        cache->PutFull(full_key, StampForPlan(*plan, epochs0), plan);
         if (probe_plan == nullptr) {
           if (std::optional<ProbePlan> built =
                   BuildProbePlan(*canonical.statement)) {
@@ -917,7 +949,7 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
       explain->canonical_fingerprint = HexFingerprint(canonical.fingerprint);
       if (plan_cache_ != nullptr && caller_explain) {
         explain->plan_cache_tier2_present =
-            plan_cache_->PeekFull(StrCat(k, ':', sfsql), epoch0) != nullptr;
+            plan_cache_->PeekFull(StrCat(k, ':', sfsql), epochs0) != nullptr;
         explain->plan_cache_probe_plan_present =
             plan_cache_->PeekProbePlan(canonical_key) != nullptr;
       }
@@ -957,6 +989,8 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
       e.table_rows = static_cast<long long>(t.table_rows);
       e.estimated_rows = static_cast<long long>(t.estimated_rows);
       e.selectivity = t.selectivity;
+      e.chunks_total = static_cast<long long>(t.chunks_total);
+      e.chunks_pruned = static_cast<long long>(t.chunks_pruned);
       explain->execution.push_back(std::move(e));
     }
   }

@@ -98,7 +98,9 @@ std::string TranslationExplain::RenderTree() const {
              std::to_string(t.pushed_predicates) + " pushed, est " +
              std::to_string(t.estimated_rows) + "/" +
              std::to_string(t.table_rows) + " rows, sel " +
-             Num(t.selectivity) + "\n";
+             Num(t.selectivity) + ", chunks pruned " +
+             std::to_string(t.chunks_pruned) + "/" +
+             std::to_string(t.chunks_total) + "\n";
     }
   }
   out += "└─ results\n";
@@ -237,6 +239,8 @@ std::string TranslationExplain::ToJson(bool pretty,
     w.KV("table_rows", t.table_rows);
     w.KV("estimated_rows", t.estimated_rows);
     w.KV("selectivity", t.selectivity);
+    w.KV("chunks_total", t.chunks_total);
+    w.KV("chunks_pruned", t.chunks_pruned);
     w.EndObject();
   }
   w.EndArray();

@@ -70,6 +70,8 @@ struct ExplainTableAccess {
   long long table_rows = 0;
   long long estimated_rows = 0;
   double selectivity = 1.0;
+  long long chunks_total = 0;   ///< columnar chunks in the table at plan time
+  long long chunks_pruned = 0;  ///< chunks ruled out by min/max stats pre-index
 };
 
 /// Full provenance of one Translate call — the translation EXPLAIN mode.

@@ -20,6 +20,21 @@ constexpr char kStructurePrefix = 'S';
 /// printed SQL (printer output is printable ASCII).
 constexpr char kKeySep = '\x1f';
 
+/// A tier-2 stamp is fresh iff every stamped relation is still at its
+/// fill-time epoch. Relations outside the snapshot (catalog shrank — cannot
+/// happen today, but cheap to guard) count as stale.
+bool StampFresh(const RelationStamp& stamp,
+                const std::vector<uint64_t>& current_epochs) {
+  for (const auto& [relation, epoch] : stamp) {
+    if (relation < 0 ||
+        static_cast<size_t>(relation) >= current_epochs.size() ||
+        current_epochs[static_cast<size_t>(relation)] != epoch) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string MakeKey(char prefix, std::string_view a, std::string_view b = {}) {
   std::string key;
   key.reserve(1 + a.size() + (b.empty() ? 0 : 1 + b.size()));
@@ -241,18 +256,17 @@ PlanCache::Shard& PlanCache::ShardFor(std::string_view key) const {
   return shards_[sql::FingerprintBytes(key) % shards_.size()];
 }
 
-std::shared_ptr<const void> PlanCache::Get(std::string_view key,
-                                           const uint64_t* expected_epoch,
-                                           std::atomic<uint64_t>* hits,
-                                           std::atomic<uint64_t>* misses) {
+std::shared_ptr<const void> PlanCache::Get(
+    std::string_view key, const std::vector<uint64_t>* current_epochs,
+    std::atomic<uint64_t>* hits, std::atomic<uint64_t>* misses) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<const void> value;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      if (expected_epoch != nullptr &&
-          it->second->second.epoch != *expected_epoch) {
+      if (current_epochs != nullptr &&
+          !StampFresh(it->second->second.stamp, *current_epochs)) {
         // Stale tier-2 entry: drop it so the slot is free for the refill.
         shard.lru.erase(it->second);
         shard.index.erase(it);
@@ -271,7 +285,7 @@ std::shared_ptr<const void> PlanCache::Get(std::string_view key,
   return value;
 }
 
-void PlanCache::Put(std::string_view key, uint64_t epoch,
+void PlanCache::Put(std::string_view key, RelationStamp stamp,
                     std::shared_ptr<const void> value) {
   if (capacity_ == 0 || value == nullptr) return;
   Shard& shard = ShardFor(key);
@@ -279,11 +293,12 @@ void PlanCache::Put(std::string_view key, uint64_t epoch,
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = Entry{epoch, std::move(value)};
+    it->second->second = Entry{std::move(stamp), std::move(value)};
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
-  shard.lru.emplace_front(std::string(key), Entry{epoch, std::move(value)});
+  shard.lru.emplace_front(std::string(key),
+                          Entry{std::move(stamp), std::move(value)});
   shard.index.emplace(std::string_view(shard.lru.front().first),
                       shard.lru.begin());
   if (shard.lru.size() > per_shard_capacity_) {
@@ -295,28 +310,29 @@ void PlanCache::Put(std::string_view key, uint64_t epoch,
 }
 
 std::shared_ptr<const void> PlanCache::Peek(
-    std::string_view key, const uint64_t* expected_epoch) const {
+    std::string_view key, const std::vector<uint64_t>* current_epochs) const {
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
-  if (expected_epoch != nullptr &&
-      it->second->second.epoch != *expected_epoch) {
+  if (current_epochs != nullptr &&
+      !StampFresh(it->second->second.stamp, *current_epochs)) {
     return nullptr;
   }
   return it->second->second.value;
 }
 
 std::shared_ptr<const TranslationPlan> PlanCache::GetFull(
-    std::string_view statement_key, uint64_t epoch) {
+    std::string_view statement_key,
+    const std::vector<uint64_t>& current_epochs) {
   return std::static_pointer_cast<const TranslationPlan>(
-      Get(MakeKey(kFullPrefix, statement_key), &epoch, &full_hits_,
+      Get(MakeKey(kFullPrefix, statement_key), &current_epochs, &full_hits_,
           &full_misses_));
 }
 
-void PlanCache::PutFull(std::string_view statement_key, uint64_t epoch,
+void PlanCache::PutFull(std::string_view statement_key, RelationStamp stamp,
                         std::shared_ptr<const TranslationPlan> plan) {
-  Put(MakeKey(kFullPrefix, statement_key), epoch, std::move(plan));
+  Put(MakeKey(kFullPrefix, statement_key), std::move(stamp), std::move(plan));
 }
 
 std::shared_ptr<const ProbePlan> PlanCache::GetProbePlan(
@@ -327,7 +343,7 @@ std::shared_ptr<const ProbePlan> PlanCache::GetProbePlan(
 
 void PlanCache::PutProbePlan(std::string_view canonical_key,
                              std::shared_ptr<const ProbePlan> plan) {
-  Put(MakeKey(kProbePrefix, canonical_key), 0, std::move(plan));
+  Put(MakeKey(kProbePrefix, canonical_key), {}, std::move(plan));
 }
 
 std::shared_ptr<const TranslationPlan> PlanCache::GetStructure(
@@ -340,13 +356,15 @@ std::shared_ptr<const TranslationPlan> PlanCache::GetStructure(
 void PlanCache::PutStructure(std::string_view canonical_key,
                              std::string_view signature,
                              std::shared_ptr<const TranslationPlan> plan) {
-  Put(MakeKey(kStructurePrefix, canonical_key, signature), 0, std::move(plan));
+  Put(MakeKey(kStructurePrefix, canonical_key, signature), {},
+      std::move(plan));
 }
 
 std::shared_ptr<const TranslationPlan> PlanCache::PeekFull(
-    std::string_view statement_key, uint64_t epoch) const {
+    std::string_view statement_key,
+    const std::vector<uint64_t>& current_epochs) const {
   return std::static_pointer_cast<const TranslationPlan>(
-      Peek(MakeKey(kFullPrefix, statement_key), &epoch));
+      Peek(MakeKey(kFullPrefix, statement_key), &current_epochs));
 }
 
 std::shared_ptr<const ProbePlan> PlanCache::PeekProbePlan(

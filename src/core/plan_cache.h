@@ -117,11 +117,21 @@ std::vector<Translation> MaterializePlan(
 std::shared_ptr<const TranslationPlan> SubstitutePlan(
     const TranslationPlan& plan, const std::vector<storage::Value>& literals);
 
+/// Per-relation epoch stamp of a tier-2 entry: (relation id, relation epoch
+/// observed while the entry was computed), sorted by relation id. An entry is
+/// stamped with exactly the relations its translations read, so writes to
+/// unrelated tables never invalidate it. An empty stamp means the entry is
+/// epoch-exempt (tier-1 / probe-plan keys, where staleness is impossible by
+/// construction).
+using RelationStamp = std::vector<std::pair<int, uint64_t>>;
+
 /// Two-tier, thread-safe, sharded-LRU translation plan cache.
 ///
 /// Tier 2 ("full") keys on the exact statement text (plus k) and is stamped
-/// with the database epoch observed while the entry was computed: a data
-/// change invalidates it on the next lookup. Tier 1 ("structure") keys on the
+/// with the per-relation epochs of the relations its translations read,
+/// observed while the entry was computed: a data change to any of *those*
+/// relations invalidates it on the next lookup, while writes to unrelated
+/// relations leave it servable. Tier 1 ("structure") keys on the
 /// literal-stripped canonical form (plus k) and the probe signature; its
 /// entries survive data changes because the signature is recomputed against
 /// live data on every lookup. A third key space holds the per-canonical-form
@@ -139,10 +149,14 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  // --- Tier 2: exact statement + epoch ---
-  std::shared_ptr<const TranslationPlan> GetFull(std::string_view statement_key,
-                                                 uint64_t epoch);
-  void PutFull(std::string_view statement_key, uint64_t epoch,
+  // --- Tier 2: exact statement + per-relation epoch stamp ---
+  /// `current_epochs` is the live per-relation epoch vector
+  /// (Database::RelationEpochs()); a hit requires every stamped relation to
+  /// still be at its fill-time epoch, otherwise the entry is dropped as stale.
+  std::shared_ptr<const TranslationPlan> GetFull(
+      std::string_view statement_key,
+      const std::vector<uint64_t>& current_epochs);
+  void PutFull(std::string_view statement_key, RelationStamp stamp,
                std::shared_ptr<const TranslationPlan> plan);
 
   // --- Tier 1: canonical structure ---
@@ -156,8 +170,9 @@ class PlanCache {
 
   /// Read-only probes for EXPLAIN: no counters, no LRU promotion, and no
   /// stale-entry eviction.
-  std::shared_ptr<const TranslationPlan> PeekFull(std::string_view statement_key,
-                                                  uint64_t epoch) const;
+  std::shared_ptr<const TranslationPlan> PeekFull(
+      std::string_view statement_key,
+      const std::vector<uint64_t>& current_epochs) const;
   std::shared_ptr<const ProbePlan> PeekProbePlan(
       std::string_view canonical_key) const;
   std::shared_ptr<const TranslationPlan> PeekStructure(
@@ -169,10 +184,10 @@ class PlanCache {
   PlanCacheStats stats() const;
 
  private:
-  /// Entries carry the tier-2 epoch stamp (0 for tier-1 / probe-plan keys,
-  /// where staleness is impossible by construction).
+  /// Entries carry the tier-2 relation stamp (empty for tier-1 / probe-plan
+  /// keys, where staleness is impossible by construction).
   struct Entry {
-    uint64_t epoch = 0;
+    RelationStamp stamp;
     std::shared_ptr<const void> value;
   };
   struct Shard {
@@ -186,15 +201,16 @@ class PlanCache {
 
   Shard& ShardFor(std::string_view key) const;
   /// Shared lookup: returns the entry's value on a hit (promoting it), null
-  /// otherwise. `expected_epoch` non-null enforces the tier-2 stamp.
+  /// otherwise. `current_epochs` non-null enforces the tier-2 stamp.
   std::shared_ptr<const void> Get(std::string_view key,
-                                  const uint64_t* expected_epoch,
+                                  const std::vector<uint64_t>* current_epochs,
                                   std::atomic<uint64_t>* hits,
                                   std::atomic<uint64_t>* misses);
-  void Put(std::string_view key, uint64_t epoch,
+  void Put(std::string_view key, RelationStamp stamp,
            std::shared_ptr<const void> value);
-  std::shared_ptr<const void> Peek(std::string_view key,
-                                   const uint64_t* expected_epoch) const;
+  std::shared_ptr<const void> Peek(
+      std::string_view key,
+      const std::vector<uint64_t>* current_epochs) const;
 
   size_t capacity_;
   size_t per_shard_capacity_;

@@ -429,7 +429,7 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
     tables[t].from_index = static_cast<int>(t);
     tables[t].relation_id = slots[t].relation_id;
     tables[t].binding_lower = slots[t].binding_lower;
-    tables[t].table_rows = db.table(slots[t].relation_id).rows().size();
+    tables[t].table_rows = db.table(slots[t].relation_id).num_rows();
   }
   std::vector<int> constants;  // table-independent conjuncts
   for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
@@ -502,78 +502,131 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
     plan.join_filters.push_back(std::move(filter));
   }
 
-  // Access path per table: exact cardinality estimates from the column
-  // indexes first; row ids are collected only for the chosen IndexScans.
+  // Access path per table. Chunk-statistics pruning runs FIRST — a chunk
+  // whose per-column min/max cannot satisfy some sargable conjunct drops out
+  // before any column index is consulted (pruning order: chunk stats ->
+  // index -> residual). Only then are the indexes probed for exact
+  // cardinality estimates; row ids are collected only for chosen IndexScans.
   for (size_t t = 0; t < n; ++t) {
     TablePlan& tp = tables[t];
+    const storage::Table& table = db.table(tp.relation_id);
+    tp.chunks_total = table.num_chunks();
     if (tp.sargable.empty()) {
       tp.estimated_rows = tp.table_rows;
       tp.selectivity = 1.0;
       continue;
     }
-    std::vector<std::vector<uint32_t>> like_rows(tp.sargable.size());
-    size_t min_estimate = tp.table_rows;
-    for (size_t s = 0; s < tp.sargable.size(); ++s) {
-      SargablePredicate& p = tp.sargable[s];
-      const storage::ColumnIndex* idx =
-          db.ColumnIndexFor(tp.relation_id, p.attr_index);
-      switch (p.kind) {
-        case SargablePredicate::Kind::kCompare:
-          p.estimated_rows = idx->CountSatisfying(p.op, p.values[0]);
-          break;
-        case SargablePredicate::Kind::kIn:
-          p.estimated_rows = idx->CountIn(p.values);
-          break;
-        case SargablePredicate::Kind::kBetween:
-          p.estimated_rows = idx->CountBetween(p.values[0], p.values[1]);
-          break;
-        case SargablePredicate::Kind::kLike:
-          // LIKE has no cheap count; materialize once and reuse below.
-          like_rows[s] = idx->RowsMatchingLike(p.like_pattern, p.like_escape);
-          p.estimated_rows = like_rows[s].size();
-          break;
-      }
-      min_estimate = std::min(min_estimate, p.estimated_rows);
-    }
-    const bool scan_cheaper =
-        static_cast<double>(min_estimate) >
-        config.max_index_selectivity * static_cast<double>(tp.table_rows);
-    if (tp.table_rows == 0 || !scan_cheaper) {
-      tp.index_scan = true;
-      bool first = true;
-      for (size_t s = 0; s < tp.sargable.size(); ++s) {
-        const SargablePredicate& p = tp.sargable[s];
-        const storage::ColumnIndex* idx =
-            db.ColumnIndexFor(tp.relation_id, p.attr_index);
-        std::vector<uint32_t> rows;
+
+    tp.pruned_chunks.assign(table.num_chunks(), 0);
+    size_t surviving_rows = 0;
+    for (size_t c = 0; c < table.num_chunks(); ++c) {
+      const storage::Chunk& chunk = table.chunk(c);
+      bool pruned = false;
+      for (const SargablePredicate& p : tp.sargable) {
+        const storage::ChunkStats& st = chunk.stats(p.attr_index);
         switch (p.kind) {
           case SargablePredicate::Kind::kCompare:
-            rows = idx->RowsSatisfying(p.op, p.values[0]);
+            pruned = st.CanPrune(p.op, p.values[0]);
             break;
           case SargablePredicate::Kind::kIn:
-            rows = idx->RowsIn(p.values);
+            pruned = st.CanPruneIn(p.values);
             break;
           case SargablePredicate::Kind::kBetween:
-            rows = idx->RowsBetween(p.values[0], p.values[1]);
+            pruned = st.CanPruneBetween(p.values[0], p.values[1]);
             break;
           case SargablePredicate::Kind::kLike:
-            rows = std::move(like_rows[s]);
+            // Min/max say nothing about pattern matches; only an all-NULL
+            // column rules the chunk out.
+            pruned = st.all_null();
             break;
         }
-        tp.row_ids = first ? std::move(rows)
-                           : IntersectSorted(std::move(tp.row_ids), rows);
-        first = false;
-        if (tp.row_ids.empty()) break;
+        if (pruned) break;
       }
-      tp.estimated_rows = tp.row_ids.size();
-    } else {
-      // Scan wins: the sargable conjuncts demote to per-row evaluation, the
-      // exact single-predicate estimate still informs the join order.
+      if (pruned) {
+        tp.pruned_chunks[c] = 1;
+        ++tp.chunks_pruned;
+      } else {
+        surviving_rows += chunk.size();
+      }
+    }
+
+    // Scan path: the sargable conjuncts demote to per-row evaluation but are
+    // retained for chunk pruning; the estimate still informs the join order.
+    auto demote_to_scan = [&tp](size_t estimate) {
       for (const SargablePredicate& p : tp.sargable) {
         tp.pushed.push_back(p.conjunct);
       }
+      tp.prunable = std::move(tp.sargable);
       tp.sargable.clear();
-      tp.estimated_rows = min_estimate;
+      tp.estimated_rows = estimate;
+    };
+
+    if (surviving_rows == 0 && tp.table_rows > 0) {
+      // The statistics alone emptied the table — scan the (zero) surviving
+      // chunks and skip the index entirely, including its lazy build.
+      demote_to_scan(0);
+    } else if (!config.use_column_index) {
+      demote_to_scan(std::min(surviving_rows, tp.table_rows));
+    } else {
+      std::vector<std::vector<uint32_t>> like_rows(tp.sargable.size());
+      size_t min_estimate = tp.table_rows;
+      for (size_t s = 0; s < tp.sargable.size(); ++s) {
+        SargablePredicate& p = tp.sargable[s];
+        const storage::ColumnIndex* idx =
+            db.ColumnIndexFor(tp.relation_id, p.attr_index);
+        switch (p.kind) {
+          case SargablePredicate::Kind::kCompare:
+            p.estimated_rows = idx->CountSatisfying(p.op, p.values[0]);
+            break;
+          case SargablePredicate::Kind::kIn:
+            p.estimated_rows = idx->CountIn(p.values);
+            break;
+          case SargablePredicate::Kind::kBetween:
+            p.estimated_rows = idx->CountBetween(p.values[0], p.values[1]);
+            break;
+          case SargablePredicate::Kind::kLike:
+            // LIKE has no cheap count; materialize once and reuse below.
+            like_rows[s] = idx->RowsMatchingLike(p.like_pattern,
+                                                 p.like_escape);
+            p.estimated_rows = like_rows[s].size();
+            break;
+        }
+        min_estimate = std::min(min_estimate, p.estimated_rows);
+      }
+      const bool scan_cheaper =
+          static_cast<double>(min_estimate) >
+          config.max_index_selectivity * static_cast<double>(tp.table_rows);
+      if (tp.table_rows == 0 || !scan_cheaper) {
+        tp.index_scan = true;
+        bool first = true;
+        for (size_t s = 0; s < tp.sargable.size(); ++s) {
+          const SargablePredicate& p = tp.sargable[s];
+          const storage::ColumnIndex* idx =
+              db.ColumnIndexFor(tp.relation_id, p.attr_index);
+          std::vector<uint32_t> rows;
+          switch (p.kind) {
+            case SargablePredicate::Kind::kCompare:
+              rows = idx->RowsSatisfying(p.op, p.values[0]);
+              break;
+            case SargablePredicate::Kind::kIn:
+              rows = idx->RowsIn(p.values);
+              break;
+            case SargablePredicate::Kind::kBetween:
+              rows = idx->RowsBetween(p.values[0], p.values[1]);
+              break;
+            case SargablePredicate::Kind::kLike:
+              rows = std::move(like_rows[s]);
+              break;
+          }
+          tp.row_ids = first ? std::move(rows)
+                             : IntersectSorted(std::move(tp.row_ids), rows);
+          first = false;
+          if (tp.row_ids.empty()) break;
+        }
+        tp.estimated_rows = tp.row_ids.size();
+      } else {
+        demote_to_scan(std::min(min_estimate, surviving_rows));
+      }
     }
     tp.selectivity =
         tp.table_rows == 0
@@ -638,7 +691,7 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
   // executor verifies any further edges per probed row.
   std::vector<int> step_of(n, -1);
   for (size_t t = 0; t < n; ++t) step_of[plan.tables[t].from_index] = t;
-  for (size_t t = 1; t < n; ++t) {
+  for (size_t t = 1; config.use_column_index && t < n; ++t) {
     TablePlan& tp = plan.tables[t];
     if (tp.index_scan) continue;
     for (const PlannedEquiJoin& e : plan.equi_joins) {
@@ -672,6 +725,8 @@ std::vector<TableAccessExplain> ExplainPlan(const storage::Database& db,
     e.table_rows = tp.table_rows;
     e.estimated_rows = tp.estimated_rows;
     e.selectivity = tp.selectivity;
+    e.chunks_total = tp.chunks_total;
+    e.chunks_pruned = tp.chunks_pruned;
     out.push_back(std::move(e));
   }
   return out;

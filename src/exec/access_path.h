@@ -16,6 +16,12 @@ namespace sfsql::exec {
 /// kept as the differential-testing and benchmarking baseline.
 struct ExecConfig {
   bool use_index_scan = true;
+  /// Consult the per-column indexes (exact counts, IndexScan row ids, index
+  /// nested-loop joins). With this off but `use_index_scan` on, the planner
+  /// still runs — scans prune whole chunks through the per-chunk statistics
+  /// and push sargable conjuncts below the join, but never build or probe an
+  /// index. This isolates the chunk-statistics win in benchmarks.
+  bool use_column_index = true;
   /// Reorder the join fold by post-pushdown cardinality (cheapest build side
   /// first). Only applied when the block is provably order-insensitive — see
   /// ReorderSafe below.
@@ -35,6 +41,7 @@ struct ExecStats {
   uint64_t index_joins = 0;        ///< base tables probed via index join
   uint64_t rows_pruned = 0;        ///< base rows eliminated below the join
   uint64_t pushed_predicates = 0;  ///< predicates evaluated below the join
+  uint64_t chunks_pruned = 0;      ///< chunks skipped via per-chunk statistics
 };
 
 /// One sargable conjunct bound to a column: a shape the column index can
@@ -64,6 +71,17 @@ struct TablePlan {
   std::vector<SargablePredicate> sargable;
   /// Conjunct indices evaluated once per base row, below the join.
   std::vector<int> pushed;
+  /// When the scan is chosen, the demoted sargable conjuncts are retained
+  /// here so the scan can keep pruning whole chunks against the per-chunk
+  /// statistics (the conjuncts are also in `pushed` for per-row residue).
+  std::vector<SargablePredicate> prunable;
+  /// Per-chunk prune verdicts from the chunk statistics, computed at plan
+  /// time *before* any index is consulted (valid while ReadLock is held);
+  /// 1 = no row of the chunk can pass the sargable conjuncts. Empty when the
+  /// table has no sargable conjuncts.
+  std::vector<char> pruned_chunks;
+  size_t chunks_total = 0;
+  size_t chunks_pruned = 0;
   /// IndexScan row positions (ascending), materialized at plan time — valid
   /// while Database::ReadLock() is held (see the staleness contract in
   /// column_index.h).
@@ -120,6 +138,8 @@ struct TableAccessExplain {
   size_t table_rows = 0;
   size_t estimated_rows = 0;
   double selectivity = 1.0;
+  size_t chunks_total = 0;   ///< chunks in the table at plan time
+  size_t chunks_pruned = 0;  ///< chunks the statistics ruled out pre-index
 };
 
 /// Flattens a WHERE AND-tree into conjuncts (borrowed pointers). The

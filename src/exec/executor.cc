@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -66,6 +67,26 @@ struct ColumnLoc {
 // IsAggregateName / ContainsAggregate / SplitConjuncts live in
 // exec/access_path.{h,cc} now — the planner classifies with the exact same
 // rules the executor evaluates with.
+
+/// Full-width row materialization of a chunked table — the legacy fold's
+/// row-wise view of the columnar store. The planned fold copies only
+/// referenced columns instead (see BuildFromRowsPlanned).
+std::vector<Row> MaterializeAllRows(const storage::Table& table) {
+  std::vector<Row> rows;
+  rows.reserve(table.num_rows());
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    const storage::Chunk& chunk = table.chunk(c);
+    for (size_t o = 0; o < chunk.size(); ++o) {
+      Row row;
+      row.reserve(table.num_attrs());
+      for (size_t a = 0; a < table.num_attrs(); ++a) {
+        row.push_back(chunk.column(a)[o]);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
 
 // ---------------------------------------------------------------------------
 // Block executor
@@ -515,10 +536,67 @@ class BlockExecutor {
     return it->second;
   }
 
+  // --- referenced-column analysis ---
+  //
+  // The planned fold copies only columns the statement can read out of the
+  // chunks; everything else stays a NULL placeholder in the flat row. The
+  // analysis is conservative and name-based over the whole root statement
+  // (subqueries included): a bare name can resolve into any slot carrying
+  // it and correlated refs cross blocks, so per-binding precision is not
+  // attempted. A star or a non-exact name forces full materialization.
+
+  void CollectReferences(const SelectStatement& stmt) {
+    std::function<void(const Expr&)> walk = [&](const Expr& e) {
+      if (refs_all_) return;
+      switch (e.kind) {
+        case ExprKind::kStar:
+          refs_all_ = true;
+          return;
+        case ExprKind::kColumnRef:
+          if (!e.attribute.exact()) {
+            refs_all_ = true;
+            return;
+          }
+          ref_names_.insert(ToLower(e.attribute.name));
+          break;
+        default:
+          break;
+      }
+      if (e.lhs) walk(*e.lhs);
+      if (e.rhs) walk(*e.rhs);
+      for (const ExprPtr& a : e.args) walk(*a);
+      if (e.subquery) CollectReferences(*e.subquery);
+    };
+    for (const sql::SelectItem& item : stmt.select_items) walk(*item.expr);
+    if (stmt.where) walk(*stmt.where);
+    for (const ExprPtr& g : stmt.group_by) walk(*g);
+    if (stmt.having) walk(*stmt.having);
+    for (const sql::OrderItem& o : stmt.order_by) walk(*o.expr);
+  }
+
+  /// Per-attribute "must materialize" flags for one relation.
+  const std::vector<char>& ReferencedAttrs(int relation_id) {
+    auto it = referenced_cache_.find(relation_id);
+    if (it != referenced_cache_.end()) return it->second;
+    const catalog::Relation& rel = db_->catalog().relation(relation_id);
+    std::vector<char> wanted(rel.attributes.size(), 1);
+    if (!refs_all_) {
+      for (size_t a = 0; a < rel.attributes.size(); ++a) {
+        wanted[a] = ref_names_.count(ToLower(rel.attributes[a].name)) ? 1 : 0;
+      }
+    }
+    return referenced_cache_.emplace(relation_id, std::move(wanted))
+        .first->second;
+  }
+
   const storage::Database* db_;
   const ExecConfig* config_;
   ExecStats* stats_;
   std::unordered_map<const SelectStatement*, BlockPlan> plans_;
+  bool analyzed_ = false;
+  bool refs_all_ = false;
+  std::unordered_set<std::string> ref_names_;
+  std::unordered_map<int, std::vector<char>> referenced_cache_;
 };
 
 Result<std::vector<Row>> BlockExecutor::BuildFromRows(
@@ -596,7 +674,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRows(
       conjunct_used[ci] = true;
     }
 
-    const std::vector<Row>& table_rows = db_->table(rel_id).rows();
+    const std::vector<Row> table_rows = MaterializeAllRows(db_->table(rel_id));
     std::vector<Row> joined;
 
     auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
@@ -700,31 +778,50 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
   };
 
   // Stage 1, run lazily at each fold step: the filtered base-row list of one
-  // table. An IndexScan starts from the plan's row ids (sargable conjuncts
-  // already satisfied); either way the pushed predicates run once per base
-  // row. Tables answered by an index nested-loop join skip this entirely.
-  auto materialize = [&](const TablePlan& tp) -> Result<std::vector<const Row*>> {
-    const std::vector<Row>& table_rows = db_->table(tp.relation_id).rows();
+  // table, materialized column-at-a-time out of the chunks — only columns the
+  // statement can read are copied; the rest stay NULL placeholders. An
+  // IndexScan starts from the plan's row ids (sargable conjuncts already
+  // satisfied); a scan walks the chunks, skipping every chunk the plan's
+  // statistics pass pruned. Either way the pushed predicates run once per
+  // base row. Tables answered by an index nested-loop join skip this.
+  auto materialize = [&](const TablePlan& tp) -> Result<std::vector<Row>> {
+    const storage::Table& table = db_->table(tp.relation_id);
+    const std::vector<char>& wanted = ReferencedAttrs(tp.relation_id);
+    const size_t width = table.num_attrs();
     BlockSchema local;
     local.slots.push_back(slot_for(tp, 0));
     local.width = local.slots[0].width;
-    std::vector<const Row*> base;
+    std::vector<Row> base;
     if (tp.index_scan) {
       ++stats_->index_scans;
       base.reserve(tp.row_ids.size());
       for (uint32_t id : tp.row_ids) {
-        const Row& row = table_rows[id];
+        Row row(width);
+        for (size_t a = 0; a < width; ++a) {
+          if (wanted[a]) row[a] = table.at(id, a);
+        }
         SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
-        if (ok) base.push_back(&row);
+        if (ok) base.push_back(std::move(row));
       }
     } else {
       ++stats_->table_scans;
-      for (const Row& row : table_rows) {
-        SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
-        if (ok) base.push_back(&row);
+      for (size_t c = 0; c < table.num_chunks(); ++c) {
+        if (c < tp.pruned_chunks.size() && tp.pruned_chunks[c]) {
+          ++stats_->chunks_pruned;
+          continue;
+        }
+        const storage::Chunk& chunk = table.chunk(c);
+        for (size_t o = 0; o < chunk.size(); ++o) {
+          Row row(width);
+          for (size_t a = 0; a < width; ++a) {
+            if (wanted[a]) row[a] = chunk.column(a)[o];
+          }
+          SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
+          if (ok) base.push_back(std::move(row));
+        }
       }
     }
-    stats_->rows_pruned += table_rows.size() - base.size();
+    stats_->rows_pruned += table.num_rows() - base.size();
     stats_->pushed_predicates += tp.pushed.size() + tp.sargable.size();
     return base;
   };
@@ -797,14 +894,16 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     // back ascending, so emission order matches the hash join exactly (per
     // accumulated row, matches in table order). `=` probes use Value::Compare
     // equality, which coincides with the hash join's Equals for non-nulls.
-    const std::vector<Row>& table_rows = db_->table(tp.relation_id).rows();
+    const storage::Table& table = db_->table(tp.relation_id);
     const bool index_join = tp.index_join_attr >= 0 && !keys.empty() &&
-                            rows.size() * 4 <= table_rows.size();
+                            rows.size() * 4 <= table.num_rows();
     if (index_join) {
       ++stats_->index_joins;
       stats_->pushed_predicates += tp.pushed.size();
       const storage::ColumnIndex* idx =
           db_->ColumnIndexFor(tp.relation_id, tp.index_join_attr);
+      const std::vector<char>& wanted = ReferencedAttrs(tp.relation_id);
+      const size_t width = table.num_attrs();
       BlockSchema local;
       local.slots.push_back(slot_for(tp, 0));
       local.width = local.slots[0].width;
@@ -818,7 +917,10 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
         if (has_null) continue;
         for (uint32_t id :
              idx->RowsSatisfying("=", base[keys[probe_key].existing_col])) {
-          const Row& trow = table_rows[id];
+          Row trow(width);
+          for (size_t a = 0; a < width; ++a) {
+            if (wanted[a]) trow[a] = table.at(id, a);
+          }
           bool match = true;
           for (size_t k = 0; k < keys.size() && match; ++k) {
             if (k == probe_key) continue;
@@ -836,21 +938,21 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
       continue;
     }
 
-    SFSQL_ASSIGN_OR_RETURN(std::vector<const Row*> base_rows, materialize(tp));
+    SFSQL_ASSIGN_OR_RETURN(std::vector<Row> base_rows, materialize(tp));
     if (!keys.empty()) {
       // Hash join: build on the new (filtered) table, probe with the
       // accumulated rows. NULL keys never join, matching the legacy fold.
       std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
-      for (const Row* trow : base_rows) {
+      for (const Row& trow : base_rows) {
         Row key;
         key.reserve(keys.size());
         bool has_null = false;
         for (const EquiKey& k : keys) {
-          if ((*trow)[k.new_col].is_null()) has_null = true;
-          key.push_back((*trow)[k.new_col]);
+          if (trow[k.new_col].is_null()) has_null = true;
+          key.push_back(trow[k.new_col]);
         }
         if (has_null) continue;
-        build[std::move(key)].push_back(trow);
+        build[std::move(key)].push_back(&trow);
       }
       for (const Row& base : rows) {
         Row probe;
@@ -869,8 +971,8 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
       }
     } else {
       for (const Row& base : rows) {
-        for (const Row* trow : base_rows) {
-          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+        for (const Row& trow : base_rows) {
+          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, trow));
         }
       }
     }
@@ -886,6 +988,12 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
 
 Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
                                                 const Env& outer) {
+  if (!analyzed_) {
+    // First call = the root statement; subquery blocks recurse through here
+    // with the analysis already in place.
+    analyzed_ = true;
+    CollectReferences(stmt);
+  }
   std::vector<const Expr*> conjuncts;
   SplitConjuncts(stmt.where.get(), conjuncts);
   // An OR at the top level is a single conjunct; fine — it lands in the final
@@ -1160,6 +1268,7 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
     execute_seconds_ = nullptr;
     index_scans_total_ = table_scans_total_ = index_joins_total_ = nullptr;
     rows_pruned_total_ = pushed_predicates_total_ = nullptr;
+    chunks_pruned_total_ = nullptr;
     return;
   }
   clock_ = obs::ClockOrSteady(clock);
@@ -1184,6 +1293,9 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
   pushed_predicates_total_ = registry->GetCounter(
       "sfsql_exec_pushed_predicates_total",
       "Predicates evaluated below the join (index-answered or per base row)");
+  chunks_pruned_total_ = registry->GetCounter(
+      "sfsql_exec_chunks_pruned_total",
+      "Chunks skipped by scans via per-chunk min/max statistics");
 }
 
 Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
@@ -1205,6 +1317,7 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
   index_joins_.fetch_add(stats.index_joins, kRelaxed);
   rows_pruned_.fetch_add(stats.rows_pruned, kRelaxed);
   pushed_predicates_.fetch_add(stats.pushed_predicates, kRelaxed);
+  chunks_pruned_.fetch_add(stats.chunks_pruned, kRelaxed);
   if (execute_seconds_ != nullptr) {
     execute_seconds_->Observe(obs::NanosToSeconds(clock_->NowNanos() - start));
     execute_total_->Increment();
@@ -1218,6 +1331,7 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
     index_joins_total_->Increment(stats.index_joins);
     rows_pruned_total_->Increment(stats.rows_pruned);
     pushed_predicates_total_->Increment(stats.pushed_predicates);
+    chunks_pruned_total_->Increment(stats.chunks_pruned);
   }
   return out;
 }
@@ -1230,6 +1344,7 @@ ExecStats Executor::stats() const {
   s.index_joins = index_joins_.load(kRelaxed);
   s.rows_pruned = rows_pruned_.load(kRelaxed);
   s.pushed_predicates = pushed_predicates_.load(kRelaxed);
+  s.chunks_pruned = chunks_pruned_.load(kRelaxed);
   return s;
 }
 

@@ -72,7 +72,7 @@ class Executor {
   ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total,
   ///   sfsql_exec_index_scans_total, sfsql_exec_table_scans_total,
   ///   sfsql_exec_index_joins_total, sfsql_exec_rows_pruned_total,
-  ///   sfsql_exec_pushed_predicates_total.
+  ///   sfsql_exec_pushed_predicates_total, sfsql_exec_chunks_pruned_total.
   /// Null `registry` (the default state) disables metrics entirely; `clock`
   /// overrides the steady clock for the latency histogram (tests).
   void EnableMetrics(obs::MetricsRegistry* registry,
@@ -107,11 +107,13 @@ class Executor {
   obs::Counter* index_joins_total_ = nullptr;
   obs::Counter* rows_pruned_total_ = nullptr;
   obs::Counter* pushed_predicates_total_ = nullptr;
+  obs::Counter* chunks_pruned_total_ = nullptr;
   std::atomic<uint64_t> index_scans_{0};
   std::atomic<uint64_t> table_scans_{0};
   std::atomic<uint64_t> index_joins_{0};
   std::atomic<uint64_t> rows_pruned_{0};
   std::atomic<uint64_t> pushed_predicates_{0};
+  std::atomic<uint64_t> chunks_pruned_{0};
 };
 
 }  // namespace sfsql::exec

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -225,6 +226,42 @@ class JsonParser {
     }
   }
 
+  /// Reads the four hex digits of a \uXXXX escape (pos_ on the first digit);
+  /// -1 on malformed input.
+  int ParseHex4() {
+    if (pos_ + 4 > text_.size()) return -1;
+    int cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else return -1;
+      cp = (cp << 4) | d;
+    }
+    pos_ += 4;
+    return cp;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   Result<JsonValue> ParseString() {
     ++pos_;  // '"'
     JsonValue v;
@@ -244,11 +281,28 @@ class JsonParser {
           case 'n': v.string += '\n'; break;
           case 'r': v.string += '\r'; break;
           case 't': v.string += '\t'; break;
-          case 'u':
-            // Pass \uXXXX through literally; the writer never emits them for
-            // the ASCII-range text this codebase produces.
-            v.string += "\\u";
+          case 'u': {
+            int cp = ParseHex4();
+            if (cp < 0) return Error("bad \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: a low surrogate escape must follow, and the
+              // pair decodes to one supplementary-plane code point.
+              if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired surrogate in \\u escape");
+              }
+              pos_ += 2;
+              const int lo = ParseHex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) {
+                return Error("unpaired surrogate in \\u escape");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Error("unpaired surrogate in \\u escape");
+            }
+            AppendUtf8(static_cast<uint32_t>(cp), &v.string);
             break;
+          }
           default:
             return Error("bad escape sequence");
         }

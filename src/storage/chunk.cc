@@ -1,0 +1,67 @@
+#include "storage/chunk.h"
+
+#include <bit>
+#include <cmath>
+
+namespace sfsql::storage {
+
+void ChunkStats::Add(const Value& v) {
+  if (v.is_null()) {
+    ++null_count_;
+    return;
+  }
+  if (!has_values_) {
+    min_ = v;
+    max_ = v;
+    has_values_ = true;
+  } else {
+    if (v.Compare(min_) < 0) min_ = v;
+    if (v.Compare(max_) > 0) max_ = v;
+  }
+  const size_t b = v.Hash() & 255;
+  sketch_[b >> 6] |= uint64_t{1} << (b & 63);
+}
+
+size_t ChunkStats::DistinctEstimate() const {
+  int zeros = 0;
+  for (uint64_t word : sketch_) zeros += 64 - std::popcount(word);
+  if (zeros == 0) return 256;  // saturated; a 16k chunk caps the truth anyway
+  // Linear counting: n ≈ -m * ln(empty / m) with m = 256 buckets.
+  return static_cast<size_t>(std::lround(-256.0 * std::log(zeros / 256.0)));
+}
+
+bool ChunkStats::CanPrune(std::string_view op, const Value& lit) const {
+  if (lit.is_null()) return true;  // NULL comparisons never hold
+  if (!has_values_) return true;   // all-NULL chunk
+  if (!Comparable(lit)) return false;
+  if (op == "=") {
+    return lit.Compare(min_) < 0 || lit.Compare(max_) > 0;
+  }
+  if (op == "<>" || op == "!=") {
+    // Prunable only when every non-NULL value equals the literal. Compare and
+    // Equals agree on int/double coercion, so Compare == 0 is exact here.
+    return min_.Compare(lit) == 0 && max_.Compare(lit) == 0;
+  }
+  if (op == "<") return min_.Compare(lit) >= 0;
+  if (op == "<=") return min_.Compare(lit) > 0;
+  if (op == ">") return max_.Compare(lit) <= 0;
+  if (op == ">=") return max_.Compare(lit) < 0;
+  return false;
+}
+
+bool ChunkStats::CanPruneBetween(const Value& low, const Value& high) const {
+  if (!has_values_) return true;
+  if (low.is_null() || high.is_null()) return true;
+  if (!Comparable(low) || !Comparable(high)) return false;
+  return max_.Compare(low) < 0 || min_.Compare(high) > 0;
+}
+
+bool ChunkStats::CanPruneIn(const std::vector<Value>& items) const {
+  if (!has_values_) return true;
+  for (const Value& item : items) {
+    if (!CanPrune("=", item)) return false;
+  }
+  return true;
+}
+
+}  // namespace sfsql::storage

@@ -1,0 +1,87 @@
+#ifndef SFSQL_STORAGE_CHUNK_H_
+#define SFSQL_STORAGE_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace sfsql::storage {
+
+/// Per-column statistics of one chunk, maintained incrementally on append:
+/// min/max (Value::Compare order), NULL count, and a 256-bucket linear-counting
+/// sketch (over Value::Hash) estimating the distinct count. The planner prunes
+/// whole chunks against sargable predicates with `CanPrune*` before it ever
+/// consults a column index.
+class ChunkStats {
+ public:
+  /// Folds one appended value into the stats.
+  void Add(const Value& v);
+
+  /// True if every value seen so far was NULL (or nothing was appended).
+  bool all_null() const { return !has_values_; }
+  size_t null_count() const { return null_count_; }
+  /// Smallest / largest non-NULL value; meaningless while all_null().
+  const Value& min() const { return min_; }
+  const Value& max() const { return max_; }
+
+  /// Linear-counting estimate of the number of distinct non-NULL values.
+  size_t DistinctEstimate() const;
+
+  /// True when no row of the chunk can satisfy `op lit` — the chunk is all
+  /// NULL (predicates over NULL are false under two-valued logic), or the
+  /// literal falls outside [min, max] in a way the operator cannot reach.
+  /// `op` is one of "=", "<>", "!=", "<", "<=", ">", ">=". Conservative:
+  /// returns false whenever the literal is not comparable with the column.
+  bool CanPrune(std::string_view op, const Value& lit) const;
+
+  /// True when no row can land in [low, high] (BETWEEN).
+  bool CanPruneBetween(const Value& low, const Value& high) const;
+
+  /// True when no row can equal any item of the IN list.
+  bool CanPruneIn(const std::vector<Value>& items) const;
+
+ private:
+  bool Comparable(const Value& lit) const {
+    return (min_.is_numeric() && lit.is_numeric()) || min_.type() == lit.type();
+  }
+
+  bool has_values_ = false;
+  Value min_;
+  Value max_;
+  size_t null_count_ = 0;
+  uint64_t sketch_[4] = {0, 0, 0, 0};  ///< 256-bit linear-counting bitmap
+};
+
+/// A fixed-capacity columnar segment: one value vector per attribute, all the
+/// same length, plus per-attribute ChunkStats. Appends are row-at-a-time (the
+/// write path stays tuple-oriented); reads are column-at-a-time.
+class Chunk {
+ public:
+  explicit Chunk(size_t num_attrs) : columns_(num_attrs), stats_(num_attrs) {}
+
+  size_t size() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_attrs() const { return columns_.size(); }
+
+  const std::vector<Value>& column(size_t attr) const { return columns_[attr]; }
+  const ChunkStats& stats(size_t attr) const { return stats_[attr]; }
+
+  /// Splits `row` (already arity-checked) across the column vectors and folds
+  /// each value into its column's stats.
+  void Append(Row row) {
+    for (size_t a = 0; a < columns_.size(); ++a) {
+      stats_[a].Add(row[a]);
+      columns_[a].push_back(std::move(row[a]));
+    }
+  }
+
+ private:
+  std::vector<std::vector<Value>> columns_;
+  std::vector<ChunkStats> stats_;
+};
+
+}  // namespace sfsql::storage
+
+#endif  // SFSQL_STORAGE_CHUNK_H_

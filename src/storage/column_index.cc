@@ -14,10 +14,13 @@ ColumnIndex ColumnIndex::Build(const Table& table, int attr_index, int ngram) {
   idx.ngram_ = ngram;
   idx.built_rows_ = table.num_rows();
 
+  // Columnar build: every pass walks just this attribute's chunk segments —
+  // the other columns are never touched.
   idx.values_.reserve(table.num_rows());
-  for (const Row& row : table.rows()) {
-    const Value& v = row[attr_index];
-    if (!v.is_null()) idx.values_.push_back(v);
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    for (const Value& v : table.chunk(c).column(attr_index)) {
+      if (!v.is_null()) idx.values_.push_back(v);
+    }
   }
   std::sort(idx.values_.begin(), idx.values_.end(),
             [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
@@ -61,11 +64,12 @@ ColumnIndex ColumnIndex::Build(const Table& table, int attr_index, int ngram) {
   };
   idx.row_id_begin_.assign(idx.values_.size() + 1, 0);
   size_t non_null = 0;
-  for (const Row& row : table.rows()) {
-    const Value& v = row[attr_index];
-    if (v.is_null()) continue;
-    ++idx.row_id_begin_[bucket_of(v) + 1];
-    ++non_null;
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    for (const Value& v : table.chunk(c).column(attr_index)) {
+      if (v.is_null()) continue;
+      ++idx.row_id_begin_[bucket_of(v) + 1];
+      ++non_null;
+    }
   }
   for (size_t i = 1; i < idx.row_id_begin_.size(); ++i) {
     idx.row_id_begin_[i] += idx.row_id_begin_[i - 1];
@@ -73,10 +77,14 @@ ColumnIndex ColumnIndex::Build(const Table& table, int attr_index, int ngram) {
   idx.row_ids_.resize(non_null);
   std::vector<uint32_t> cursor(idx.row_id_begin_.begin(),
                                idx.row_id_begin_.end() - 1);
-  for (size_t r = 0; r < table.rows().size(); ++r) {
-    const Value& v = table.rows()[r][attr_index];
-    if (v.is_null()) continue;
-    idx.row_ids_[cursor[bucket_of(v)]++] = static_cast<uint32_t>(r);
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    const std::vector<Value>& column = table.chunk(c).column(attr_index);
+    const size_t base = c * table.chunk_capacity();
+    for (size_t o = 0; o < column.size(); ++o) {
+      const Value& v = column[o];
+      if (v.is_null()) continue;
+      idx.row_ids_[cursor[bucket_of(v)]++] = static_cast<uint32_t>(base + o);
+    }
   }
   return idx;
 }

@@ -47,7 +47,8 @@ struct ColumnIndexStats {
 /// Instances are immutable after Build and safe to share across threads.
 ///
 /// Staleness contract for the row-id path: every row id returned by a Rows*
-/// method is a position into Table::rows() *as of built_rows()*. Tables are
+/// method is a global row position (as accepted by Table::at) *as of
+/// built_rows()*. Tables are
 /// append-only, so the ids stay valid while the table still has exactly
 /// built_rows() rows; once NumRows advances, the ids are merely incomplete
 /// (they miss the appended rows), and ColumnIndexManager::Get — whose stamp

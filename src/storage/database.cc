@@ -6,15 +6,18 @@
 
 namespace sfsql::storage {
 
-Database::Database(catalog::Catalog catalog) : catalog_(std::move(catalog)) {
+Database::Database(catalog::Catalog catalog, size_t chunk_capacity)
+    : catalog_(std::move(catalog)) {
   tables_.reserve(catalog_.num_relations());
   std::vector<size_t> attrs;
   attrs.reserve(catalog_.num_relations());
   for (int i = 0; i < catalog_.num_relations(); ++i) {
-    tables_.emplace_back(i);
+    tables_.emplace_back(i, catalog_.relation(i).attributes.size(),
+                         chunk_capacity);
     attrs.push_back(catalog_.relation(i).attributes.size());
   }
   indexes_.Reset(attrs);
+  relation_epochs_.assign(catalog_.num_relations(), 0);
 }
 
 Status Database::ValidateRow(const catalog::Relation& rel, const Row& row) {
@@ -49,6 +52,7 @@ Status Database::Insert(int relation_id, Row row) {
   {
     std::unique_lock<std::shared_mutex> lock(data_mu_);
     tables_[relation_id].Append(std::move(row));
+    ++relation_epochs_[relation_id];
   }
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
@@ -59,21 +63,20 @@ Status Database::InsertRows(int relation_id, std::vector<Row> rows) {
     return Status::InvalidArgument("insert into unknown relation");
   }
   const catalog::Relation& rel = catalog_.relation(relation_id);
-  Status status = Status::OK();
+  // Validate the whole batch before touching the table: a mid-batch error
+  // must leave row counts and both epochs exactly as they were.
+  for (const Row& row : rows) {
+    SFSQL_RETURN_IF_ERROR(ValidateRow(rel, row));
+  }
   {
     std::unique_lock<std::shared_mutex> lock(data_mu_);
     Table& table = tables_[relation_id];
     table.Reserve(table.num_rows() + rows.size());
-    for (Row& row : rows) {
-      status = ValidateRow(rel, row);
-      if (!status.ok()) break;
-      table.Append(std::move(row));
-    }
+    for (Row& row : rows) table.Append(std::move(row));
+    ++relation_epochs_[relation_id];
   }
-  // The epoch moves even on a failed batch: rows before the first invalid one
-  // stayed inserted, so readers must still observe a data change.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
-  return status;
+  return Status::OK();
 }
 
 size_t Database::TotalRows() const {
@@ -89,6 +92,17 @@ size_t Database::NumRows(int relation_id) const {
   return tables_[relation_id].num_rows();
 }
 
+uint64_t Database::RelationEpoch(int relation_id) const {
+  if (relation_id < 0 || relation_id >= catalog_.num_relations()) return 0;
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return relation_epochs_[relation_id];
+}
+
+std::vector<uint64_t> Database::RelationEpochs() const {
+  std::shared_lock<std::shared_mutex> lock(data_mu_);
+  return relation_epochs_;
+}
+
 bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
                                  std::string_view op, const Value& value,
                                  bool use_index) const {
@@ -99,7 +113,7 @@ bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
   }
   if (value.is_null()) return false;  // NULL satisfies no comparison
   // Shared-lock the row store: a probe may scan rows or build an index over
-  // them, and a concurrent Insert reallocates the row vector.
+  // them, and a concurrent Insert grows the chunk directory.
   std::shared_lock<std::shared_mutex> lock(data_mu_);
   if (!use_index) {
     indexes_.CountScanProbe();
@@ -113,22 +127,27 @@ bool Database::AnyTupleSatisfies(int relation_id, int attr_index,
 bool Database::AnyTupleSatisfiesScan(int relation_id, int attr_index,
                                      std::string_view op,
                                      const Value& value) const {
-  for (const Row& row : tables_[relation_id].rows()) {
-    const Value& v = row[attr_index];
-    if (v.is_null() || value.is_null()) continue;
-    // Type compatibility: numeric-with-numeric or same type.
-    bool comparable = (v.is_numeric() && value.is_numeric()) ||
-                      v.type() == value.type();
-    if (!comparable) continue;
-    if (op == "=") {
-      if (v.Equals(value)) return true;
-    } else if (op == "<>" || op == "!=") {
-      if (!v.Equals(value)) return true;
-    } else {
-      int cmp = v.Compare(value);
-      if ((op == "<" && cmp < 0) || (op == "<=" && cmp <= 0) ||
-          (op == ">" && cmp > 0) || (op == ">=" && cmp >= 0)) {
-        return true;
+  const Table& table = tables_[relation_id];
+  for (size_t c = 0; c < table.num_chunks(); ++c) {
+    const Chunk& chunk = table.chunk(c);
+    // Chunk statistics answer most chunks without touching the column.
+    if (chunk.stats(attr_index).CanPrune(op, value)) continue;
+    for (const Value& v : chunk.column(attr_index)) {
+      if (v.is_null() || value.is_null()) continue;
+      // Type compatibility: numeric-with-numeric or same type.
+      bool comparable = (v.is_numeric() && value.is_numeric()) ||
+                        v.type() == value.type();
+      if (!comparable) continue;
+      if (op == "=") {
+        if (v.Equals(value)) return true;
+      } else if (op == "<>" || op == "!=") {
+        if (!v.Equals(value)) return true;
+      } else {
+        int cmp = v.Compare(value);
+        if ((op == "<" && cmp < 0) || (op == "<=" && cmp <= 0) ||
+            (op == ">" && cmp > 0) || (op == ">=" && cmp >= 0)) {
+          return true;
+        }
       }
     }
   }
@@ -146,10 +165,14 @@ bool Database::AnyStringMatchesLike(int relation_id, int attr_index,
   std::shared_lock<std::shared_mutex> lock(data_mu_);
   if (!use_index) {
     indexes_.CountScanProbe();
-    for (const Row& row : tables_[relation_id].rows()) {
-      const Value& v = row[attr_index];
-      if (v.is_string() && exec::LikeMatch(v.AsString(), pattern, escape)) {
-        return true;
+    const Table& table = tables_[relation_id];
+    for (size_t c = 0; c < table.num_chunks(); ++c) {
+      const Chunk& chunk = table.chunk(c);
+      if (chunk.stats(attr_index).all_null()) continue;
+      for (const Value& v : chunk.column(attr_index)) {
+        if (v.is_string() && exec::LikeMatch(v.AsString(), pattern, escape)) {
+          return true;
+        }
       }
     }
     return false;

@@ -10,29 +10,66 @@
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "storage/chunk.h"
 #include "storage/column_index.h"
 #include "storage/value.h"
 
 namespace sfsql::storage {
 
-/// Row store for one relation. Append-only — the column-index layer relies on
+/// Default rows per chunk. Tests pass a tiny capacity through the Database
+/// constructor to exercise chunk boundaries without millions of rows.
+inline constexpr size_t kDefaultChunkCapacity = 16384;
+
+/// Columnar store for one relation: rows live in a sequence of fixed-capacity
+/// chunks (see chunk.h), each holding one value vector per attribute plus
+/// per-attribute min/max/null/distinct statistics. Scans touch only the
+/// columns they reference, and sargable predicates prune whole chunks via the
+/// stats before any index is consulted.
+/// Append-only — the column-index layer relies on
 /// this: an index built at row count n is exactly valid while num_rows() == n.
 class Table {
  public:
-  explicit Table(int relation_id) : relation_id_(relation_id) {}
+  Table(int relation_id, size_t num_attrs,
+        size_t chunk_capacity = kDefaultChunkCapacity)
+      : relation_id_(relation_id),
+        num_attrs_(num_attrs),
+        chunk_capacity_(chunk_capacity == 0 ? 1 : chunk_capacity) {}
 
   int relation_id() const { return relation_id_; }
-  const std::vector<Row>& rows() const { return rows_; }
-  size_t num_rows() const { return rows_.size(); }
+  size_t num_attrs() const { return num_attrs_; }
+  size_t num_rows() const { return num_rows_; }
 
-  void Append(Row row) { rows_.push_back(std::move(row)); }
+  size_t chunk_capacity() const { return chunk_capacity_; }
+  size_t num_chunks() const { return chunks_.size(); }
+  const Chunk& chunk(size_t i) const { return chunks_[i]; }
 
-  /// Pre-sizes the row vector for a bulk load of `total` rows.
-  void Reserve(size_t total) { rows_.reserve(total); }
+  /// Value of attribute `attr` in global row `row`. Row ids are stable
+  /// (append-only), so `row / chunk_capacity()` is the chunk and the remainder
+  /// the offset within it — the same arithmetic consumers use to walk one
+  /// column chunk-at-a-time.
+  const Value& at(size_t row, size_t attr) const {
+    return chunks_[row / chunk_capacity_].column(attr)[row % chunk_capacity_];
+  }
+
+  void Append(Row row) {
+    if (chunks_.empty() || chunks_.back().size() == chunk_capacity_) {
+      chunks_.emplace_back(num_attrs_);
+    }
+    chunks_.back().Append(std::move(row));
+    ++num_rows_;
+  }
+
+  /// Pre-sizes the chunk directory for a bulk load of `total` rows.
+  void Reserve(size_t total) {
+    chunks_.reserve((total + chunk_capacity_ - 1) / chunk_capacity_);
+  }
 
  private:
   int relation_id_;
-  std::vector<Row> rows_;
+  size_t num_attrs_;
+  size_t chunk_capacity_;
+  size_t num_rows_ = 0;
+  std::vector<Chunk> chunks_;
 };
 
 /// An in-memory relational database: a catalog plus one table per relation.
@@ -41,7 +78,10 @@ class Table {
 class Database {
  public:
   /// Takes ownership of the catalog and creates an empty table per relation.
-  explicit Database(catalog::Catalog catalog);
+  /// `chunk_capacity` sets the rows-per-chunk of every table; tests pass a
+  /// small value to hit chunk boundaries cheaply.
+  explicit Database(catalog::Catalog catalog,
+                    size_t chunk_capacity = kDefaultChunkCapacity);
 
   // Movable (test fixtures build databases by value). The mutex and the
   // atomic epoch block the defaults; a move already requires that no reader
@@ -51,11 +91,13 @@ class Database {
       : catalog_(std::move(other.catalog_)),
         tables_(std::move(other.tables_)),
         indexes_(std::move(other.indexes_)),
+        relation_epochs_(std::move(other.relation_epochs_)),
         epoch_(other.epoch_.load(std::memory_order_relaxed)) {}
   Database& operator=(Database&& other) noexcept {
     catalog_ = std::move(other.catalog_);
     tables_ = std::move(other.tables_);
     indexes_ = std::move(other.indexes_);
+    relation_epochs_ = std::move(other.relation_epochs_);
     epoch_ = other.epoch_.load(std::memory_order_relaxed);
     return *this;
   }
@@ -66,8 +108,8 @@ class Database {
 
   /// Row count of one relation, read under the data lock — safe against
   /// concurrent Insert (table(r).num_rows() without the lock races with the
-  /// row vector growing). The mapper's satisfiability memo uses this as its
-  /// per-relation freshness stamp.
+  /// chunk directory growing). The mapper's satisfiability memo uses this as
+  /// its per-relation freshness stamp.
   size_t NumRows(int relation_id) const;
 
   /// Appends `row` to relation `relation_id` after checking arity and that each
@@ -77,19 +119,27 @@ class Database {
   Status Insert(int relation_id, Row row);
 
   /// Bulk variant of Insert: one relation lookup and one capacity reservation
-  /// for the whole batch, per-row arity/type checks kept. Like Insert, rows
-  /// before the first invalid one stay inserted.
+  /// for the whole batch. All-or-nothing — the entire batch is validated up
+  /// front, and on any arity/type error nothing is inserted and neither the
+  /// global nor the relation epoch moves (cached plans stay valid).
   Status InsertRows(int relation_id, std::vector<Row> rows);
 
   /// Total tuples across all relations.
   size_t TotalRows() const;
 
-  /// Monotonic data-change stamp: bumped once per successful (or partially
-  /// successful) Insert / InsertRows call. The catalog is immutable after
+  /// Monotonic data-change stamp: bumped once per successful Insert /
+  /// InsertRows call, across all relations. The catalog is immutable after
   /// construction, so this stamp versions everything a translation can read
-  /// from the database. The plan cache stamps full (tier-2) entries with it;
-  /// a mismatch invalidates the entry.
+  /// from the database. Failed inserts leave it untouched.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Per-relation data-change stamp: bumped only by successful inserts into
+  /// `relation_id`. The plan cache stamps tier-2 entries with the epochs of
+  /// just the relations a plan reads, so writes elsewhere don't evict them.
+  uint64_t RelationEpoch(int relation_id) const;
+
+  /// Consistent snapshot of every relation's epoch (index = relation id).
+  std::vector<uint64_t> RelationEpochs() const;
 
   /// True if some tuple's `attr` value satisfies `op value` (used by the mapper's
   /// (m+1)/(n+1) condition factor). `op` is one of "=", "<>", "<", "<=", ">", ">=".
@@ -155,6 +205,9 @@ class Database {
   /// separate, coarser concern and is not guarded here — the serving path
   /// this protects is Translate, which touches rows only through the probes.
   mutable std::shared_mutex data_mu_;
+  /// Per-relation insert stamps, guarded by data_mu_ (plain integers, not
+  /// atomics, so Database stays movable).
+  std::vector<uint64_t> relation_epochs_;
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -226,8 +226,7 @@ Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
             if (target.num_rows() == 0) {
               row[a] = Value::Null_();
             } else {
-              const Row& ref = target.rows()[Next() % target.num_rows()];
-              row[a] = ref[fk.to_attribute];
+              row[a] = target.at(Next() % target.num_rows(), fk.to_attribute);
             }
           } else if (single_int_pk &&
                      static_cast<int>(a) == rel.primary_key[0]) {
@@ -285,7 +284,7 @@ Result<storage::Row> DataGenerator::Plant(
       const storage::Table& target = db->table(fk.to_relation);
       row[a] = target.num_rows() == 0
                    ? Value::Null_()
-                   : target.rows()[Next() % target.num_rows()][fk.to_attribute];
+                   : target.at(Next() % target.num_rows(), fk.to_attribute);
     } else if (rel.primary_key.size() == 1 &&
                rel.primary_key[0] == static_cast<int>(a) &&
                rel.attributes[a].type == ValueType::kInt64) {

@@ -112,6 +112,8 @@ void RecordRunMetadata(obs::BenchReport* report, const storage::Database& db,
     report->SetMetric("exec_rows_pruned", static_cast<double>(e.rows_pruned));
     report->SetMetric("exec_pushed_predicates",
                       static_cast<double>(e.pushed_predicates));
+    report->SetMetric("exec_chunks_pruned",
+                      static_cast<double>(e.chunks_pruned));
   }
 }
 

@@ -372,6 +372,43 @@ TEST(PlanCacheTest, InsertInvalidatesCachedTranslations) {
   EXPECT_GE(engine.plan_cache_stats().stale_evictions, 1u);
 }
 
+TEST(PlanCacheTest, UnrelatedWriteDoesNotEvictTier2Plans) {
+  auto db = workloads::BuildMovie43(42, 30);
+  core::SchemaFreeEngine engine(db.get());
+  const char* q = "SELECT title? WHERE genre? = 'zzz_unrelated_probe'";
+
+  auto before = engine.Translate(q, 5);
+  ASSERT_TRUE(before.ok());
+  core::TranslateStats warm;
+  ASSERT_TRUE(engine.Translate(q, 5, &warm).ok());
+  EXPECT_EQ(warm.plan_tier2_hits, 1);
+
+  // Pick a relation none of the cached translations read (all-int Box_Office
+  // cannot host either string attribute) and write to it. With per-relation
+  // epoch stamps this must NOT evict the tier-2 entry.
+  const int box_office = *db->catalog().FindRelation("Box_Office");
+  for (const core::Translation& t : *before) {
+    for (int rel : t.network.relations) ASSERT_NE(rel, box_office);
+  }
+  const auto evictions_before = engine.plan_cache_stats().stale_evictions;
+  ASSERT_TRUE(db->Insert(box_office,
+                         {storage::Value::Int(1), storage::Value::Int(1),
+                          storage::Value::Int(1000), storage::Value::Int(1)})
+                  .ok());
+
+  core::TranslateStats after_stats;
+  auto after = engine.Translate(q, 5, &after_stats);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after_stats.plan_tier2_hits, 1)
+      << "a write to an unread relation must leave the tier-2 entry servable";
+  EXPECT_EQ(engine.plan_cache_stats().stale_evictions, evictions_before);
+  ASSERT_EQ(after->size(), before->size());
+  for (size_t i = 0; i < after->size(); ++i) {
+    EXPECT_EQ((*after)[i].sql, (*before)[i].sql) << "rank " << i;
+    EXPECT_EQ((*after)[i].weight, (*before)[i].weight) << "rank " << i;
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedSameStructure) {
   // Different data, same schema: structural translations should agree for
   // queries whose conditions are satisfiable in both (planted rows are).

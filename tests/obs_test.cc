@@ -286,6 +286,48 @@ TEST(JsonTest, ParserRejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
 }
 
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  // BMP escapes: ASCII, two-byte, and three-byte UTF-8 targets.
+  auto parsed = ParseJson("[\"\\u0041\", \"\\u00e9\", \"\\u20ac\"]");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->items[0].string, "A");
+  EXPECT_EQ(parsed->items[1].string, "\xc3\xa9");      // é
+  EXPECT_EQ(parsed->items[2].string, "\xe2\x82\xac");  // €
+
+  // Surrogate pair: U+1F600 as \ud83d\ude00 → four-byte UTF-8.
+  auto pair = ParseJson("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair->string, "\xf0\x9f\x98\x80");
+
+  // Upper/lowercase hex digits are both accepted.
+  auto upper = ParseJson("\"\\u20AC\"");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(upper->string, "\xe2\x82\xac");
+}
+
+TEST(JsonTest, UnicodeEscapesRoundTripThroughWriter) {
+  // The writer escapes control characters as \u00XX; the parser must decode
+  // them back to the original bytes.
+  JsonWriter w;
+  w.BeginArray();
+  w.String(std::string("a\x01z", 3));
+  w.EndArray();
+  const std::string json = w.TakeString();
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->items[0].string, std::string("a\x01z", 3));
+}
+
+TEST(JsonTest, MalformedUnicodeEscapesAreRejected) {
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());          // too few digits
+  EXPECT_FALSE(ParseJson("\"\\u12g4\"").ok());        // non-hex digit
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());        // lone high surrogate
+  EXPECT_FALSE(ParseJson("\"\\ud83dxyz\"").ok());     // high w/o \u follower
+  EXPECT_FALSE(ParseJson("\"\\ud83d\\u0041\"").ok()); // high + non-low
+  EXPECT_FALSE(ParseJson("\"\\ude00\"").ok());        // lone low surrogate
+}
+
 TEST(JsonTest, NonFiniteDoublesRenderAsNull) {
   JsonWriter w;
   w.BeginArray();

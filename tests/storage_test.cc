@@ -107,13 +107,102 @@ TEST(DatabaseTest, InsertRowsBulkLoad) {
   }
   EXPECT_TRUE(db.InsertRows(0, std::move(rows)).ok());
   EXPECT_EQ(db.table(0).num_rows(), 5u);
-  // An invalid row stops the batch; rows before it stay inserted.
+  // The batch is all-or-nothing: an invalid row anywhere rejects the whole
+  // batch, and neither row counts nor epochs move.
+  const uint64_t epoch_before = db.epoch();
+  const uint64_t rel_epoch_before = db.RelationEpoch(0);
   std::vector<Row> bad;
   bad.push_back({Value::Int(5), Value::Null_(), Value::Null_()});
   bad.push_back({Value::String("oops"), Value::Null_(), Value::Null_()});
   bad.push_back({Value::Int(7), Value::Null_(), Value::Null_()});
   EXPECT_FALSE(db.InsertRows(0, std::move(bad)).ok());
-  EXPECT_EQ(db.table(0).num_rows(), 6u);
+  EXPECT_EQ(db.table(0).num_rows(), 5u);
+  EXPECT_EQ(db.epoch(), epoch_before);
+  EXPECT_EQ(db.RelationEpoch(0), rel_epoch_before);
+}
+
+TEST(DatabaseTest, RelationEpochsTrackOnlyWrittenRelations) {
+  Catalog c;
+  Relation a, b;
+  a.name = "A";
+  a.attributes = {{"x", ValueType::kInt64}};
+  a.primary_key = {0};
+  b.name = "B";
+  b.attributes = {{"y", ValueType::kInt64}};
+  b.primary_key = {0};
+  ASSERT_TRUE(c.AddRelation(a).ok());
+  ASSERT_TRUE(c.AddRelation(b).ok());
+  Database db(std::move(c));
+  EXPECT_EQ(db.RelationEpoch(0), 0u);
+  EXPECT_EQ(db.RelationEpoch(1), 0u);
+  ASSERT_TRUE(db.Insert(0, {Value::Int(1)}).ok());
+  EXPECT_EQ(db.RelationEpoch(0), 1u);
+  EXPECT_EQ(db.RelationEpoch(1), 0u);
+  std::vector<Row> batch;
+  batch.push_back({Value::Int(2)});
+  batch.push_back({Value::Int(3)});
+  ASSERT_TRUE(db.InsertRows(1, std::move(batch)).ok());
+  EXPECT_EQ(db.RelationEpoch(0), 1u);
+  EXPECT_EQ(db.RelationEpoch(1), 1u);  // one bump per batch, not per row
+  const std::vector<uint64_t> all = db.RelationEpochs();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], 1u);
+  EXPECT_EQ(all[1], 1u);
+}
+
+TEST(ChunkedTableTest, RowsSpanChunksAtExactBoundaries) {
+  // A tiny chunk capacity exercises the chunk directory: row counts of 0,
+  // capacity - 1, capacity, and capacity + 1 must all read back exactly.
+  for (size_t total : {0u, 3u, 4u, 5u, 9u}) {
+    Database db(MovieCatalog(), /*chunk_capacity=*/4);
+    for (size_t i = 0; i < total; ++i) {
+      ASSERT_TRUE(db.Insert(0, {Value::Int(static_cast<int64_t>(i)),
+                                Value::String("p" + std::to_string(i)),
+                                Value::Null_()})
+                      .ok());
+    }
+    const Table& t = db.table(0);
+    EXPECT_EQ(t.num_rows(), total);
+    EXPECT_EQ(t.num_chunks(), (total + 3) / 4);
+    for (size_t i = 0; i < total; ++i) {
+      EXPECT_EQ(t.at(i, 0).AsInt(), static_cast<int64_t>(i));
+      EXPECT_EQ(t.at(i, 1).AsString(), "p" + std::to_string(i));
+      EXPECT_TRUE(t.at(i, 2).is_null());
+    }
+  }
+}
+
+TEST(ChunkedTableTest, ChunkStatsTrackMinMaxNullsAndDistinct) {
+  Database db(MovieCatalog(), /*chunk_capacity=*/8);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db.Insert(0, {Value::Int(10 + (i % 3)),
+                              i < 2 ? Value::Null_() : Value::String("n"),
+                              Value::String("x")})
+                    .ok());
+  }
+  const Chunk& chunk = db.table(0).chunk(0);
+  const ChunkStats& ids = chunk.stats(0);
+  EXPECT_EQ(ids.min().AsInt(), 10);
+  EXPECT_EQ(ids.max().AsInt(), 12);
+  EXPECT_EQ(ids.null_count(), 0u);
+  EXPECT_EQ(ids.DistinctEstimate(), 3u);
+  const ChunkStats& names = chunk.stats(1);
+  EXPECT_EQ(names.null_count(), 2u);
+  EXPECT_FALSE(names.all_null());
+  // min/max pruning answers: ids live in [10, 12].
+  EXPECT_TRUE(ids.CanPrune("=", Value::Int(13)));
+  EXPECT_FALSE(ids.CanPrune("=", Value::Int(11)));
+  EXPECT_TRUE(ids.CanPrune("<", Value::Int(10)));
+  EXPECT_FALSE(ids.CanPrune("<", Value::Int(11)));
+  EXPECT_TRUE(ids.CanPrune(">", Value::Int(12)));
+  EXPECT_TRUE(ids.CanPruneBetween(Value::Int(20), Value::Int(30)));
+  EXPECT_FALSE(ids.CanPruneBetween(Value::Int(5), Value::Int(10)));
+  EXPECT_TRUE(ids.CanPruneIn({Value::Int(1), Value::Int(99)}));
+  EXPECT_FALSE(ids.CanPruneIn({Value::Int(1), Value::Int(10)}));
+  // Incomparable literals never prune (conservative).
+  EXPECT_FALSE(ids.CanPrune("=", Value::String("10")));
+  // A NULL literal can match nothing under two-valued logic.
+  EXPECT_TRUE(ids.CanPrune("=", Value::Null_()));
 }
 
 TEST(DatabaseTest, AnyTupleSatisfies) {

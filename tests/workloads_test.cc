@@ -42,16 +42,18 @@ TEST(DataGeneratorTest, PopulateRespectsForeignKeys) {
   EXPECT_EQ(db.table(2).num_rows(), 30u);
   // Every Actor row references existing Person and Movie keys.
   std::set<int64_t> people, movies;
-  for (const auto& row : db.table(0).rows()) people.insert(row[0].AsInt());
-  for (const auto& row : db.table(2).rows()) movies.insert(row[0].AsInt());
-  for (const auto& row : db.table(1).rows()) {
-    EXPECT_TRUE(people.count(row[0].AsInt()));
-    EXPECT_TRUE(movies.count(row[1].AsInt()));
+  for (size_t i = 0; i < db.table(0).num_rows(); ++i)
+    people.insert(db.table(0).at(i, 0).AsInt());
+  for (size_t i = 0; i < db.table(2).num_rows(); ++i)
+    movies.insert(db.table(2).at(i, 0).AsInt());
+  for (size_t i = 0; i < db.table(1).num_rows(); ++i) {
+    EXPECT_TRUE(people.count(db.table(1).at(i, 0).AsInt()));
+    EXPECT_TRUE(movies.count(db.table(1).at(i, 1).AsInt()));
   }
   // Birth years stay in the adult range.
-  for (const auto& row : db.table(0).rows()) {
-    EXPECT_GE(row[2].AsInt(), 1920);
-    EXPECT_LE(row[2].AsInt(), 1985);
+  for (size_t i = 0; i < db.table(0).num_rows(); ++i) {
+    EXPECT_GE(db.table(0).at(i, 2).AsInt(), 1920);
+    EXPECT_LE(db.table(0).at(i, 2).AsInt(), 1985);
   }
 }
 
@@ -65,7 +67,7 @@ TEST(DataGeneratorTest, Deterministic) {
   ASSERT_TRUE(g1.Populate(&a, 20).ok());
   ASSERT_TRUE(g2.Populate(&c, 20).ok());
   for (size_t i = 0; i < 20; ++i) {
-    EXPECT_TRUE(a.table(0).rows()[i][1].Equals(c.table(0).rows()[i][1]));
+    EXPECT_TRUE(a.table(0).at(i, 1).Equals(c.table(0).at(i, 1)));
   }
 }
 

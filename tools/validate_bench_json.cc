@@ -96,6 +96,20 @@ bool ValidateFile(const std::string& path) {
   if (triples == 0) {
     return Fail(path, "no latency percentile triple (*_p50/_p95/_p99)");
   }
+  // The execute bench must report its chunk-pruning counters: the cumulative
+  // executor counter from the run metadata and the wide-table pruning
+  // section's isolated count. Their absence means the columnar pruning path
+  // silently fell out of the bench.
+  if (bench->string == "execute") {
+    for (const char* key : {"exec_chunks_pruned", "wide_chunks_pruned"}) {
+      const JsonValue* v = metrics->Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return Fail(path, std::string("metrics.") + key +
+                              " missing or not a number (required for the "
+                              "execute bench)");
+      }
+    }
+  }
   const JsonValue* tables = doc.Find("tables");
   if (tables == nullptr || !tables->is_object()) {
     return Fail(path, "\"tables\" missing or not an object");
