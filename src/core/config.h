@@ -8,6 +8,7 @@
 namespace sfsql::obs {
 class Clock;
 class MetricsRegistry;
+class QueryProfileStore;
 }  // namespace sfsql::obs
 
 namespace sfsql::core {
@@ -149,8 +150,23 @@ struct EngineConfig {
   /// even for fast queries — meant for debugging and canary deployments.
   double slow_translate_threshold_ms = 0.0;
 
-  /// Destination for slow-translation EXPLAIN dumps; unset = stderr.
+  /// Destination for slow-translation EXPLAIN dumps; unset = stderr. Also
+  /// receives the slow-execute JSON lines (below).
   std::function<void(const std::string&)> slow_log_sink;
+
+  /// Executions (the run phase of SchemaFreeEngine::Execute) slower than this
+  /// emit one structured JSON line (event "slow_execute") to `slow_log_sink`
+  /// — the execution counterpart of slow_translate_threshold_ms. <= 0
+  /// disables (the default). Copied into the executor's ExecConfig.
+  double slow_execute_threshold_ms = 0.0;
+
+  /// Always-on query profile sink: when set, every Translate/Execute call
+  /// records a QueryProfile (statement, cache tier, phase timings, access
+  /// paths, rows/chunks counters) into this bounded ring. Designed to stay
+  /// within a few percent of serving throughput (see bench_serving's
+  /// profiling on/off section); null disables capture entirely. Must outlive
+  /// the engine. Queryable as the sys_queries relation (core/introspection).
+  obs::QueryProfileStore* profiles = nullptr;
 };
 
 }  // namespace sfsql::core

@@ -12,6 +12,7 @@
 #include "core/plan_cache.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "sql/canonicalize.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -246,6 +247,11 @@ void SchemaFreeEngine::ClearViews() {
 
 PlanCacheStats SchemaFreeEngine::plan_cache_stats() const {
   return plan_cache_ != nullptr ? plan_cache_->stats() : PlanCacheStats{};
+}
+
+std::vector<PlanCacheEntry> SchemaFreeEngine::plan_cache_snapshot() const {
+  return plan_cache_ != nullptr ? plan_cache_->Snapshot()
+                                : std::vector<PlanCacheEntry>{};
 }
 
 MappingSet SchemaFreeEngine::CachedMap(const RelationTree& rt) const {
@@ -767,9 +773,49 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateExplained(
   return TranslateImpl(sfsql, k, nullptr, explain);
 }
 
+namespace {
+
+/// Synthesizes the pipeline phase breakdown as a span forest (one "translate"
+/// root with the five phases as children, laid out back to back from the
+/// call's start). Only pipeline runs get spans — cache hits skip the phases
+/// and carry no provenance worth a trace.
+std::vector<obs::SpanRecord> PhaseSpans(uint64_t start_nanos,
+                                        double total_seconds,
+                                        const TranslateStats& stats) {
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(6);
+  obs::SpanRecord root;
+  root.id = 0;
+  root.parent = -1;
+  root.name = "translate";
+  root.start_nanos = start_nanos;
+  root.end_nanos = start_nanos + obs::SecondsToNanos(total_seconds);
+  spans.push_back(std::move(root));
+  const std::pair<const char*, double> phases[5] = {
+      {"parse", stats.parse_seconds},
+      {"map", stats.map_seconds},
+      {"graph", stats.graph_seconds},
+      {"generate", stats.generate_seconds},
+      {"compose", stats.compose_seconds}};
+  uint64_t at = start_nanos;
+  for (int i = 0; i < 5; ++i) {
+    obs::SpanRecord s;
+    s.id = i + 1;
+    s.parent = 0;
+    s.name = phases[i].first;
+    s.start_nanos = at;
+    at += obs::SecondsToNanos(phases[i].second);
+    s.end_nanos = at;
+    spans.push_back(std::move(s));
+  }
+  return spans;
+}
+
+}  // namespace
+
 Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     std::string_view sfsql, int k, TranslateStats* stats,
-    TranslationExplain* explain) const {
+    TranslationExplain* explain, obs::QueryProfile* profile_out) const {
   // EXPLAIN callers get full pipeline provenance, so the plan cache is
   // bypassed for them (read-only peeks fill the EXPLAIN `cache` block).
   const bool caller_explain = explain != nullptr;
@@ -778,8 +824,12 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   // slow is only known at the end); metrics and EXPLAIN both need the stats.
   TranslationExplain slow_explain;
   if (explain == nullptr && slow_armed) explain = &slow_explain;
+  // Profile capture needs the stats too (phase timings, sat counters); an
+  // EXPLAIN call is tooling, not workload, so it is never profiled.
+  const bool profiling = config_.profiles != nullptr && !caller_explain;
   TranslateStats local_stats;
-  if (stats == nullptr && (explain != nullptr || metrics_ != nullptr)) {
+  if (stats == nullptr &&
+      (explain != nullptr || metrics_ != nullptr || profiling)) {
     stats = &local_stats;
   }
 
@@ -796,16 +846,13 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   storage::ColumnIndexStats idx_before;
   SatisfiabilityMemoStats memo_before;
   PlanCacheStats plan_before;
+  // Snapshots of the similarity/index/memo counters are deferred until the
+  // tier-2 lookup has missed: a tier-2 hit runs neither the similarity
+  // machinery nor satisfiability probes, so its deltas are zero by
+  // construction and snapshotting them would be pure hit-path cost.
+  bool deep_stats = false;
   const bool plan_metrics = metrics_ != nullptr && plan_cache_ != nullptr;
-  if (timing) {
-    before = sim_cache_.stats();
-    idx_before = db_->column_index_stats();
-    memo_before = mapper_.memo_stats();
-  }
-  if (plan_metrics) plan_before = plan_cache_->stats();
   const uint64_t start_nanos = timing ? clock->NowNanos() : 0;
-
-  PhaseTimer timer(config_.clock, timing);
 
   // --- Plan-cache fast path ---
   PlanCache* cache = (plan_cache_ != nullptr && !caller_explain && k > 0)
@@ -838,6 +885,17 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   }
 
   if (served_tier == 0) {
+    if (timing) {
+      before = sim_cache_.stats();
+      idx_before = db_->column_index_stats();
+      memo_before = mapper_.memo_stats();
+      deep_stats = true;
+    }
+    // Taken after GetFull (whose miss increment therefore precedes it; the
+    // epilogue compensates) so a tier-2 hit — the dominant serving path —
+    // never reads the cache-wide counters other threads are writing.
+    if (plan_metrics && cache != nullptr) plan_before = plan_cache_->stats();
+    PhaseTimer timer(config_.clock, timing);
     Result<sql::SelectPtr> stmt = sql::ParseSelect(sfsql);
     if (timing) timer.Lap(&stats->parse_seconds);
 
@@ -909,6 +967,8 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
   text::SimilarityCache::Stats after;
   if (timing) {
     total_seconds = obs::NanosToSeconds(clock->NowNanos() - start_nanos);
+  }
+  if (deep_stats) {
     after = sim_cache_.stats();
     stats->cache_hits = static_cast<long long>(after.hits - before.hits);
     stats->cache_misses = static_cast<long long>(after.misses - before.misses);
@@ -1000,10 +1060,15 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     m.translate_total->Increment();
     if (!out.ok()) m.translate_errors->Increment();
     m.translate_seconds->Observe(total_seconds);
-    const double phases[5] = {stats->parse_seconds, stats->map_seconds,
-                              stats->graph_seconds, stats->generate_seconds,
-                              stats->compose_seconds};
-    for (int i = 0; i < 5; ++i) m.phase_seconds[i]->Observe(phases[i]);
+    // Phase histograms describe pipeline runs; cache hits skip the phases
+    // entirely, and observing five zeros per hit would both distort the
+    // distributions and put avoidable work on the serving hot path.
+    if (served_tier == 0) {
+      const double phases[5] = {stats->parse_seconds, stats->map_seconds,
+                                stats->graph_seconds, stats->generate_seconds,
+                                stats->compose_seconds};
+      for (int i = 0; i < 5; ++i) m.phase_seconds[i]->Observe(phases[i]);
+    }
     const GeneratorStats& g = stats->generator;
     m.gen_pushed->Increment(static_cast<uint64_t>(g.pushed));
     m.gen_popped->Increment(static_cast<uint64_t>(g.popped));
@@ -1013,7 +1078,8 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     m.cache_hits->Increment(static_cast<uint64_t>(stats->cache_hits));
     m.cache_misses->Increment(static_cast<uint64_t>(stats->cache_misses));
     m.cache_evictions->Increment(static_cast<uint64_t>(evictions_delta));
-    m.cache_entries->Set(static_cast<double>(after.entries));
+    // The gauge only moves when the pipeline ran; hits leave the cache as-is.
+    if (deep_stats) m.cache_entries->Set(static_cast<double>(after.entries));
     m.sat_index_probes->Increment(
         static_cast<uint64_t>(stats->sat_index_probes));
     m.sat_scan_probes->Increment(static_cast<uint64_t>(stats->sat_scan_probes));
@@ -1025,19 +1091,31 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
     m.like_verified->Increment(
         static_cast<uint64_t>(stats->like_candidates_verified));
     if (plan_metrics) {
-      const PlanCacheStats plan_after = plan_cache_->stats();
-      m.plan_full_hits->Increment(plan_after.full_hits - plan_before.full_hits);
-      m.plan_full_misses->Increment(plan_after.full_misses -
-                                    plan_before.full_misses);
-      m.plan_structure_hits->Increment(plan_after.structure_hits -
-                                       plan_before.structure_hits);
-      m.plan_structure_misses->Increment(plan_after.structure_misses -
-                                         plan_before.structure_misses);
-      m.plan_evictions_lru->Increment(plan_after.lru_evictions -
-                                      plan_before.lru_evictions);
-      m.plan_evictions_stale->Increment(plan_after.stale_evictions -
-                                        plan_before.stale_evictions);
-      m.plan_entries->Set(static_cast<double>(plan_after.entries));
+      if (served_tier == 2) {
+        // A tier-2 hit moves exactly one counter, known locally; diffing the
+        // cache-wide stats here would put two reads of contended atomics on
+        // the hottest serving path. The entries gauge keeps its last value —
+        // a hit cannot change the occupancy.
+        m.plan_full_hits->Increment();
+      } else if (cache != nullptr) {
+        const PlanCacheStats plan_after = plan_cache_->stats();
+        m.plan_full_hits->Increment(plan_after.full_hits -
+                                    plan_before.full_hits);
+        // +1: this call's own GetFull miss landed before the deferred
+        // snapshot was taken.
+        m.plan_full_misses->Increment(plan_after.full_misses -
+                                      plan_before.full_misses + 1);
+        m.plan_structure_hits->Increment(plan_after.structure_hits -
+                                         plan_before.structure_hits);
+        m.plan_structure_misses->Increment(plan_after.structure_misses -
+                                           plan_before.structure_misses);
+        m.plan_evictions_lru->Increment(plan_after.lru_evictions -
+                                        plan_before.lru_evictions);
+        m.plan_evictions_stale->Increment(plan_after.stale_evictions -
+                                          plan_before.stale_evictions);
+        m.plan_entries->Set(static_cast<double>(plan_after.entries));
+      }
+      // Cache bypassed (EXPLAIN, k <= 0): the call touched no plan state.
     }
   }
 
@@ -1056,6 +1134,43 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
       std::cerr << dump;
     }
   }
+
+  if (profiling) {
+    obs::QueryProfile prof;
+    prof.start_nanos = start_nanos;
+    prof.kind = "translate";
+    prof.statement = std::string(sfsql);
+    if (have_canonical) {
+      prof.fingerprint = HexFingerprint(canonical.fingerprint);
+    }
+    prof.ok = out.ok();
+    if (!out.ok()) prof.error = out.status().message();
+    prof.cache_tier = cache == nullptr ? "off"
+                      : served_tier == 2 ? "tier2"
+                      : served_tier == 1 ? "tier1"
+                                         : "miss";
+    prof.latency_seconds = total_seconds;
+    prof.parse_seconds = stats->parse_seconds;
+    prof.map_seconds = stats->map_seconds;
+    prof.graph_seconds = stats->graph_seconds;
+    prof.generate_seconds = stats->generate_seconds;
+    prof.compose_seconds = stats->compose_seconds;
+    prof.sat_index_probes = stats->sat_index_probes;
+    prof.sat_scan_probes = stats->sat_scan_probes;
+    prof.sat_memo_hits = stats->sat_memo_hits;
+    prof.translations = out.ok() ? static_cast<long long>(out->size()) : 0;
+    if (served_tier == 0) {
+      // Phase spans only for pipeline runs: hits skip the phases, and
+      // keeping the hit path span-free is what holds capture under the
+      // serving overhead budget.
+      prof.spans = PhaseSpans(start_nanos, total_seconds, *stats);
+    }
+    if (profile_out != nullptr) {
+      *profile_out = std::move(prof);
+    } else {
+      config_.profiles->Record(std::move(prof));
+    }
+  }
   return out;
 }
 
@@ -1067,10 +1182,53 @@ Result<Translation> SchemaFreeEngine::TranslateBest(
 
 Result<exec::QueryResult> SchemaFreeEngine::Execute(
     std::string_view sfsql) const {
-  SFSQL_ASSIGN_OR_RETURN(Translation best, TranslateBest(sfsql));
-  exec::Executor executor(db_);
+  const bool profiling = config_.profiles != nullptr;
+  obs::QueryProfile prof;
+  Result<std::vector<Translation>> translations =
+      TranslateImpl(sfsql, 1, nullptr, nullptr, profiling ? &prof : nullptr);
+  if (profiling) prof.kind = "execute";
+  if (!translations.ok()) {
+    if (profiling) config_.profiles->Record(std::move(prof));
+    return translations.status();
+  }
+  Translation best = std::move(translations->front());
+
+  exec::ExecConfig exec_config;
+  exec_config.slow_execute_threshold_ms = config_.slow_execute_threshold_ms;
+  exec_config.slow_log_sink = config_.slow_log_sink;
+  exec_config.clock = config_.clock;
+  exec::Executor executor(db_, exec_config);
   executor.EnableMetrics(config_.metrics, config_.clock);
-  return executor.Execute(*best.statement);
+  exec::ExecInfo info;
+  Result<exec::QueryResult> result =
+      executor.Execute(*best.statement, profiling ? &info : nullptr);
+
+  if (profiling) {
+    prof.ok = result.ok();
+    if (!result.ok()) prof.error = result.status().message();
+    prof.execute_seconds = info.seconds;
+    prof.latency_seconds += info.seconds;
+    prof.rows_scanned = info.stats.rows_scanned;
+    prof.rows_returned = info.rows_returned;
+    prof.chunks_pruned = info.stats.chunks_pruned;
+    prof.access_paths.reserve(info.access_paths.size());
+    for (const exec::TableAccessExplain& t : info.access_paths) {
+      obs::ProfileAccessPath p;
+      p.binding = t.binding;
+      p.relation = t.relation;
+      p.access = t.index_scan   ? "index_scan"
+                 : t.index_join ? "index_join"
+                                : "table_scan";
+      p.table_rows = t.table_rows;
+      p.estimated_rows = t.estimated_rows;
+      p.chunks_total = t.chunks_total;
+      p.chunks_pruned = t.chunks_pruned;
+      prof.chunks_total += t.chunks_total;
+      prof.access_paths.push_back(std::move(p));
+    }
+    config_.profiles->Record(std::move(prof));
+  }
+  return result;
 }
 
 }  // namespace sfsql::core

@@ -20,6 +20,10 @@
 #include "exec/executor.h"
 #include "storage/database.h"
 
+namespace sfsql::obs {
+struct QueryProfile;
+}  // namespace sfsql::obs
+
 namespace sfsql::core {
 
 /// Pre-resolved metric handles for the translate pipeline (engine.cc); exists
@@ -29,6 +33,7 @@ struct PipelineMetrics;
 
 class PlanCache;        // core/plan_cache.h
 struct PlanCacheStats;  // core/plan_cache.h
+struct PlanCacheEntry;  // core/plan_cache.h
 
 /// Structural summary of the join network behind a translation; the
 /// effectiveness harness compares this against the gold query's join tree.
@@ -120,6 +125,12 @@ class SchemaFreeEngine {
   /// Lookup/eviction/occupancy counters of the translation plan cache
   /// (all-zero when EngineConfig::plan_cache_enabled is false).
   PlanCacheStats plan_cache_stats() const;
+  /// Decoded live plan-cache entries (empty when the cache is disabled);
+  /// feeds the sys_plan_cache virtual relation.
+  std::vector<PlanCacheEntry> plan_cache_snapshot() const;
+  /// The engine's resolved configuration (introspection reads the profile
+  /// store and thresholds from here).
+  const EngineConfig& config() const { return config_; }
   /// Precomputed profiles of every relation and attribute name in the catalog.
   const text::SchemaNameIndex& name_index() const { return name_index_; }
 
@@ -171,10 +182,16 @@ class SchemaFreeEngine {
   MappingSet CachedMap(const RelationTree& rt) const;
 
   /// Shared body of Translate / TranslateExplained: parse + outer-block
-  /// translation + cache-delta accounting + metrics publishing + slow log.
+  /// translation + cache-delta accounting + metrics publishing + profile
+  /// capture + slow log. When EngineConfig::profiles is set (and the call is
+  /// not an EXPLAIN), the call's QueryProfile is recorded as kind
+  /// "translate" — unless `profile_out` is non-null, in which case the
+  /// profile is handed to the caller instead (Execute extends it with the
+  /// run phase and records it once, as kind "execute").
   Result<std::vector<Translation>> TranslateImpl(
       std::string_view sfsql, int k, TranslateStats* stats,
-      TranslationExplain* explain) const;
+      TranslationExplain* explain,
+      obs::QueryProfile* profile_out = nullptr) const;
 
   Result<std::vector<Translation>> TranslateStatement(
       sql::SelectStatement& stmt, const std::vector<std::string>& outer_bindings,

@@ -120,7 +120,7 @@ bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it != shard.entries.end() && it->second.first == stamp) {
-      ++shard.hits;
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       return it->second.second;
     }
   }
@@ -128,7 +128,7 @@ bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
       ComputeConditionSatisfiable(relation_id, attr_index, cond);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    ++shard.misses;
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     if (shard.entries.size() >= memo_shard_capacity_ &&
         shard.entries.find(key) == shard.entries.end()) {
       shard.entries.clear();
@@ -141,10 +141,11 @@ bool RelationTreeMapper::ConditionSatisfiable(int relation_id, int attr_index,
 SatisfiabilityMemoStats RelationTreeMapper::memo_stats() const {
   SatisfiabilityMemoStats s;
   if (memo_ == nullptr) return s;
+  // Lock-free: the counters are atomics precisely so this per-translate read
+  // never touches the shard mutexes shared with cross-thread probes.
   for (size_t i = 0; i < kMemoShards; ++i) {
-    std::lock_guard<std::mutex> lock(memo_[i].mu);
-    s.hits += memo_[i].hits;
-    s.misses += memo_[i].misses;
+    s.hits += memo_[i].hits.load(std::memory_order_relaxed);
+    s.misses += memo_[i].misses.load(std::memory_order_relaxed);
   }
   return s;
 }

@@ -2,6 +2,7 @@
 #define SFSQL_CORE_MAPPER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -127,8 +128,11 @@ class RelationTreeMapper {
     std::mutex mu;
     /// key -> (row-count stamp, answer)
     std::unordered_map<std::string, std::pair<size_t, bool>> entries;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
+    /// Atomic so memo_stats() can read without the shard mutex — it runs on
+    /// every metered translate and the mutexes are contended by cross-thread
+    /// satisfiability probes.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
   };
 
   const storage::Database* db_;

@@ -271,6 +271,7 @@ std::shared_ptr<const void> PlanCache::Get(
         shard.lru.erase(it->second);
         shard.index.erase(it);
         stale_evictions_.fetch_add(1, std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
       } else {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         value = it->second->second.value;
@@ -301,11 +302,13 @@ void PlanCache::Put(std::string_view key, RelationStamp stamp,
                           Entry{std::move(stamp), std::move(value)});
   shard.index.emplace(std::string_view(shard.lru.front().first),
                       shard.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
   if (shard.lru.size() > per_shard_capacity_) {
     evicted = std::move(shard.lru.back().second.value);
     shard.index.erase(std::string_view(shard.lru.back().first));
     shard.lru.pop_back();
     lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -382,6 +385,7 @@ std::shared_ptr<const TranslationPlan> PlanCache::PeekStructure(
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    entries_.fetch_sub(shard.lru.size(), std::memory_order_relaxed);
     shard.index.clear();
     shard.lru.clear();
   }
@@ -395,11 +399,44 @@ PlanCacheStats PlanCache::stats() const {
   s.structure_misses = structure_misses_.load(std::memory_order_relaxed);
   s.stale_evictions = stale_evictions_.load(std::memory_order_relaxed);
   s.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
+  // Lock-free: the entry count is maintained at insert/evict. stats() runs
+  // twice per metered translate, so walking the shard mutexes here would put
+  // cross-thread contention on the serving hot path.
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<PlanCacheEntry> PlanCache::Snapshot() const {
+  std::vector<PlanCacheEntry> out;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    s.entries += shard.lru.size();
+    for (const auto& [key, entry] : shard.lru) {
+      PlanCacheEntry e;
+      const char prefix = key.empty() ? '\0' : key[0];
+      e.key = key.substr(1);
+      e.stamped_relations = static_cast<long long>(entry.stamp.size());
+      switch (prefix) {
+        case kFullPrefix:
+        case kStructurePrefix: {
+          e.kind = prefix == kFullPrefix ? "full" : "structure";
+          auto plan = std::static_pointer_cast<const TranslationPlan>(
+              entry.value);
+          if (plan != nullptr) {
+            e.translations = static_cast<long long>(plan->translations.size());
+          }
+          break;
+        }
+        case kProbePrefix:
+          e.kind = "probe_plan";
+          break;
+        default:
+          e.kind = "unknown";
+          break;
+      }
+      out.push_back(std::move(e));
+    }
   }
-  return s;
+  return out;
 }
 
 }  // namespace sfsql::core

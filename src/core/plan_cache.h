@@ -125,6 +125,17 @@ std::shared_ptr<const TranslationPlan> SubstitutePlan(
 /// construction).
 using RelationStamp = std::vector<std::pair<int, uint64_t>>;
 
+/// One live plan-cache entry, decoded for introspection (the sys_plan_cache
+/// virtual relation). `key` is the entry's key with the internal kind prefix
+/// stripped: "k:statement" for full entries, "k:canonical[<sep>signature]"
+/// for structure / probe-plan entries.
+struct PlanCacheEntry {
+  std::string kind;  ///< "full" | "structure" | "probe_plan"
+  std::string key;
+  long long translations = 0;       ///< ranked list length (0 for probe plans)
+  long long stamped_relations = 0;  ///< tier-2 per-relation epoch stamp size
+};
+
 /// Two-tier, thread-safe, sharded-LRU translation plan cache.
 ///
 /// Tier 2 ("full") keys on the exact statement text (plus k) and is stamped
@@ -183,6 +194,11 @@ class PlanCache {
   size_t capacity() const { return capacity_; }
   PlanCacheStats stats() const;
 
+  /// Decoded copies of every live entry, shard by shard (each shard is
+  /// internally consistent; the whole snapshot is not atomic across shards).
+  /// MRU first within a shard. No counters and no LRU promotion.
+  std::vector<PlanCacheEntry> Snapshot() const;
+
  private:
   /// Entries carry the tier-2 relation stamp (empty for tier-1 / probe-plan
   /// keys, where staleness is impossible by construction).
@@ -221,6 +237,10 @@ class PlanCache {
   mutable std::atomic<uint64_t> structure_misses_{0};
   mutable std::atomic<uint64_t> stale_evictions_{0};
   mutable std::atomic<uint64_t> lru_evictions_{0};
+  /// Live entry count across all shards, maintained at insert/evict so
+  /// stats() never touches a shard mutex — it runs on the serving hot path
+  /// (per-translate metric deltas).
+  mutable std::atomic<size_t> entries_{0};
 };
 
 }  // namespace sfsql::core

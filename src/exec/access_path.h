@@ -2,12 +2,17 @@
 #define SFSQL_EXEC_ACCESS_PATH_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sql/ast.h"
 #include "storage/database.h"
 #include "storage/value.h"
+
+namespace sfsql::obs {
+class Clock;
+}  // namespace sfsql::obs
 
 namespace sfsql::exec {
 
@@ -30,6 +35,14 @@ struct ExecConfig {
   /// keeps at most this fraction of the table; above it, the scan's
   /// sequential pass wins over materializing row-id lists.
   double max_index_selectivity = 0.25;
+  /// Executions slower than this emit one structured JSON line (event
+  /// "slow_execute") to `slow_log_sink` (stderr when unset) — the execution
+  /// counterpart of EngineConfig::slow_translate_threshold_ms. <= 0 disables.
+  double slow_execute_threshold_ms = 0.0;
+  std::function<void(const std::string&)> slow_log_sink;
+  /// Clock for slow-execute timing and the profile latency when no metrics
+  /// registry supplies one (tests inject a FakeClock). Null = steady clock.
+  const obs::Clock* clock = nullptr;
 };
 
 /// Per-execution access-path counters, accumulated across every block
@@ -42,6 +55,7 @@ struct ExecStats {
   uint64_t rows_pruned = 0;        ///< base rows eliminated below the join
   uint64_t pushed_predicates = 0;  ///< predicates evaluated below the join
   uint64_t chunks_pruned = 0;      ///< chunks skipped via per-chunk statistics
+  uint64_t rows_scanned = 0;       ///< base rows read from storage (all paths)
 };
 
 /// One sargable conjunct bound to a column: a shape the column index can

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 #include "common/strings.h"
 #include "exec/like.h"
 #include "obs/clock.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
@@ -94,9 +96,13 @@ std::vector<Row> MaterializeAllRows(const storage::Table& table) {
 
 class BlockExecutor {
  public:
+  /// Non-null `top_paths` receives the EXPLAIN view of the root block's plan
+  /// (left empty when the planner falls back to the naive fold) — the access
+  /// paths a query profile records.
   BlockExecutor(const storage::Database* db, const ExecConfig* config,
-                ExecStats* stats)
-      : db_(db), config_(config), stats_(stats) {}
+                ExecStats* stats,
+                std::vector<TableAccessExplain>* top_paths = nullptr)
+      : db_(db), config_(config), stats_(stats), top_paths_(top_paths) {}
 
   Result<QueryResult> ExecuteBlock(const SelectStatement& stmt, const Env& outer);
 
@@ -592,6 +598,7 @@ class BlockExecutor {
   const storage::Database* db_;
   const ExecConfig* config_;
   ExecStats* stats_;
+  std::vector<TableAccessExplain>* top_paths_;
   std::unordered_map<const SelectStatement*, BlockPlan> plans_;
   bool analyzed_ = false;
   bool refs_all_ = false;
@@ -675,6 +682,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRows(
     }
 
     const std::vector<Row> table_rows = MaterializeAllRows(db_->table(rel_id));
+    stats_->rows_scanned += table_rows.size();
     std::vector<Row> joined;
 
     auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
@@ -794,6 +802,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     std::vector<Row> base;
     if (tp.index_scan) {
       ++stats_->index_scans;
+      stats_->rows_scanned += tp.row_ids.size();
       base.reserve(tp.row_ids.size());
       for (uint32_t id : tp.row_ids) {
         Row row(width);
@@ -811,6 +820,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
           continue;
         }
         const storage::Chunk& chunk = table.chunk(c);
+        stats_->rows_scanned += chunk.size();
         for (size_t o = 0; o < chunk.size(); ++o) {
           Row row(width);
           for (size_t a = 0; a < width; ++a) {
@@ -917,6 +927,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
         if (has_null) continue;
         for (uint32_t id :
              idx->RowsSatisfying("=", base[keys[probe_key].existing_col])) {
+          ++stats_->rows_scanned;
           Row trow(width);
           for (size_t a = 0; a < width; ++a) {
             if (wanted[a]) trow[a] = table.at(id, a);
@@ -988,6 +999,7 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
 
 Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
                                                 const Env& outer) {
+  const bool root = !analyzed_;
   if (!analyzed_) {
     // First call = the root statement; subquery blocks recurse through here
     // with the analysis already in place.
@@ -1007,6 +1019,9 @@ Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
     if (config_->use_index_scan && !stmt.from.empty()) {
       plan = &GetPlan(stmt, conjuncts);
       if (!plan->usable) plan = nullptr;  // legacy fold reproduces the edge
+    }
+    if (root && top_paths_ != nullptr && plan != nullptr) {
+      *top_paths_ = ExplainPlan(*db_, *plan);
     }
     Result<std::vector<Row>> built =
         plan != nullptr
@@ -1268,7 +1283,7 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
     execute_seconds_ = nullptr;
     index_scans_total_ = table_scans_total_ = index_joins_total_ = nullptr;
     rows_pruned_total_ = pushed_predicates_total_ = nullptr;
-    chunks_pruned_total_ = nullptr;
+    chunks_pruned_total_ = rows_scanned_total_ = nullptr;
     return;
   }
   clock_ = obs::ClockOrSteady(clock);
@@ -1296,11 +1311,19 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
   chunks_pruned_total_ = registry->GetCounter(
       "sfsql_exec_chunks_pruned_total",
       "Chunks skipped by scans via per-chunk min/max statistics");
+  rows_scanned_total_ = registry->GetCounter(
+      "sfsql_exec_rows_scanned_total",
+      "Base rows read from storage (scans, index scans, and index joins)");
 }
 
-Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
-  const uint64_t start =
-      execute_seconds_ != nullptr ? clock_->NowNanos() : 0;
+Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt,
+                                      ExecInfo* info) {
+  const bool slow_armed = config_.slow_execute_threshold_ms > 0.0;
+  const bool timing =
+      execute_seconds_ != nullptr || info != nullptr || slow_armed;
+  const obs::Clock* clock =
+      clock_ != nullptr ? clock_ : obs::ClockOrSteady(config_.clock);
+  const uint64_t start = timing ? clock->NowNanos() : 0;
   ExecStats stats;
   Result<QueryResult> out = QueryResult{};
   {
@@ -1308,9 +1331,12 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
     // stay exactly valid (column_index.h staleness contract) and concurrent
     // inserts wait instead of racing the row vectors.
     auto lock = db_->ReadLock();
-    BlockExecutor block(db_, &config_, &stats);
+    BlockExecutor block(db_, &config_, &stats,
+                        info != nullptr ? &info->access_paths : nullptr);
     out = block.ExecuteBlock(stmt, Env{});
   }
+  const double seconds =
+      timing ? obs::NanosToSeconds(clock->NowNanos() - start) : 0.0;
   constexpr auto kRelaxed = std::memory_order_relaxed;
   index_scans_.fetch_add(stats.index_scans, kRelaxed);
   table_scans_.fetch_add(stats.table_scans, kRelaxed);
@@ -1318,8 +1344,9 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
   rows_pruned_.fetch_add(stats.rows_pruned, kRelaxed);
   pushed_predicates_.fetch_add(stats.pushed_predicates, kRelaxed);
   chunks_pruned_.fetch_add(stats.chunks_pruned, kRelaxed);
+  rows_scanned_.fetch_add(stats.rows_scanned, kRelaxed);
   if (execute_seconds_ != nullptr) {
-    execute_seconds_->Observe(obs::NanosToSeconds(clock_->NowNanos() - start));
+    execute_seconds_->Observe(seconds);
     execute_total_->Increment();
     if (out.ok()) {
       execute_rows_->Increment(out->rows.size());
@@ -1332,6 +1359,40 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt) {
     rows_pruned_total_->Increment(stats.rows_pruned);
     pushed_predicates_total_->Increment(stats.pushed_predicates);
     chunks_pruned_total_->Increment(stats.chunks_pruned);
+    rows_scanned_total_->Increment(stats.rows_scanned);
+  }
+  if (info != nullptr) {
+    info->stats = stats;
+    info->rows_returned = out.ok() ? out->rows.size() : 0;
+    info->seconds = seconds;
+  }
+  if (slow_armed && seconds * 1e3 >= config_.slow_execute_threshold_ms) {
+    // One structured line per event, machine-parseable (unlike the slow
+    // translate dump, there is no span tree to render — the stats are the
+    // whole story).
+    obs::JsonWriter w(/*pretty=*/false);
+    w.BeginObject();
+    w.KV("event", "slow_execute");
+    w.KV("ms", seconds * 1e3);
+    w.KV("threshold_ms", config_.slow_execute_threshold_ms);
+    w.KV("sql", sql::PrintSelect(stmt));
+    w.KV("ok", out.ok());
+    w.KV("rows_returned",
+         static_cast<unsigned long long>(out.ok() ? out->rows.size() : 0));
+    w.KV("rows_scanned", static_cast<unsigned long long>(stats.rows_scanned));
+    w.KV("index_scans", static_cast<unsigned long long>(stats.index_scans));
+    w.KV("table_scans", static_cast<unsigned long long>(stats.table_scans));
+    w.KV("index_joins", static_cast<unsigned long long>(stats.index_joins));
+    w.KV("chunks_pruned",
+         static_cast<unsigned long long>(stats.chunks_pruned));
+    w.EndObject();
+    std::string line = w.TakeString();
+    line += '\n';
+    if (config_.slow_log_sink) {
+      config_.slow_log_sink(line);
+    } else {
+      std::fputs(line.c_str(), stderr);
+    }
   }
   return out;
 }
@@ -1345,6 +1406,7 @@ ExecStats Executor::stats() const {
   s.rows_pruned = rows_pruned_.load(kRelaxed);
   s.pushed_predicates = pushed_predicates_.load(kRelaxed);
   s.chunks_pruned = chunks_pruned_.load(kRelaxed);
+  s.rows_scanned = rows_scanned_.load(kRelaxed);
   return s;
 }
 

@@ -32,6 +32,17 @@ struct QueryResult {
   bool SameRows(const QueryResult& other) const;
 };
 
+/// Everything one Execute call did, reported back to the caller (the engine's
+/// profile capture). Unlike Executor::stats(), these are per-call, not
+/// cumulative; `access_paths` covers the top-level block only (empty when the
+/// planner fell back to the naive fold).
+struct ExecInfo {
+  ExecStats stats;
+  std::vector<TableAccessExplain> access_paths;
+  uint64_t rows_returned = 0;
+  double seconds = 0.0;
+};
+
 /// Evaluates fully specified SQL SELECT statements against an in-memory
 /// `Database`. This is the RDBMS substrate of the paper's architecture (Fig. 3):
 /// the Standard SQL Composer's output runs here.
@@ -72,14 +83,18 @@ class Executor {
   ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total,
   ///   sfsql_exec_index_scans_total, sfsql_exec_table_scans_total,
   ///   sfsql_exec_index_joins_total, sfsql_exec_rows_pruned_total,
-  ///   sfsql_exec_pushed_predicates_total, sfsql_exec_chunks_pruned_total.
+  ///   sfsql_exec_pushed_predicates_total, sfsql_exec_chunks_pruned_total,
+  ///   sfsql_exec_rows_scanned_total.
   /// Null `registry` (the default state) disables metrics entirely; `clock`
   /// overrides the steady clock for the latency histogram (tests).
   void EnableMetrics(obs::MetricsRegistry* registry,
                      const obs::Clock* clock = nullptr);
 
-  /// Runs `stmt` and materializes the result.
-  Result<QueryResult> Execute(const sql::SelectStatement& stmt);
+  /// Runs `stmt` and materializes the result. Non-null `info` additionally
+  /// reports this call's stats, latency, result cardinality, and the
+  /// top-level block's access paths (for query profiles).
+  Result<QueryResult> Execute(const sql::SelectStatement& stmt,
+                              ExecInfo* info = nullptr);
 
   /// Convenience: parse + execute a full SQL string.
   Result<QueryResult> ExecuteSql(std::string_view sql);
@@ -108,12 +123,14 @@ class Executor {
   obs::Counter* rows_pruned_total_ = nullptr;
   obs::Counter* pushed_predicates_total_ = nullptr;
   obs::Counter* chunks_pruned_total_ = nullptr;
+  obs::Counter* rows_scanned_total_ = nullptr;
   std::atomic<uint64_t> index_scans_{0};
   std::atomic<uint64_t> table_scans_{0};
   std::atomic<uint64_t> index_joins_{0};
   std::atomic<uint64_t> rows_pruned_{0};
   std::atomic<uint64_t> pushed_predicates_{0};
   std::atomic<uint64_t> chunks_pruned_{0};
+  std::atomic<uint64_t> rows_scanned_{0};
 };
 
 }  // namespace sfsql::exec

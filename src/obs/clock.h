@@ -56,6 +56,11 @@ class FakeClock final : public Clock {
 /// Nanosecond delta as (fractional) seconds.
 inline double NanosToSeconds(uint64_t nanos) { return nanos * 1e-9; }
 
+/// Inverse of NanosToSeconds (rounded to the nearest nanosecond).
+inline uint64_t SecondsToNanos(double seconds) {
+  return static_cast<uint64_t>(seconds * 1e9 + 0.5);
+}
+
 }  // namespace sfsql::obs
 
 #endif  // SFSQL_OBS_CLOCK_H_

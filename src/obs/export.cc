@@ -109,6 +109,11 @@ std::string ToPrometheusText(const MetricsRegistry& registry) {
 
 std::string ToJson(const MetricsRegistry& registry, bool pretty) {
   JsonWriter w(pretty);
+  WriteRegistryJson(registry, w);
+  return w.TakeString();
+}
+
+void WriteRegistryJson(const MetricsRegistry& registry, JsonWriter& w) {
   w.BeginObject();
   w.Key("metrics");
   w.BeginArray();
@@ -164,7 +169,6 @@ std::string ToJson(const MetricsRegistry& registry, bool pretty) {
   });
   w.EndArray();
   w.EndObject();
-  return w.TakeString();
 }
 
 }  // namespace sfsql::obs

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/json.h"
 #include "obs/metrics.h"
 
 namespace sfsql::obs {
@@ -21,6 +22,11 @@ std::string ToPrometheusText(const MetricsRegistry& registry);
 ///              "buckets":[{"le":B,"count":C},...]} — histogram (cumulative)
 /// ]}]}
 std::string ToJson(const MetricsRegistry& registry, bool pretty = true);
+
+/// Writes the same object ToJson renders into an existing JsonWriter, so
+/// callers (serve_driver --stats-json) can embed the registry as one member
+/// of a larger document.
+void WriteRegistryJson(const MetricsRegistry& registry, JsonWriter& w);
 
 }  // namespace sfsql::obs
 

@@ -22,6 +22,7 @@ void Histogram::Observe(double value) {
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
   Slot& slot = shards_[ThisThreadShard()];
   slot.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (value == 0.0) return;  // sum unchanged; skip the CAS loop
   double cur = slot.sum.load(std::memory_order_relaxed);
   while (!slot.sum.compare_exchange_weak(cur, cur + value,
                                          std::memory_order_relaxed)) {
@@ -55,11 +56,64 @@ const std::vector<double>& LatencyBuckets() {
   return *buckets;
 }
 
+inline constexpr std::string_view kConflictCounterName =
+    "sfsql_obs_registration_conflicts_total";
+inline constexpr std::string_view kConflictCounterHelp =
+    "Metric re-registrations whose type, help, or histogram bounds disagreed "
+    "with the existing family (first registration wins).";
+
+Counter* MetricsRegistry::ConflictCounterLocked() {
+  if (conflicts_ != nullptr) return conflicts_;
+  // Inline FindOrCreateFamily + series creation: callers already hold mu_,
+  // and this family is registry-owned so it can never itself conflict.
+  Family* family = nullptr;
+  for (auto& f : families_) {
+    if (f->name == kConflictCounterName) {
+      family = f.get();
+      break;
+    }
+  }
+  if (family == nullptr) {
+    auto f = std::make_unique<Family>();
+    f->name = std::string(kConflictCounterName);
+    f->help = std::string(kConflictCounterHelp);
+    f->type = MetricType::kCounter;
+    families_.push_back(std::move(f));
+    family = families_.back().get();
+  }
+  if (family->series.empty()) {
+    Series series;
+    series.counter.reset(new Counter());
+    family->series.push_back(std::move(series));
+  }
+  conflicts_ = family->series.front().counter.get();
+  return conflicts_;
+}
+
+uint64_t MetricsRegistry::registration_conflicts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (conflicts_ == nullptr) return 0;
+  return conflicts_->Value();
+}
+
 MetricsRegistry::Family* MetricsRegistry::FindOrCreateFamily(
     std::string_view name, std::string_view help, MetricType type) {
   for (auto& family : families_) {
     if (family->name == name) {
-      return family->type == type ? family.get() : nullptr;
+      // Grab the heap pointer before any conflict increment:
+      // ConflictCounterLocked() may push_back into families_, which
+      // invalidates `family` (the vector element) but not the Family it owns.
+      Family* found = family.get();
+      if (found->type != type) {
+        ConflictCounterLocked()->Increment();
+        return nullptr;
+      }
+      if (found->help != help) {
+        // First registration's help wins; record the divergence so the two
+        // call sites can be found and reconciled.
+        ConflictCounterLocked()->Increment();
+      }
+      return found;
     }
   }
   auto family = std::make_unique<Family>();
@@ -111,8 +165,13 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   std::lock_guard<std::mutex> lock(mu_);
   Family* family = FindOrCreateFamily(name, help, MetricType::kHistogram);
   if (family == nullptr) return nullptr;
+  // All series of one family share bucket bounds (first registration wins);
+  // asking for different bounds is a registration conflict either way.
+  if (!family->series.empty() &&
+      family->series.front().histogram->bounds() != bounds) {
+    ConflictCounterLocked()->Increment();
+  }
   if (Series* s = FindSeries(*family, labels)) return s->histogram.get();
-  // All series of one family share bucket bounds (first registration wins).
   const std::vector<double>& use =
       family->series.empty() ? bounds
                              : family->series.front().histogram->bounds();

@@ -30,6 +30,9 @@ size_t ThisThreadShard();
 class Counter {
  public:
   void Increment(uint64_t delta = 1) {
+    // Zero deltas are common on hot paths (per-call counter deltas that are
+    // usually 0); skipping the RMW there is free and measurable.
+    if (delta == 0) return;
     shards_[ThisThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
   }
 
@@ -137,15 +140,28 @@ class MetricsRegistry {
   /// Finds or creates the series. Returns null only if `name` already exists
   /// with a different metric type (a programming error the caller may assert
   /// on). `help` is recorded on first registration of the family.
+  ///
+  /// Re-registration is first-wins, never silently: a later call whose type,
+  /// help, or (for histograms) bucket bounds disagree with the existing
+  /// family returns the existing handle (null for a type mismatch, where no
+  /// usable handle of the requested type exists) AND increments the
+  /// registry's own `sfsql_obs_registration_conflicts_total` counter, so
+  /// divergent registrations are visible in every export instead of one call
+  /// site quietly observing into differently-shaped buckets.
   Counter* GetCounter(std::string_view name, std::string_view help,
                       Labels labels = {});
   Gauge* GetGauge(std::string_view name, std::string_view help,
                   Labels labels = {});
   /// `bounds` must be strictly increasing; it is fixed by the family's first
-  /// registration (later calls ignore their `bounds` argument).
+  /// registration (later calls with different `bounds` get the existing
+  /// bounds and count a registration conflict).
   Histogram* GetHistogram(std::string_view name, std::string_view help,
                           const std::vector<double>& bounds,
                           Labels labels = {});
+
+  /// Conflicting re-registrations observed so far (the value of
+  /// sfsql_obs_registration_conflicts_total).
+  uint64_t registration_conflicts() const;
 
   /// A convenient process-wide instance for tools that want one.
   static MetricsRegistry& Default();
@@ -178,10 +194,14 @@ class MetricsRegistry {
   Family* FindOrCreateFamily(std::string_view name, std::string_view help,
                              MetricType type);
   static Series* FindSeries(Family& family, const Labels& labels);
+  /// The registry's own conflict counter, created lazily while mu_ is held
+  /// (bypassing GetCounter, which would re-lock).
+  Counter* ConflictCounterLocked();
 
   mutable std::mutex mu_;
   /// unique_ptr keeps Family addresses stable across registrations.
   std::vector<std::unique_ptr<Family>> families_;
+  Counter* conflicts_ = nullptr;  ///< cached handle into families_
 };
 
 }  // namespace sfsql::obs

@@ -101,6 +101,17 @@ class Tracer {
   static void WriteSpansJson(const std::vector<SpanRecord>& spans,
                              JsonWriter& w);
 
+  /// Writes the spans as a nested forest: a JSON array of root span objects,
+  /// each with its attributes and a "children" array, children in start
+  /// (= id) order — the tree RenderTree prints, machine-readable. This is the
+  /// shape a QueryProfile embeds verbatim as its "trace" member. Spans whose
+  /// parent id is out of range are treated as roots, like RenderSpanTree.
+  void WriteForestJson(JsonWriter& w) const;
+
+  /// As WriteForestJson, for a snapshot taken earlier.
+  static void WriteForestJson(const std::vector<SpanRecord>& spans,
+                              JsonWriter& w);
+
  private:
   void EndSpan(int id);
   void AddAttr(int id, std::string_view key, std::string value);

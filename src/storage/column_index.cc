@@ -454,4 +454,25 @@ ColumnIndexStats ColumnIndexManager::stats() const {
   return s;
 }
 
+std::vector<ColumnIndexManager::ColumnIndexInfo>
+ColumnIndexManager::BuiltIndexes() const {
+  std::vector<ColumnIndexInfo> out;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    const RelationSlots& slots = *relations_[r];
+    for (size_t a = 0; a < slots.columns.size(); ++a) {
+      const ColumnIndex* idx =
+          slots.columns[a].published.load(std::memory_order_acquire);
+      if (idx == nullptr) continue;
+      ColumnIndexInfo info;
+      info.relation_id = static_cast<int>(r);
+      info.attr_index = static_cast<int>(a);
+      info.built_rows = idx->built_rows();
+      info.num_distinct = idx->num_distinct();
+      info.num_distinct_strings = idx->num_distinct_strings();
+      out.push_back(info);
+    }
+  }
+  return out;
+}
+
 }  // namespace sfsql::storage

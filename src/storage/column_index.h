@@ -225,6 +225,21 @@ class ColumnIndexManager {
 
   ColumnIndexStats stats() const;
 
+  /// Summary of one built column index (the sys_indexes virtual relation).
+  struct ColumnIndexInfo {
+    int relation_id = -1;
+    int attr_index = -1;
+    size_t built_rows = 0;
+    size_t num_distinct = 0;
+    size_t num_distinct_strings = 0;
+  };
+
+  /// Every currently published index, without building anything: reads each
+  /// slot's published pointer (acquire) and summarizes it. An index whose
+  /// built_rows stamp trails the live table size is still listed — callers
+  /// (introspection) compare against Table::num_rows to flag staleness.
+  std::vector<ColumnIndexInfo> BuiltIndexes() const;
+
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 

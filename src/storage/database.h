@@ -164,6 +164,12 @@ class Database {
   /// over the database's lifetime, shared by all engines probing it.
   ColumnIndexStats column_index_stats() const { return indexes_.stats(); }
 
+  /// Summaries of every currently built column index (nothing is built by
+  /// this call); feeds the sys_indexes virtual relation.
+  std::vector<ColumnIndexManager::ColumnIndexInfo> BuiltColumnIndexes() const {
+    return indexes_.BuiltIndexes();
+  }
+
   /// Shared data lock for executors. Holding it pins every table's row count,
   /// which (tables being append-only) freezes row contents too — so a column
   /// index fetched under the lock stays exactly valid for every row id it

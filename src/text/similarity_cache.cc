@@ -71,10 +71,12 @@ double SimilarityCache::GetOrCompute(std::string_view a, std::string_view b,
     if (it != shard.index.end()) return it->second->second;  // raced; keep first
     shard.lru.emplace_front(std::move(key), value);
     shard.index.emplace(shard.lru.front().first, shard.lru.begin());
+    entries_.fetch_add(1, std::memory_order_relaxed);
     if (shard.lru.size() > per_shard_capacity_) {
       shard.index.erase(shard.lru.back().first);
       shard.lru.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
   return value;
@@ -89,6 +91,7 @@ void SimilarityCache::Clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+  entries_.store(0, std::memory_order_relaxed);
 }
 
 SimilarityCache::Stats SimilarityCache::stats() const {
@@ -96,10 +99,10 @@ SimilarityCache::Stats SimilarityCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
-  for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    s.entries += shard.lru.size();
-  }
+  // Lock-free: the entry count is maintained at insert/evict. stats() runs
+  // twice per metered translate, so walking the shard mutexes here would put
+  // cross-thread contention on the serving hot path.
+  s.entries = entries_.load(std::memory_order_relaxed);
   return s;
 }
 

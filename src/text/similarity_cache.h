@@ -73,6 +73,9 @@ class SimilarityCache {
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> evictions_{0};
+  /// Live entry count across all shards, maintained at insert/evict so
+  /// stats() never touches a shard mutex (it runs per metered translate).
+  mutable std::atomic<size_t> entries_{0};
 };
 
 }  // namespace sfsql::text

@@ -4,6 +4,8 @@
 
 #include "exec/executor.h"
 #include "exec/like.h"
+#include "obs/clock.h"
+#include "obs/json.h"
 #include "storage/database.h"
 
 namespace sfsql::exec {
@@ -380,6 +382,58 @@ TEST_F(ExecutorTest, LikeEscapeClause) {
   EXPECT_EQ(r.rows.size(), 0u);
   r = Run("SELECT name FROM Person WHERE name NOT LIKE '%!%%' ESCAPE '!'");
   EXPECT_EQ(r.rows.size(), 4u);
+}
+
+// --- Slow-execute log (fake clock) ------------------------------------------
+
+TEST(SlowExecuteTest, EmitsOneStructuredLineAboveThreshold) {
+  auto db = MovieDb();
+  // Every NowNanos reading advances 3 ms, so the two reads bracketing the
+  // execution measure exactly 3 ms — above a 1 ms threshold.
+  obs::FakeClock clock(0, /*auto_advance_nanos=*/3'000'000);
+  std::string captured;
+  ExecConfig config;
+  config.slow_execute_threshold_ms = 1.0;
+  config.slow_log_sink = [&captured](const std::string& line) {
+    captured += line;
+  };
+  config.clock = &clock;
+  Executor exec(db.get(), config);
+
+  auto r = exec.ExecuteSql("SELECT name FROM Person WHERE gender = 'male'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(captured.empty());
+  EXPECT_EQ(captured.back(), '\n');
+
+  auto parsed = obs::ParseJson(captured);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("event")->string, "slow_execute");
+  EXPECT_DOUBLE_EQ(parsed->Find("ms")->number, 3.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("threshold_ms")->number, 1.0);
+  EXPECT_NE(parsed->Find("sql")->string.find("SELECT"), std::string::npos);
+  EXPECT_TRUE(parsed->Find("ok")->boolean);
+  EXPECT_DOUBLE_EQ(parsed->Find("rows_returned")->number, 3.0);
+  EXPECT_GT(parsed->Find("rows_scanned")->number, 0.0);
+}
+
+TEST(SlowExecuteTest, FastExecutionsAndDisabledThresholdStaySilent) {
+  auto db = MovieDb();
+  obs::FakeClock clock(0, /*auto_advance_nanos=*/3'000'000);
+  std::string captured;
+  ExecConfig config;
+  config.slow_execute_threshold_ms = 10.0;  // above the fake 3 ms
+  config.slow_log_sink = [&captured](const std::string& line) {
+    captured += line;
+  };
+  config.clock = &clock;
+  Executor slow_armed(db.get(), config);
+  ASSERT_TRUE(slow_armed.ExecuteSql("SELECT name FROM Person").ok());
+  EXPECT_TRUE(captured.empty());
+
+  config.slow_execute_threshold_ms = 0.0;  // disabled entirely
+  Executor disarmed(db.get(), config);
+  ASSERT_TRUE(disarmed.ExecuteSql("SELECT name FROM Person").ok());
+  EXPECT_TRUE(captured.empty());
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace sfsql::obs {
@@ -373,6 +374,218 @@ TEST(BenchReportTest, JsonHasDocumentedShape) {
   ASSERT_EQ(rows->items.size(), 1u);
   EXPECT_EQ(rows->items[0].Find("id")->string, "q1");
   EXPECT_DOUBLE_EQ(rows->items[0].Find("units")->number, 4.0);
+}
+
+// --- Registration conflicts --------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistrationConflictsAreCounted) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.registration_conflicts(), 0u);
+
+  Counter* c = registry.GetCounter("m_total", "requests served");
+  ASSERT_NE(c, nullptr);
+  // Same name + help + type: no conflict, same handle.
+  EXPECT_EQ(registry.GetCounter("m_total", "requests served"), c);
+  EXPECT_EQ(registry.registration_conflicts(), 0u);
+
+  // Type mismatch: null handle, one conflict.
+  EXPECT_EQ(registry.GetGauge("m_total", "requests served"), nullptr);
+  EXPECT_EQ(registry.registration_conflicts(), 1u);
+
+  // Help mismatch: the existing handle (first registration wins), one more.
+  EXPECT_EQ(registry.GetCounter("m_total", "different help"), c);
+  EXPECT_EQ(registry.registration_conflicts(), 2u);
+
+  // Histogram bounds mismatch: existing bounds win, one more conflict.
+  Histogram* h = registry.GetHistogram("h", "latency", {1.0, 2.0});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(registry.GetHistogram("h", "latency", {5.0}), h);
+  EXPECT_EQ(h->bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(registry.registration_conflicts(), 3u);
+
+  // The counter is an ordinary family, visible in every export.
+  EXPECT_NE(ToPrometheusText(registry)
+                .find("sfsql_obs_registration_conflicts_total 3"),
+            std::string::npos);
+}
+
+// --- Tracer span-forest JSON -------------------------------------------------
+
+TEST(TracerTest, ForestJsonMatchesGolden) {
+  FakeClock clock(1000);
+  Tracer tracer(&clock);
+  {
+    Tracer::Span root = tracer.StartSpan("translate");
+    root.Attr("query_bytes", 42LL);
+    clock.Advance(2'000'000);
+    {
+      Tracer::Span parse = tracer.StartSpan("parse", root.id());
+      clock.Advance(500'000);
+    }
+    {
+      Tracer::Span map = tracer.StartSpan("map", root.id());
+      clock.Advance(250'000);
+      {
+        Tracer::Span sim = tracer.StartSpan("similarity", map.id());
+        sim.Attr("pairs", 7LL);
+        clock.Advance(125'000);
+      }
+    }
+    clock.Advance(1'000'000);
+  }
+  // A second root: the forest is an array, not a single tree.
+  tracer.AddCompleteSpan("flush", -1, 9'000'000, 9'500'000, {{"reason", "eof"}});
+
+  JsonWriter w(/*pretty=*/true);
+  tracer.WriteForestJson(w);
+  std::string json = w.TakeString() + "\n";
+  ExpectMatchesGolden(json, "trace_forest.json");
+
+  // The golden is also structurally valid: two roots, nested children.
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_array());
+  ASSERT_EQ(parsed->items.size(), 2u);
+  const JsonValue& root = parsed->items[0];
+  EXPECT_EQ(root.Find("name")->string, "translate");
+  const JsonValue* children = root.Find("children");
+  ASSERT_TRUE(children != nullptr && children->is_array());
+  ASSERT_EQ(children->items.size(), 2u);
+  EXPECT_EQ(children->items[1].Find("name")->string, "map");
+  ASSERT_NE(children->items[1].Find("children"), nullptr);
+  EXPECT_EQ(children->items[1]
+                .Find("children")
+                ->items[0]
+                .Find("name")
+                ->string,
+            "similarity");
+}
+
+// --- QueryProfileStore -------------------------------------------------------
+
+QueryProfile DemoProfile(uint64_t start_nanos, const char* statement) {
+  QueryProfile p;
+  p.start_nanos = start_nanos;
+  p.kind = "translate";
+  p.statement = statement;
+  p.cache_tier = "miss";
+  p.latency_seconds = 0.002;
+  p.parse_seconds = 0.0005;
+  p.translations = 3;
+  return p;
+}
+
+TEST(QueryProfileStoreTest, AssignsIdsAndSnapshotsInOrder) {
+  QueryProfileStore store(/*capacity=*/8, /*num_shards=*/1);
+  store.Record(DemoProfile(100, "a"));
+  store.Record(DemoProfile(200, "b"));
+  store.Record(DemoProfile(300, "c"));
+  EXPECT_EQ(store.recorded(), 3u);
+  EXPECT_EQ(store.dropped(), 0u);
+  std::vector<QueryProfile> got = store.Snapshot();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_EQ(got[1].id, 2u);
+  EXPECT_EQ(got[2].id, 3u);
+  EXPECT_EQ(got[0].statement, "a");
+  EXPECT_EQ(got[2].statement, "c");
+  EXPECT_EQ(got[0].cache_tier, "miss");
+  EXPECT_EQ(got[0].translations, 3);
+}
+
+TEST(QueryProfileStoreTest, RingWrapsOverwritingOldestAndCountsDrops) {
+  QueryProfileStore store(/*capacity=*/4, /*num_shards=*/1);
+  for (int i = 0; i < 6; ++i) {
+    store.Record(DemoProfile(100 * (i + 1), "q"));
+  }
+  EXPECT_EQ(store.recorded(), 6u);
+  EXPECT_EQ(store.dropped(), 2u);  // ids 1 and 2 were overwritten
+  std::vector<QueryProfile> got = store.Snapshot();
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got.front().id, 3u);
+  EXPECT_EQ(got.back().id, 6u);
+}
+
+TEST(QueryProfileStoreTest, CapacityRoundsUpToShardMultiple) {
+  QueryProfileStore store(/*capacity=*/10, /*num_shards=*/4);
+  EXPECT_EQ(store.capacity(), 12u);  // 3 slots per shard
+  QueryProfileStore tiny(/*capacity=*/0, /*num_shards=*/0);
+  EXPECT_EQ(tiny.capacity(), 1u);  // degenerate arguments stay usable
+  tiny.Record(DemoProfile(1, "only"));
+  EXPECT_EQ(tiny.Snapshot().size(), 1u);
+}
+
+TEST(QueryProfileStoreTest, JsonMatchesGolden) {
+  QueryProfileStore store(/*capacity=*/4, /*num_shards=*/1);
+
+  QueryProfile translate = DemoProfile(1'000'000, "SELECT name FROM people");
+  translate.fingerprint = "deadbeef";
+  translate.map_seconds = 0.001;
+  translate.spans = {{0, -1, "translate", 1'000'000, 3'000'000, {}},
+                     {1, 0, "parse", 1'000'000, 1'500'000, {{"bytes", "23"}}}};
+  store.Record(std::move(translate));
+
+  QueryProfile execute = DemoProfile(5'000'000, "SELECT * FROM movies");
+  execute.kind = "execute";
+  execute.cache_tier = "tier2";
+  execute.parse_seconds = 0.0;
+  execute.translations = 1;
+  execute.execute_seconds = 0.0007;
+  execute.rows_scanned = 120;
+  execute.rows_returned = 7;
+  execute.chunks_total = 4;
+  execute.chunks_pruned = 2;
+  execute.access_paths = {{"m", "Movie", "index_scan", 120, 9, 4, 2}};
+  store.Record(std::move(execute));
+
+  QueryProfile failed = DemoProfile(9'000'000, "SELECT FROM nothing");
+  failed.ok = false;
+  failed.error = "no relation matches 'nothing'";
+  failed.translations = 0;
+  store.Record(std::move(failed));
+
+  ExpectMatchesGolden(store.ToJson(/*pretty=*/true) + "\n",
+                      "profile_store.json");
+
+  // And the export parses back with the documented shape.
+  auto parsed = ParseJson(store.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->Find("capacity")->number, 4.0);
+  EXPECT_DOUBLE_EQ(parsed->Find("recorded")->number, 3.0);
+  const JsonValue* profiles = parsed->Find("profiles");
+  ASSERT_TRUE(profiles != nullptr && profiles->is_array());
+  ASSERT_EQ(profiles->items.size(), 3u);
+  EXPECT_EQ(profiles->items[0].Find("fingerprint")->string, "deadbeef");
+  ASSERT_NE(profiles->items[0].Find("trace"), nullptr);
+  EXPECT_EQ(profiles->items[1].Find("kind")->string, "execute");
+  ASSERT_NE(profiles->items[1].Find("access_paths"), nullptr);
+  EXPECT_EQ(profiles->items[2].Find("error")->string,
+            "no relation matches 'nothing'");
+}
+
+TEST(QueryProfileStoreTest, ConcurrentRecordsNeitherBlockNorCorrupt) {
+  QueryProfileStore store(/*capacity=*/64, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.Record(DemoProfile(i, "hammer"));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  // recorded + contention-skips == total; overwrite-drops are a subset of
+  // dropped, so dropped >= recorded - capacity.
+  EXPECT_LE(store.recorded(), total);
+  EXPECT_GE(store.recorded() + store.dropped(), total);
+  std::vector<QueryProfile> got = store.Snapshot();
+  EXPECT_LE(got.size(), store.capacity());
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].id, got[i].id);  // Snapshot sorts by id
+  }
 }
 
 }  // namespace

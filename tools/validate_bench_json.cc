@@ -110,6 +110,23 @@ bool ValidateFile(const std::string& path) {
       }
     }
   }
+  // The serving bench must report cache effectiveness and the cost of
+  // always-on profiling: tier hit rates, the profiling on/off throughput
+  // pair with its ratio, and the profile ring's drop count. Their absence
+  // means the observability section silently fell out of the bench.
+  if (bench->string == "serving") {
+    for (const char* key :
+         {"tier2_hit_rate", "tier1_hit_rate", "profile_ring_dropped",
+          "profiling_on_queries_per_second",
+          "profiling_off_queries_per_second", "profiling_overhead_ratio"}) {
+      const JsonValue* v = metrics->Find(key);
+      if (v == nullptr || !v->is_number()) {
+        return Fail(path, std::string("metrics.") + key +
+                              " missing or not a number (required for the "
+                              "serving bench)");
+      }
+    }
+  }
   const JsonValue* tables = doc.Find("tables");
   if (tables == nullptr || !tables->is_object()) {
     return Fail(path, "\"tables\" missing or not an object");

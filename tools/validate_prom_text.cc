@@ -1,0 +1,458 @@
+// Lints Prometheus text-format exposition (the output of
+// obs::ToPrometheusText) against the format rules a scraper depends on:
+//
+//   * family headers: "# HELP <name> <text>" immediately followed by
+//     "# TYPE <name> <counter|gauge|histogram|summary|untyped>", each family
+//     appearing exactly once, all of a family's samples contiguous after its
+//     header;
+//   * sample names: the family name itself, plus _bucket/_sum/_count only
+//     for histogram (or summary, sans _bucket) families;
+//   * label blocks: well-formed {k="v",...} with only \\ \" \n escapes and
+//     identifier label names; histogram buckets carry an le label;
+//   * values: parseable numbers (+Inf/-Inf/NaN allowed);
+//   * histogram series: le values strictly increasing, bucket counts
+//     cumulative (non-decreasing), a +Inf bucket present whose count equals
+//     the series' _count sample.
+//
+// Usage:
+//   validate_prom_text FILE...     lint files (exit 0 iff all pass)
+//   validate_prom_text --selftest  lint a freshly populated registry's
+//                                  export, then known-bad documents (must be
+//                                  rejected); registered as a tier-1 ctest so
+//                                  exporter drift fails the build.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace {
+
+struct Linter {
+  std::string source;
+  int line_no = 0;
+  std::vector<std::string> errors;
+
+  // Current family (from the most recent HELP/TYPE pair).
+  std::string family;
+  std::string type;
+  bool saw_help_awaiting_type = false;
+  std::string help_name;
+  std::set<std::string> closed_families;
+
+  // Histogram bookkeeping for the current family, keyed by the series' label
+  // block with `le` removed.
+  struct HistogramSeries {
+    std::vector<std::pair<double, double>> buckets;  ///< (le, count) in order
+    bool has_count = false;
+    double count_value = 0.0;
+    bool has_sum = false;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  void Error(const std::string& why) {
+    errors.push_back(source + ":" + std::to_string(line_no) + ": " + why);
+  }
+
+  static bool IsMetricName(const std::string& s) {
+    if (s.empty()) return false;
+    auto head = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+             c == ':';
+    };
+    if (!head(s[0])) return false;
+    for (char c : s) {
+      if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool IsLabelName(const std::string& s) {
+    if (s.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_') {
+      return false;
+    }
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static bool ParseValue(const std::string& s, double* out) {
+    if (s == "+Inf" || s == "Inf") { *out = HUGE_VAL; return true; }
+    if (s == "-Inf") { *out = -HUGE_VAL; return true; }
+    if (s == "NaN") { *out = NAN; return true; }
+    if (s.empty()) return false;
+    char* end = nullptr;
+    *out = std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+  }
+
+  /// Verifies the accumulated histogram series of the family being closed.
+  void CloseFamily() {
+    if (type == "histogram") {
+      for (const auto& [labels, series] : histograms) {
+        const std::string where =
+            family + (labels.empty() ? "" : "{" + labels + "}");
+        if (series.buckets.empty()) {
+          Error("histogram series " + where + " has no _bucket samples");
+          continue;
+        }
+        double prev_le = -HUGE_VAL;
+        double prev_count = -1.0;
+        for (const auto& [le, count] : series.buckets) {
+          if (le <= prev_le) {
+            Error("histogram " + where + " le values not increasing");
+          }
+          if (count < prev_count) {
+            Error("histogram " + where +
+                  " bucket counts are not cumulative (count decreased)");
+          }
+          prev_le = le;
+          prev_count = count;
+        }
+        if (!std::isinf(series.buckets.back().first)) {
+          Error("histogram " + where + " lacks an le=\"+Inf\" bucket");
+        } else if (!series.has_count) {
+          Error("histogram " + where + " lacks a _count sample");
+        } else if (series.buckets.back().second != series.count_value) {
+          Error("histogram " + where +
+                " +Inf bucket count differs from _count");
+        }
+        if (!series.has_sum) {
+          Error("histogram " + where + " lacks a _sum sample");
+        }
+      }
+    }
+    if (!family.empty()) closed_families.insert(family);
+    family.clear();
+    type.clear();
+    histograms.clear();
+  }
+
+  void BeginFamily(const std::string& name, const std::string& family_type) {
+    CloseFamily();
+    if (closed_families.count(name) != 0) {
+      Error("family " + name + " appears more than once");
+    }
+    family = name;
+    type = family_type;
+  }
+
+  void HandleComment(const std::string& line) {
+    std::istringstream in(line);
+    std::string hash, keyword, name;
+    in >> hash >> keyword >> name;
+    if (keyword != "HELP" && keyword != "TYPE") return;  // free-form comment
+    if (!IsMetricName(name)) {
+      Error("# " + keyword + " names invalid metric \"" + name + "\"");
+      return;
+    }
+    if (keyword == "HELP") {
+      if (saw_help_awaiting_type) {
+        Error("# HELP " + name + " follows a # HELP without a # TYPE");
+      }
+      saw_help_awaiting_type = true;
+      help_name = name;
+      return;
+    }
+    // TYPE: must complete the HELP pair for the same family (HELP first —
+    // the ordering our exporter guarantees and dashboards rely on).
+    std::string family_type;
+    in >> family_type;
+    static const std::set<std::string> kTypes = {
+        "counter", "gauge", "histogram", "summary", "untyped"};
+    if (kTypes.count(family_type) == 0) {
+      Error("# TYPE " + name + " has invalid type \"" + family_type + "\"");
+    }
+    if (!saw_help_awaiting_type || help_name != name) {
+      Error("# TYPE " + name + " is not preceded by its # HELP line");
+    }
+    saw_help_awaiting_type = false;
+    BeginFamily(name, family_type);
+  }
+
+  /// Parses `name{labels} value`, reporting errors in place.
+  void HandleSample(const std::string& line) {
+    if (saw_help_awaiting_type) {
+      Error("sample after # HELP " + help_name + " without a # TYPE");
+      saw_help_awaiting_type = false;
+    }
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      Error("sample line has no value: " + line);
+      return;
+    }
+    const std::string name = line.substr(0, name_end);
+    if (!IsMetricName(name)) {
+      Error("invalid sample name \"" + name + "\"");
+      return;
+    }
+
+    // Label block.
+    std::string le_value;
+    bool has_le = false;
+    std::string labels_without_le;
+    size_t pos = name_end;
+    if (line[pos] == '{') {
+      ++pos;
+      bool first = true;
+      while (pos < line.size() && line[pos] != '}') {
+        size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || line.size() <= eq + 1 ||
+            line[eq + 1] != '"') {
+          Error("malformed label block in: " + line);
+          return;
+        }
+        const std::string key = line.substr(pos, eq - pos);
+        if (!IsLabelName(key)) {
+          Error("invalid label name \"" + key + "\"");
+          return;
+        }
+        // Escaped string value.
+        std::string value;
+        size_t v = eq + 2;
+        bool closed = false;
+        while (v < line.size()) {
+          if (line[v] == '\\') {
+            if (v + 1 >= line.size() ||
+                (line[v + 1] != '\\' && line[v + 1] != '"' &&
+                 line[v + 1] != 'n')) {
+              Error("invalid escape in label value of " + key);
+              return;
+            }
+            value += line[v + 1];
+            v += 2;
+          } else if (line[v] == '"') {
+            closed = true;
+            ++v;
+            break;
+          } else {
+            value += line[v];
+            ++v;
+          }
+        }
+        if (!closed) {
+          Error("unterminated label value in: " + line);
+          return;
+        }
+        if (key == "le") {
+          has_le = true;
+          le_value = value;
+        } else {
+          if (!labels_without_le.empty()) labels_without_le += ',';
+          labels_without_le += key + "=" + value;
+        }
+        pos = v;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+        (void)first;
+        first = false;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        Error("unterminated label block in: " + line);
+        return;
+      }
+      ++pos;
+    }
+
+    // Value.
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    const std::string value_text = line.substr(pos);
+    double value = 0.0;
+    if (!ParseValue(value_text, &value)) {
+      Error("unparseable sample value \"" + value_text + "\" for " + name);
+      return;
+    }
+
+    // Name vs family: base name or histogram/summary suffixes.
+    if (family.empty()) {
+      Error("sample " + name + " appears before any # TYPE header");
+      return;
+    }
+    auto suffix_of = [&](const char* suffix) {
+      const std::string full = family + suffix;
+      return name == full;
+    };
+    if (name == family) {
+      if (type == "histogram") {
+        Error("histogram family " + family +
+              " has a bare sample (expected _bucket/_sum/_count)");
+      }
+      return;
+    }
+    if (suffix_of("_bucket")) {
+      if (type != "histogram") {
+        Error(name + " uses _bucket but family " + family + " is " + type);
+        return;
+      }
+      if (!has_le) {
+        Error(name + " bucket sample lacks an le label");
+        return;
+      }
+      double le = 0.0;
+      if (!ParseValue(le_value, &le)) {
+        Error(name + " has unparseable le \"" + le_value + "\"");
+        return;
+      }
+      histograms[labels_without_le].buckets.emplace_back(le, value);
+      return;
+    }
+    if (suffix_of("_sum") || suffix_of("_count")) {
+      if (type != "histogram" && type != "summary") {
+        Error(name + " uses a histogram suffix but family " + family +
+              " is " + type);
+        return;
+      }
+      HistogramSeries& series = histograms[labels_without_le];
+      if (suffix_of("_count")) {
+        series.has_count = true;
+        series.count_value = value;
+      } else {
+        series.has_sum = true;
+      }
+      return;
+    }
+    Error("sample " + name + " does not belong to family " + family);
+  }
+
+  void Lint(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        HandleComment(line);
+      } else {
+        HandleSample(line);
+      }
+    }
+    CloseFamily();
+    if (saw_help_awaiting_type) {
+      Error("trailing # HELP " + help_name + " without a # TYPE");
+    }
+  }
+};
+
+bool LintText(const std::string& source, const std::string& text,
+              bool print_errors = true) {
+  Linter linter;
+  linter.source = source;
+  linter.Lint(text);
+  if (print_errors) {
+    for (const std::string& e : linter.errors) {
+      std::fprintf(stderr, "%s\n", e.c_str());
+    }
+  }
+  return linter.errors.empty();
+}
+
+bool LintFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const bool ok = LintText(path, buf.str());
+  std::printf("%s: %s\n", path.c_str(), ok ? "ok" : "INVALID");
+  return ok;
+}
+
+/// Lints the text export of a registry populated with every metric kind and
+/// deliberately awkward label values, then checks that known-bad documents
+/// are rejected. Exits nonzero on any surprise in either direction.
+int SelfTest() {
+  using namespace sfsql::obs;  // NOLINT(build/namespaces)
+  MetricsRegistry registry;
+  registry.GetCounter("sfsql_test_requests_total", "Requests served.")
+      ->Increment();
+  Counter* labeled = registry.GetCounter(
+      "sfsql_test_errors_total", "Errors by class.",
+      {{"path", "C:\\temp"}, {"detail", "said \"no\"\nand left"}});
+  labeled->Increment(7);
+  registry.GetGauge("sfsql_test_depth", "Queue depth.")->Set(-2.5);
+  Histogram* hist = registry.GetHistogram(
+      "sfsql_test_latency_seconds", "Latency.", {0.001, 0.01, 0.1});
+  for (double v : {0.0005, 0.002, 0.002, 0.05, 3.0}) hist->Observe(v);
+  Histogram* labeled_hist = registry.GetHistogram(
+      "sfsql_test_size_bytes", "Sizes.", {1.0, 10.0}, {{"kind", "row"}});
+  labeled_hist->Observe(4.0);
+
+  int failures = 0;
+  if (!LintText("<registry export>", ToPrometheusText(registry))) {
+    std::fprintf(stderr, "selftest: registry export failed the lint\n");
+    ++failures;
+  }
+
+  const struct {
+    const char* why;
+    const char* text;
+  } kBad[] = {
+      {"TYPE before HELP",
+       "# TYPE x_total counter\n# HELP x_total help\nx_total 1\n"},
+      {"repeated family",
+       "# HELP a_total h\n# TYPE a_total counter\na_total 1\n"
+       "# HELP b_total h\n# TYPE b_total counter\nb_total 1\n"
+       "# HELP a_total h\n# TYPE a_total counter\na_total 2\n"},
+      {"non-cumulative buckets",
+       "# HELP h help\n# TYPE h histogram\n"
+       "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"
+       "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+      {"+Inf bucket != _count",
+       "# HELP h help\n# TYPE h histogram\n"
+       "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n"},
+      {"missing +Inf bucket",
+       "# HELP h help\n# TYPE h histogram\n"
+       "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+      {"bad escape in label value",
+       "# HELP a_total h\n# TYPE a_total counter\na_total{x=\"a\\qb\"} 1\n"},
+      {"unparseable value",
+       "# HELP a_total h\n# TYPE a_total counter\na_total banana\n"},
+      {"sample from the wrong family",
+       "# HELP a_total h\n# TYPE a_total counter\nb_total 1\n"},
+      {"_bucket on a counter family",
+       "# HELP a_total h\n# TYPE a_total counter\na_total_bucket{le=\"1\"} "
+       "1\n"},
+      {"invalid TYPE value",
+       "# HELP a_total h\n# TYPE a_total ticker\na_total 1\n"},
+  };
+  for (const auto& bad : kBad) {
+    if (LintText("<bad doc>", bad.text, /*print_errors=*/false)) {
+      std::fprintf(stderr, "selftest: bad document accepted: %s\n", bad.why);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("selftest: export lints clean, %zu bad documents rejected\n",
+                std::size(kBad));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) return SelfTest();
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: validate_prom_text FILE... | --selftest\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) all_ok = LintFile(argv[i]) && all_ok;
+  return all_ok ? 0 : 1;
+}
