@@ -1051,6 +1051,9 @@ Result<std::vector<Translation>> SchemaFreeEngine::TranslateImpl(
       e.selectivity = t.selectivity;
       e.chunks_total = static_cast<long long>(t.chunks_total);
       e.chunks_pruned = static_cast<long long>(t.chunks_pruned);
+      e.join_algo = t.join_algo;
+      e.est_rows_cumulative = t.est_rows_cumulative;
+      e.est_cost_cumulative = t.est_cost_cumulative;
       explain->execution.push_back(std::move(e));
     }
   }

@@ -100,7 +100,13 @@ std::string TranslationExplain::RenderTree() const {
              std::to_string(t.table_rows) + " rows, sel " +
              Num(t.selectivity) + ", chunks pruned " +
              std::to_string(t.chunks_pruned) + "/" +
-             std::to_string(t.chunks_total) + "\n";
+             std::to_string(t.chunks_total);
+      if (!t.join_algo.empty()) {
+        out += ", join " + t.join_algo + " (cum est " +
+               Num(t.est_rows_cumulative) + " rows, cost " +
+               Num(t.est_cost_cumulative) + ")";
+      }
+      out += "\n";
     }
   }
   out += "└─ results\n";
@@ -241,6 +247,11 @@ std::string TranslationExplain::ToJson(bool pretty,
     w.KV("selectivity", t.selectivity);
     w.KV("chunks_total", t.chunks_total);
     w.KV("chunks_pruned", t.chunks_pruned);
+    if (!t.join_algo.empty()) {
+      w.KV("join_algo", t.join_algo);
+      w.KV("est_rows_cumulative", t.est_rows_cumulative);
+      w.KV("est_cost_cumulative", t.est_cost_cumulative);
+    }
     w.EndObject();
   }
   w.EndArray();

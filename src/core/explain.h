@@ -72,6 +72,11 @@ struct ExplainTableAccess {
   double selectivity = 1.0;
   long long chunks_total = 0;   ///< columnar chunks in the table at plan time
   long long chunks_pruned = 0;  ///< chunks ruled out by min/max stats pre-index
+  /// Cost-based join provenance (empty/-1 when the cost model did not plan
+  /// this step — first table in the fold, or use_cost_model = false).
+  std::string join_algo;  ///< "hash" | "index_nl" | "sort_merge" | "nested_loop"
+  double est_rows_cumulative = -1.0;  ///< estimated rows after this fold step
+  double est_cost_cumulative = -1.0;  ///< cost-model units through this step
 };
 
 /// Full provenance of one Translate call — the translation EXPLAIN mode.

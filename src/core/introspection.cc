@@ -187,6 +187,37 @@ std::vector<Row> ChunkRows(const storage::Database* db) {
   return rows;
 }
 
+std::vector<Row> ColumnStatsRows(const storage::Database* db) {
+  std::vector<Row> rows;
+  if (db == nullptr) return rows;
+  for (int r = 0; r < db->catalog().num_relations(); ++r) {
+    const Relation& rel = db->catalog().relation(r);
+    const storage::Table& table = db->table(r);
+    for (size_t a = 0; a < table.num_attrs(); ++a) {
+      const storage::ColumnStats stats = table.ColumnStatsFor(a);
+      Row row;
+      row.reserve(9);
+      row.push_back(Value::String(rel.name));
+      row.push_back(Value::String(rel.attributes[a].name));
+      row.push_back(Value::Int(static_cast<int64_t>(stats.rows)));
+      row.push_back(Value::Int(static_cast<int64_t>(stats.non_null_count)));
+      row.push_back(Value::Int(static_cast<int64_t>(stats.null_count)));
+      row.push_back(Value::Double(stats.null_fraction()));
+      row.push_back(
+          Value::Int(static_cast<int64_t>(stats.distinct_estimate)));
+      if (stats.has_values) {
+        row.push_back(Value::String(stats.min.ToString()));
+        row.push_back(Value::String(stats.max.ToString()));
+      } else {
+        row.push_back(Value::Null_());
+        row.push_back(Value::Null_());
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 std::vector<Row> IndexRows(const storage::Database* db) {
   std::vector<Row> rows;
   if (db == nullptr) return rows;
@@ -215,7 +246,7 @@ Introspection::Introspection(const IntrospectionSources& sources) {
 
   catalog::Catalog catalog;
   // AddRelation cannot fail here (fixed names, no duplicates), so the results
-  // are intentionally unchecked; relation ids are insertion order 0..5.
+  // are intentionally unchecked; relation ids are insertion order 0..6.
   (void)catalog.AddRelation(MakeRelation(
       "sys_queries",
       {{"id", kInt},
@@ -278,6 +309,16 @@ Introspection::Introspection(const IntrospectionSources& sources) {
                                           {"distinct_values", kInt},
                                           {"distinct_strings", kInt},
                                           {"stale", kBool}}));
+  (void)catalog.AddRelation(MakeRelation("sys_column_stats",
+                                         {{"relation_name", kString},
+                                          {"attribute_name", kString},
+                                          {"row_count", kInt},
+                                          {"non_null_count", kInt},
+                                          {"null_count", kInt},
+                                          {"null_fraction", kDouble},
+                                          {"distinct_estimate", kInt},
+                                          {"min_value", kString},
+                                          {"max_value", kString}}));
 
   db_ = std::make_unique<storage::Database>(std::move(catalog));
   (void)db_->InsertRows(0, QueryRows(sources.profiles));
@@ -286,6 +327,7 @@ Introspection::Introspection(const IntrospectionSources& sources) {
   (void)db_->InsertRows(3, RelationRows(sources.db));
   (void)db_->InsertRows(4, ChunkRows(sources.db));
   (void)db_->InsertRows(5, IndexRows(sources.db));
+  (void)db_->InsertRows(6, ColumnStatsRows(sources.db));
 
   // The snapshot never changes, so a plan cache would only shadow bugs; the
   // serving engine's metrics/profile hooks stay off — observing the observer

@@ -20,7 +20,7 @@ namespace sfsql::core {
 /// may be null — the relations it feeds are then empty (but still exist, so
 /// queries against them answer with zero rows rather than erroring).
 struct IntrospectionSources {
-  /// Feeds sys_relations, sys_chunks, sys_indexes.
+  /// Feeds sys_relations, sys_chunks, sys_indexes, sys_column_stats.
   const storage::Database* db = nullptr;
   /// Feeds sys_plan_cache (the engine's two-tier translation plan cache).
   const SchemaFreeEngine* engine = nullptr;
@@ -45,6 +45,9 @@ struct IntrospectionSources {
 ///   sys_relations   — one row per workload relation (rows, chunks, epoch)
 ///   sys_chunks      — one row per (relation, chunk, attribute) statistics
 ///   sys_indexes     — one row per built column index
+///   sys_column_stats — one row per (relation, attribute): table-level stats
+///                      merged across chunks (the cost model's estimator
+///                      inputs — sketch-union NDV, null fraction, min/max)
 ///
 /// The snapshot is taken once at construction (point-in-time, like any
 /// monitoring scrape); construct a fresh Introspection to re-observe.

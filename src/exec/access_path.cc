@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/strings.h"
+#include "exec/cost_model.h"
 #include "exec/like.h"
 #include "sql/printer.h"
 
@@ -511,6 +512,7 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
     TablePlan& tp = tables[t];
     const storage::Table& table = db.table(tp.relation_id);
     tp.chunks_total = table.num_chunks();
+    tp.scan_rows = tp.table_rows;
     if (tp.sargable.empty()) {
       tp.estimated_rows = tp.table_rows;
       tp.selectivity = 1.0;
@@ -549,6 +551,7 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
         surviving_rows += chunk.size();
       }
     }
+    tp.scan_rows = surviving_rows;
 
     // Scan path: the sargable conjuncts demote to per-row evaluation but are
     // retained for chunk pruning; the estimate still informs the join order.
@@ -635,13 +638,37 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
                   static_cast<double>(tp.table_rows);
   }
 
-  // Join order: cheapest estimated cardinality first, preferring tables
-  // connected to the placed set by an equi edge (keeps the fold a hash join
-  // instead of a cross product). Original FROM order when reordering is off
-  // or the block's output could depend on emission order.
+  // Join order. With the cost model on, a left-deep DP searches orders and
+  // picks the join algorithm per fold step (exec/cost_model); otherwise the
+  // legacy greedy order applies: cheapest estimated cardinality first,
+  // preferring tables connected to the placed set by an equi edge (keeps the
+  // fold a hash join instead of a cross product). Original FROM order when
+  // reordering is off or the block's output could depend on emission order.
   std::vector<int> order(n);
   for (size_t t = 0; t < n; ++t) order[t] = static_cast<int>(t);
-  if (config.reorder_joins && n > 1 && ReorderSafe(stmt)) {
+  const bool reorder_ok = config.reorder_joins && n > 1 && ReorderSafe(stmt);
+  std::vector<JoinStepEstimate> cost_steps;
+  if (config.use_cost_model) {
+    // Sort-merge emits in key order, so it needs the same order-insensitivity
+    // guarantee as reordering.
+    JoinOrderPlan cost =
+        PlanJoinOrder(db, tables, plan.equi_joins, config,
+                      /*allow_reorder=*/reorder_ok,
+                      /*allow_sort_merge=*/reorder_ok);
+    for (size_t t = 0; t < n; ++t) {
+      if (cost.order[t] != order[t]) plan.reordered = true;
+    }
+    order = std::move(cost.order);
+    cost_steps = std::move(cost.steps);
+    plan.cost_based = true;
+    // The fold also applies multi-table non-equi filters; discount each by
+    // the default selectivity so the block-level output estimate (the
+    // q-error numerator) accounts for them.
+    plan.estimated_output_rows = cost.output_rows;
+    for (size_t i = 0; i < plan.join_filters.size(); ++i) {
+      plan.estimated_output_rows /= 3.0;
+    }
+  } else if (reorder_ok) {
     std::vector<std::vector<int>> adjacent(n);
     for (const PlannedEquiJoin& e : plan.equi_joins) {
       adjacent[e.left_from].push_back(e.right_from);
@@ -680,6 +707,11 @@ BlockPlan PlanBlock(const storage::Database& db, const SelectStatement& stmt,
 
   plan.tables.reserve(n);
   for (int t : order) plan.tables.push_back(std::move(tables[t]));
+  for (size_t t = 0; t < cost_steps.size(); ++t) {
+    plan.tables[t].join_algo = cost_steps[t].algo;
+    plan.tables[t].est_rows_cumulative = cost_steps[t].rows;
+    plan.tables[t].est_cost_cumulative = cost_steps[t].cost;
+  }
   // Table-independent conjuncts gate the whole result; evaluate them on the
   // first (cheapest) table's base rows.
   for (int ci : constants) plan.tables[0].pushed.push_back(ci);
@@ -727,6 +759,9 @@ std::vector<TableAccessExplain> ExplainPlan(const storage::Database& db,
     e.selectivity = tp.selectivity;
     e.chunks_total = tp.chunks_total;
     e.chunks_pruned = tp.chunks_pruned;
+    e.join_algo = JoinAlgoName(tp.join_algo);
+    e.est_rows_cumulative = tp.est_rows_cumulative;
+    e.est_cost_cumulative = tp.est_cost_cumulative;
     out.push_back(std::move(e));
   }
   return out;

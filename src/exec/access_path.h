@@ -16,6 +16,21 @@ class Clock;
 
 namespace sfsql::exec {
 
+/// Join algorithm chosen by the cost model for one fold step. kNone means
+/// the planner made no choice — the executor applies its legacy runtime
+/// heuristics (hash join, or an index nested-loop join when the accumulated
+/// side is small enough).
+enum class JoinAlgo {
+  kNone,
+  kHash,             ///< build on the new table, probe with accumulated rows
+  kIndexNestedLoop,  ///< probe the join column's index per accumulated row
+  kSortMerge,        ///< sort both sides by the key columns and merge
+  kNestedLoop,       ///< no equi keys: cross product + per-pair filters
+};
+
+/// Lowercase display name ("hash", "index_nl", "sort_merge", ...).
+const char* JoinAlgoName(JoinAlgo algo);
+
 /// Execution knobs. `use_index_scan = false` forces the original naive
 /// fold (full scan per FROM entry, predicates classified during the fold) —
 /// kept as the differential-testing and benchmarking baseline.
@@ -31,6 +46,21 @@ struct ExecConfig {
   /// first). Only applied when the block is provably order-insensitive — see
   /// ReorderSafe below.
   bool reorder_joins = true;
+  /// Cost-based planning (exec/cost_model): estimate cardinalities from the
+  /// chunk statistics + exact index counts, search join orders with a
+  /// left-deep DP (greedy above `cost_dp_max_tables`), and pick the join
+  /// algorithm (hash / index nested-loop / sort-merge) per fold step by
+  /// cost. Off = the original greedy reorder with runtime algorithm
+  /// heuristics — kept as the benchmarking baseline; both produce identical
+  /// result multisets.
+  bool use_cost_model = true;
+  /// Above this many FROM entries the join-order DP (2^n subsets) falls back
+  /// to the greedy connected-first order; algorithms are still costed.
+  int cost_dp_max_tables = 10;
+  /// Testing/benchmarking: force every planned equi-join step to the
+  /// sort-merge operator (where the block is reorder-safe), regardless of
+  /// cost. Exercises the operator in differential suites.
+  bool force_sort_merge = false;
   /// An IndexScan is chosen only when the best single-predicate estimate
   /// keeps at most this fraction of the table; above it, the scan's
   /// sequential pass wins over materializing row-id lists.
@@ -52,6 +82,9 @@ struct ExecStats {
   uint64_t index_scans = 0;        ///< base tables answered by an IndexScan
   uint64_t table_scans = 0;        ///< base tables answered by a full scan
   uint64_t index_joins = 0;        ///< base tables probed via index join
+  uint64_t hash_joins = 0;         ///< fold steps answered by a hash join
+  uint64_t sort_merge_joins = 0;   ///< fold steps answered by sort-merge
+  uint64_t merge_sorts_skipped = 0;  ///< sort-merge inputs already sorted
   uint64_t rows_pruned = 0;        ///< base rows eliminated below the join
   uint64_t pushed_predicates = 0;  ///< predicates evaluated below the join
   uint64_t chunks_pruned = 0;      ///< chunks skipped via per-chunk statistics
@@ -102,6 +135,9 @@ struct TablePlan {
   std::vector<uint32_t> row_ids;
   size_t table_rows = 0;
   size_t estimated_rows = 0;  ///< post-pushdown cardinality estimate
+  /// Rows a scan would actually read: table rows minus rows in chunks the
+  /// statistics pass pruned (equals table_rows when nothing was prunable).
+  size_t scan_rows = 0;
   double selectivity = 1.0;   ///< estimated_rows / table_rows
   /// Attribute eligible for an index nested-loop join: this table has no
   /// IndexScan, but joins to an earlier fold step through `attr = attr` on
@@ -109,6 +145,16 @@ struct TablePlan {
   /// accumulated row instead of scanning. -1 when ineligible; the executor
   /// still falls back to scan + hash join when the accumulated side is large.
   int index_join_attr = -1;
+  /// Join algorithm for the fold step that places this table, chosen by the
+  /// cost model. kNone (the greedy/legacy path) defers to the executor's
+  /// runtime heuristics. The first fold step is always kNone (nothing to
+  /// join against yet).
+  JoinAlgo join_algo = JoinAlgo::kNone;
+  /// Cost model estimates for EXPLAIN and q-error reporting: cumulative
+  /// estimated rows and cost after this table's fold step. Negative when the
+  /// cost model did not run (use_cost_model off).
+  double est_rows_cumulative = -1.0;
+  double est_cost_cumulative = -1.0;
 };
 
 /// col = col conjunct across two FROM entries — a hash-join key edge,
@@ -135,6 +181,11 @@ struct PlannedJoinFilter {
 struct BlockPlan {
   bool usable = false;
   bool reordered = false;  ///< tables differ from FROM order
+  bool cost_based = false;  ///< join order/algorithms chosen by the cost model
+  /// Estimated rows out of the join fold (before the post-join residual
+  /// filter); the q-error denominator. Negative when the cost model did not
+  /// run.
+  double estimated_output_rows = -1.0;
   std::vector<TablePlan> tables;  ///< in join (fold) order
   std::vector<PlannedEquiJoin> equi_joins;
   std::vector<PlannedJoinFilter> join_filters;
@@ -154,6 +205,12 @@ struct TableAccessExplain {
   double selectivity = 1.0;
   size_t chunks_total = 0;   ///< chunks in the table at plan time
   size_t chunks_pruned = 0;  ///< chunks the statistics ruled out pre-index
+  /// Cost model verdicts (empty/negative when the cost model did not run):
+  /// the join algorithm placing this table and the cumulative estimated
+  /// rows/cost after its fold step.
+  std::string join_algo;
+  double est_rows_cumulative = -1.0;
+  double est_cost_cumulative = -1.0;
 };
 
 /// Flattens a WHERE AND-tree into conjuncts (borrowed pointers). The

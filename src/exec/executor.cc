@@ -96,13 +96,13 @@ std::vector<Row> MaterializeAllRows(const storage::Table& table) {
 
 class BlockExecutor {
  public:
-  /// Non-null `top_paths` receives the EXPLAIN view of the root block's plan
+  /// Non-null `info` receives the EXPLAIN view of the root block's plan
   /// (left empty when the planner falls back to the naive fold) — the access
-  /// paths a query profile records.
+  /// paths a query profile records — plus the estimated/actual join fold
+  /// cardinalities for q-error measurement.
   BlockExecutor(const storage::Database* db, const ExecConfig* config,
-                ExecStats* stats,
-                std::vector<TableAccessExplain>* top_paths = nullptr)
-      : db_(db), config_(config), stats_(stats), top_paths_(top_paths) {}
+                ExecStats* stats, ExecInfo* info = nullptr)
+      : db_(db), config_(config), stats_(stats), info_(info) {}
 
   Result<QueryResult> ExecuteBlock(const SelectStatement& stmt, const Env& outer);
 
@@ -598,7 +598,7 @@ class BlockExecutor {
   const storage::Database* db_;
   const ExecConfig* config_;
   ExecStats* stats_;
-  std::vector<TableAccessExplain>* top_paths_;
+  ExecInfo* info_;
   std::unordered_map<const SelectStatement*, BlockPlan> plans_;
   bool analyzed_ = false;
   bool refs_all_ = false;
@@ -852,6 +852,12 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
 
   std::vector<Row> rows;
   rows.push_back(Row{});  // fold identity, as in the legacy path
+  // Flat columns the accumulated rows are currently sorted by (the output of
+  // a sort-merge step). Hash, index nested-loop, and nested-loop steps all
+  // iterate the accumulated side in order and emit per-base-row blocks, so
+  // they preserve it; a later sort-merge on exactly these columns can skip
+  // its accumulated-side sort.
+  std::vector<int> sorted_cols;
   for (size_t t = 0; t < n; ++t) {
     const TablePlan& tp = plan.tables[t];
     Slot slot;
@@ -905,9 +911,19 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     // accumulated row, matches in table order). `=` probes use Value::Compare
     // equality, which coincides with the hash join's Equals for non-nulls.
     const storage::Table& table = db_->table(tp.relation_id);
-    const bool index_join = tp.index_join_attr >= 0 && !keys.empty() &&
-                            rows.size() * 4 <= table.num_rows();
-    if (index_join) {
+    JoinAlgo algo = tp.join_algo;
+    if (algo == JoinAlgo::kNone) {
+      // No planned choice (greedy/baseline path): the legacy runtime
+      // heuristic probes the index when the accumulated side is small.
+      if (tp.index_join_attr >= 0 && !keys.empty() &&
+          rows.size() * 4 <= table.num_rows()) {
+        algo = JoinAlgo::kIndexNestedLoop;
+      }
+    } else if (algo == JoinAlgo::kIndexNestedLoop &&
+               (tp.index_join_attr < 0 || keys.empty())) {
+      algo = JoinAlgo::kHash;  // planned probe column unavailable; degrade
+    }
+    if (algo == JoinAlgo::kIndexNestedLoop) {
       ++stats_->index_joins;
       stats_->pushed_predicates += tp.pushed.size();
       const storage::ColumnIndex* idx =
@@ -950,9 +966,95 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     }
 
     SFSQL_ASSIGN_OR_RETURN(std::vector<Row> base_rows, materialize(tp));
-    if (!keys.empty()) {
+    if (!keys.empty() && algo == JoinAlgo::kSortMerge) {
+      // Sort-merge join: order both sides by the key columns and walk equal-
+      // key groups with two pointers. Value::Compare is a total order whose
+      // zero coincides with the hash join's key equality (int/double coerce
+      // in both; distinct type ranks never compare equal), so the produced
+      // multiset is identical to the hash join's. NULL keys never join.
+      // Output emits in key order — the planner only chooses this operator
+      // for reorder-safe blocks.
+      ++stats_->sort_merge_joins;
+      std::vector<int> left_cols;
+      left_cols.reserve(keys.size());
+      for (const EquiKey& k : keys) left_cols.push_back(k.existing_col);
+      std::vector<uint32_t> lidx;
+      lidx.reserve(rows.size());
+      for (uint32_t i = 0; i < rows.size(); ++i) {
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (rows[i][k.existing_col].is_null()) has_null = true;
+        }
+        if (!has_null) lidx.push_back(i);
+      }
+      std::vector<uint32_t> ridx;
+      ridx.reserve(base_rows.size());
+      for (uint32_t i = 0; i < base_rows.size(); ++i) {
+        bool has_null = false;
+        for (const EquiKey& k : keys) {
+          if (base_rows[i][k.new_col].is_null()) has_null = true;
+        }
+        if (!has_null) ridx.push_back(i);
+      }
+      auto cmp_lr = [&](uint32_t l, uint32_t r) {
+        for (const EquiKey& k : keys) {
+          int c = rows[l][k.existing_col].Compare(base_rows[r][k.new_col]);
+          if (c != 0) return c;
+        }
+        return 0;
+      };
+      auto cmp_ll = [&](uint32_t a, uint32_t b) {
+        for (const EquiKey& k : keys) {
+          int c = rows[a][k.existing_col].Compare(rows[b][k.existing_col]);
+          if (c != 0) return c;
+        }
+        return 0;
+      };
+      auto cmp_rr = [&](uint32_t a, uint32_t b) {
+        for (const EquiKey& k : keys) {
+          int c = base_rows[a][k.new_col].Compare(base_rows[b][k.new_col]);
+          if (c != 0) return c;
+        }
+        return 0;
+      };
+      // The accumulated side skips its sort when a previous sort-merge left
+      // it ordered by exactly these columns (the "sorted output reusable"
+      // case the cost model rewards).
+      if (sorted_cols == left_cols) {
+        ++stats_->merge_sorts_skipped;
+      } else {
+        std::stable_sort(lidx.begin(), lidx.end(),
+                         [&](uint32_t a, uint32_t b) { return cmp_ll(a, b) < 0; });
+      }
+      std::stable_sort(ridx.begin(), ridx.end(),
+                       [&](uint32_t a, uint32_t b) { return cmp_rr(a, b) < 0; });
+      size_t li = 0, ri = 0;
+      while (li < lidx.size() && ri < ridx.size()) {
+        const int c = cmp_lr(lidx[li], ridx[ri]);
+        if (c < 0) {
+          ++li;
+        } else if (c > 0) {
+          ++ri;
+        } else {
+          size_t le = li + 1;
+          while (le < lidx.size() && cmp_ll(lidx[li], lidx[le]) == 0) ++le;
+          size_t re = ri + 1;
+          while (re < ridx.size() && cmp_rr(ridx[ri], ridx[re]) == 0) ++re;
+          for (size_t i = li; i < le; ++i) {
+            for (size_t j = ri; j < re; ++j) {
+              SFSQL_RETURN_IF_ERROR(
+                  emit_if_passes(rows[lidx[i]], base_rows[ridx[j]]));
+            }
+          }
+          li = le;
+          ri = re;
+        }
+      }
+      sorted_cols = std::move(left_cols);
+    } else if (!keys.empty()) {
       // Hash join: build on the new (filtered) table, probe with the
       // accumulated rows. NULL keys never join, matching the legacy fold.
+      ++stats_->hash_joins;
       std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
       for (const Row& trow : base_rows) {
         Row key;
@@ -1020,8 +1122,8 @@ Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
       plan = &GetPlan(stmt, conjuncts);
       if (!plan->usable) plan = nullptr;  // legacy fold reproduces the edge
     }
-    if (root && top_paths_ != nullptr && plan != nullptr) {
-      *top_paths_ = ExplainPlan(*db_, *plan);
+    if (root && info_ != nullptr && plan != nullptr) {
+      info_->access_paths = ExplainPlan(*db_, *plan);
     }
     Result<std::vector<Row>> built =
         plan != nullptr
@@ -1030,6 +1132,13 @@ Result<QueryResult> BlockExecutor::ExecuteBlock(const SelectStatement& stmt,
             : BuildFromRows(stmt, schema, outer, conjuncts, conjunct_used);
     if (!built.ok()) return built.status();
     rows = std::move(*built);
+    if (root && info_ != nullptr && plan != nullptr) {
+      // Estimated vs actual rows out of the join fold, both pre-residual —
+      // the q-error the cost model is judged on.
+      info_->estimated_join_rows = plan->estimated_output_rows;
+      info_->actual_join_rows = rows.size();
+      info_->has_join_actuals = true;
+    }
   }
 
   // Final filter: conjuncts not consumed by the pipeline (subqueries,
@@ -1282,6 +1391,8 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
     execute_total_ = execute_errors_ = execute_rows_ = nullptr;
     execute_seconds_ = nullptr;
     index_scans_total_ = table_scans_total_ = index_joins_total_ = nullptr;
+    hash_joins_total_ = sort_merge_joins_total_ = nullptr;
+    merge_sorts_skipped_total_ = nullptr;
     rows_pruned_total_ = pushed_predicates_total_ = nullptr;
     chunks_pruned_total_ = rows_scanned_total_ = nullptr;
     return;
@@ -1302,6 +1413,14 @@ void Executor::EnableMetrics(obs::MetricsRegistry* registry,
   index_joins_total_ = registry->GetCounter(
       "sfsql_exec_index_joins_total",
       "Base tables answered by an index nested-loop join");
+  hash_joins_total_ = registry->GetCounter(
+      "sfsql_exec_hash_joins_total", "Fold steps answered by a hash join");
+  sort_merge_joins_total_ = registry->GetCounter(
+      "sfsql_exec_sort_merge_joins_total",
+      "Fold steps answered by a sort-merge join");
+  merge_sorts_skipped_total_ = registry->GetCounter(
+      "sfsql_exec_merge_sorts_skipped_total",
+      "Sort-merge inputs already sorted by the key (sort skipped)");
   rows_pruned_total_ = registry->GetCounter(
       "sfsql_exec_rows_pruned_total",
       "Base rows eliminated below the join by pushed predicates");
@@ -1331,8 +1450,7 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt,
     // stay exactly valid (column_index.h staleness contract) and concurrent
     // inserts wait instead of racing the row vectors.
     auto lock = db_->ReadLock();
-    BlockExecutor block(db_, &config_, &stats,
-                        info != nullptr ? &info->access_paths : nullptr);
+    BlockExecutor block(db_, &config_, &stats, info);
     out = block.ExecuteBlock(stmt, Env{});
   }
   const double seconds =
@@ -1341,6 +1459,9 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt,
   index_scans_.fetch_add(stats.index_scans, kRelaxed);
   table_scans_.fetch_add(stats.table_scans, kRelaxed);
   index_joins_.fetch_add(stats.index_joins, kRelaxed);
+  hash_joins_.fetch_add(stats.hash_joins, kRelaxed);
+  sort_merge_joins_.fetch_add(stats.sort_merge_joins, kRelaxed);
+  merge_sorts_skipped_.fetch_add(stats.merge_sorts_skipped, kRelaxed);
   rows_pruned_.fetch_add(stats.rows_pruned, kRelaxed);
   pushed_predicates_.fetch_add(stats.pushed_predicates, kRelaxed);
   chunks_pruned_.fetch_add(stats.chunks_pruned, kRelaxed);
@@ -1356,6 +1477,9 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt,
     index_scans_total_->Increment(stats.index_scans);
     table_scans_total_->Increment(stats.table_scans);
     index_joins_total_->Increment(stats.index_joins);
+    hash_joins_total_->Increment(stats.hash_joins);
+    sort_merge_joins_total_->Increment(stats.sort_merge_joins);
+    merge_sorts_skipped_total_->Increment(stats.merge_sorts_skipped);
     rows_pruned_total_->Increment(stats.rows_pruned);
     pushed_predicates_total_->Increment(stats.pushed_predicates);
     chunks_pruned_total_->Increment(stats.chunks_pruned);
@@ -1403,6 +1527,9 @@ ExecStats Executor::stats() const {
   s.index_scans = index_scans_.load(kRelaxed);
   s.table_scans = table_scans_.load(kRelaxed);
   s.index_joins = index_joins_.load(kRelaxed);
+  s.hash_joins = hash_joins_.load(kRelaxed);
+  s.sort_merge_joins = sort_merge_joins_.load(kRelaxed);
+  s.merge_sorts_skipped = merge_sorts_skipped_.load(kRelaxed);
   s.rows_pruned = rows_pruned_.load(kRelaxed);
   s.pushed_predicates = pushed_predicates_.load(kRelaxed);
   s.chunks_pruned = chunks_pruned_.load(kRelaxed);

@@ -41,6 +41,13 @@ struct ExecInfo {
   std::vector<TableAccessExplain> access_paths;
   uint64_t rows_returned = 0;
   double seconds = 0.0;
+  /// Cost-model estimate vs actual rows out of the top-level block's join
+  /// fold, both measured before the post-join residual filter — the q-error
+  /// inputs (q = max(est, act) / min(est, act), with both floored at 1).
+  /// estimated < 0 means the cost model did not run for this statement.
+  double estimated_join_rows = -1.0;
+  uint64_t actual_join_rows = 0;
+  bool has_join_actuals = false;  ///< true when the planned fold executed
 };
 
 /// Evaluates fully specified SQL SELECT statements against an in-memory
@@ -82,7 +89,9 @@ class Executor {
   ///   sfsql_execute_total, sfsql_execute_errors_total,
   ///   sfsql_execute_seconds (histogram), sfsql_execute_rows_total,
   ///   sfsql_exec_index_scans_total, sfsql_exec_table_scans_total,
-  ///   sfsql_exec_index_joins_total, sfsql_exec_rows_pruned_total,
+  ///   sfsql_exec_index_joins_total, sfsql_exec_hash_joins_total,
+  ///   sfsql_exec_sort_merge_joins_total,
+  ///   sfsql_exec_merge_sorts_skipped_total, sfsql_exec_rows_pruned_total,
   ///   sfsql_exec_pushed_predicates_total, sfsql_exec_chunks_pruned_total,
   ///   sfsql_exec_rows_scanned_total.
   /// Null `registry` (the default state) disables metrics entirely; `clock`
@@ -120,6 +129,9 @@ class Executor {
   obs::Counter* index_scans_total_ = nullptr;
   obs::Counter* table_scans_total_ = nullptr;
   obs::Counter* index_joins_total_ = nullptr;
+  obs::Counter* hash_joins_total_ = nullptr;
+  obs::Counter* sort_merge_joins_total_ = nullptr;
+  obs::Counter* merge_sorts_skipped_total_ = nullptr;
   obs::Counter* rows_pruned_total_ = nullptr;
   obs::Counter* pushed_predicates_total_ = nullptr;
   obs::Counter* chunks_pruned_total_ = nullptr;
@@ -127,6 +139,9 @@ class Executor {
   std::atomic<uint64_t> index_scans_{0};
   std::atomic<uint64_t> table_scans_{0};
   std::atomic<uint64_t> index_joins_{0};
+  std::atomic<uint64_t> hash_joins_{0};
+  std::atomic<uint64_t> sort_merge_joins_{0};
+  std::atomic<uint64_t> merge_sorts_skipped_{0};
   std::atomic<uint64_t> rows_pruned_{0};
   std::atomic<uint64_t> pushed_predicates_{0};
   std::atomic<uint64_t> chunks_pruned_{0};

@@ -1,15 +1,26 @@
 #include "storage/chunk.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
 namespace sfsql::storage {
+
+size_t DistinctSketch::Estimate() const {
+  size_t zeros = 0;
+  for (uint64_t word : words) zeros += 64 - std::popcount(word);
+  if (zeros == 0) return kBuckets;
+  const double m = static_cast<double>(kBuckets);
+  return static_cast<size_t>(
+      std::lround(-m * std::log(static_cast<double>(zeros) / m)));
+}
 
 void ChunkStats::Add(const Value& v) {
   if (v.is_null()) {
     ++null_count_;
     return;
   }
+  ++non_null_count_;
   if (!has_values_) {
     min_ = v;
     max_ = v;
@@ -18,16 +29,11 @@ void ChunkStats::Add(const Value& v) {
     if (v.Compare(min_) < 0) min_ = v;
     if (v.Compare(max_) > 0) max_ = v;
   }
-  const size_t b = v.Hash() & 255;
-  sketch_[b >> 6] |= uint64_t{1} << (b & 63);
+  sketch_.Add(v.Hash());
 }
 
 size_t ChunkStats::DistinctEstimate() const {
-  int zeros = 0;
-  for (uint64_t word : sketch_) zeros += 64 - std::popcount(word);
-  if (zeros == 0) return 256;  // saturated; a 16k chunk caps the truth anyway
-  // Linear counting: n ≈ -m * ln(empty / m) with m = 256 buckets.
-  return static_cast<size_t>(std::lround(-256.0 * std::log(zeros / 256.0)));
+  return std::min(sketch_.Estimate(), non_null_count_);
 }
 
 bool ChunkStats::CanPrune(std::string_view op, const Value& lit) const {

@@ -10,9 +10,47 @@
 
 namespace sfsql::storage {
 
+/// Linear-counting bitmap over Value::Hash estimating a distinct count.
+/// 4096 buckets keep the estimate useful up to a full default-capacity chunk
+/// (16384 rows ≈ load factor 4; the old 256-bit bitmap saturated at a few
+/// hundred distinct values). Sketches over the same hash function OR
+/// together, so the union's estimate is the distinct count of the combined
+/// value set — table-level NDV merges the per-chunk sketches this way.
+struct DistinctSketch {
+  static constexpr size_t kBuckets = 4096;
+  uint64_t words[kBuckets / 64] = {};
+
+  void Add(size_t hash) {
+    // Finalize before bucketing: std::hash over integers is the identity on
+    // common standard libraries, so an affine int sequence (sequential ids,
+    // strided keys) sweeps the low bits and hits every bucket by n = m —
+    // linear counting then saturates at a fraction of the true count. The
+    // splitmix64/murmur3 finalizer makes bucket occupancy Bernoulli, which
+    // is what the -m·ln(empty/m) estimator assumes.
+    uint64_t h = hash;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    const size_t b = h & (kBuckets - 1);
+    words[b >> 6] |= uint64_t{1} << (b & 63);
+  }
+
+  void Union(const DistinctSketch& other) {
+    for (size_t i = 0; i < kBuckets / 64; ++i) words[i] |= other.words[i];
+  }
+
+  /// Linear-counting estimate: n ≈ -m·ln(empty/m). Returns kBuckets when
+  /// every bucket is hit (the estimate is unbounded there); callers clamp to
+  /// their exact non-null add count, which both caps saturation and keeps
+  /// small inputs exact.
+  size_t Estimate() const;
+};
+
 /// Per-column statistics of one chunk, maintained incrementally on append:
-/// min/max (Value::Compare order), NULL count, and a 256-bucket linear-counting
-/// sketch (over Value::Hash) estimating the distinct count. The planner prunes
+/// min/max (Value::Compare order), NULL count, and a linear-counting sketch
+/// (over Value::Hash) estimating the distinct count. The planner prunes
 /// whole chunks against sargable predicates with `CanPrune*` before it ever
 /// consults a column index.
 class ChunkStats {
@@ -23,12 +61,20 @@ class ChunkStats {
   /// True if every value seen so far was NULL (or nothing was appended).
   bool all_null() const { return !has_values_; }
   size_t null_count() const { return null_count_; }
+  /// Non-NULL values appended so far (an exact upper bound on the distinct
+  /// count, used to clamp the sketch estimate).
+  size_t non_null_count() const { return non_null_count_; }
   /// Smallest / largest non-NULL value; meaningless while all_null().
   const Value& min() const { return min_; }
   const Value& max() const { return max_; }
 
-  /// Linear-counting estimate of the number of distinct non-NULL values.
+  /// Estimated number of distinct non-NULL values: the sketch's linear
+  /// count, clamped to the exact non-null count (so few-valued chunks are
+  /// exact and a saturated sketch can never exceed the truth).
   size_t DistinctEstimate() const;
+
+  /// The raw sketch, for cross-chunk unions (table-level NDV).
+  const DistinctSketch& distinct_sketch() const { return sketch_; }
 
   /// True when no row of the chunk can satisfy `op lit` — the chunk is all
   /// NULL (predicates over NULL are false under two-valued logic), or the
@@ -52,7 +98,8 @@ class ChunkStats {
   Value min_;
   Value max_;
   size_t null_count_ = 0;
-  uint64_t sketch_[4] = {0, 0, 0, 0};  ///< 256-bit linear-counting bitmap
+  size_t non_null_count_ = 0;
+  DistinctSketch sketch_;
 };
 
 /// A fixed-capacity columnar segment: one value vector per attribute, all the

@@ -1,10 +1,47 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/like.h"
 
 namespace sfsql::storage {
+
+ColumnStats Table::ColumnStatsFor(size_t attr) const {
+  ColumnStats out;
+  out.rows = num_rows_;
+  DistinctSketch merged;
+  size_t chunk_ndv_sum = 0;
+  for (const Chunk& chunk : chunks_) {
+    const ChunkStats& st = chunk.stats(attr);
+    out.null_count += st.null_count();
+    out.non_null_count += st.non_null_count();
+    if (st.all_null()) continue;
+    merged.Union(st.distinct_sketch());
+    chunk_ndv_sum += st.DistinctEstimate();
+    if (!out.has_values) {
+      out.has_values = true;
+      out.min = st.min();
+      out.max = st.max();
+    } else {
+      if (st.min().Compare(out.min) < 0) out.min = st.min();
+      if (st.max().Compare(out.max) > 0) out.max = st.max();
+    }
+  }
+  // Past ~2/3 of the buckets the union's zero count is too small for linear
+  // counting (a multi-chunk union saturates long before the per-chunk
+  // sketches do). Fall back to the sum of per-chunk estimates: an
+  // overestimate when values repeat across chunks, but overestimating NDV
+  // only understates join fan-out — far safer for planning than the
+  // saturated sketch's hard cap at the bucket count.
+  size_t est = merged.Estimate();
+  if (est * 3 >= DistinctSketch::kBuckets * 2) {
+    est = std::max(est, chunk_ndv_sum);
+  }
+  out.distinct_estimate = std::min(est, out.non_null_count);
+  return out;
+}
 
 Database::Database(catalog::Catalog catalog, size_t chunk_capacity)
     : catalog_(std::move(catalog)) {

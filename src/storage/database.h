@@ -20,6 +20,28 @@ namespace sfsql::storage {
 /// constructor to exercise chunk boundaries without millions of rows.
 inline constexpr size_t kDefaultChunkCapacity = 16384;
 
+/// Table-level per-column statistics, merged across every chunk's ChunkStats:
+/// row/null counts, Compare-order min/max, and a distinct estimate from the
+/// union of the per-chunk linear-counting sketches (clamped to the non-null
+/// count). Feeds the cost model's selectivity estimates and the
+/// sys_column_stats introspection relation. Read the table under
+/// Database::ReadLock() if inserts may be concurrent.
+struct ColumnStats {
+  size_t rows = 0;
+  size_t null_count = 0;
+  size_t non_null_count = 0;
+  size_t distinct_estimate = 0;
+  bool has_values = false;  ///< false when every value is NULL (min/max unset)
+  Value min;
+  Value max;
+
+  double null_fraction() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(null_count) /
+                           static_cast<double>(rows);
+  }
+};
+
 /// Columnar store for one relation: rows live in a sequence of fixed-capacity
 /// chunks (see chunk.h), each holding one value vector per attribute plus
 /// per-attribute min/max/null/distinct statistics. Scans touch only the
@@ -63,6 +85,10 @@ class Table {
   void Reserve(size_t total) {
     chunks_.reserve((total + chunk_capacity_ - 1) / chunk_capacity_);
   }
+
+  /// Merges every chunk's statistics for attribute `attr` into table-level
+  /// ColumnStats (see the struct for the estimate semantics).
+  ColumnStats ColumnStatsFor(size_t attr) const;
 
  private:
   int relation_id_;

@@ -48,6 +48,153 @@ bool NameContains(std::string_view attr_name, std::string_view word) {
 
 }  // namespace
 
+enum class DataGenerator::AttrClass : uint8_t {
+  kBirthYear,
+  kYear,
+  kRuntime,
+  kMoney,
+  kCredits,
+  kCapacity,
+  kVotes,
+  kSmallSeq,
+  kGenericInt,
+  kScore,
+  kGenericDouble,
+  kBool,
+  kGender,
+  kGenre,
+  kCity,
+  kResult,
+  kDate,
+  kEmail,
+  kPersonName,
+  kTitle,
+  kGenericString,
+  kNull,
+};
+
+DataGenerator::AttrClass DataGenerator::Classify(const Attribute& attr) {
+  const std::string& n = attr.name;
+  switch (attr.type) {
+    case ValueType::kInt64:
+      if (NameContains(n, "birth")) return AttrClass::kBirthYear;
+      if (NameContains(n, "year")) return AttrClass::kYear;
+      if (NameContains(n, "runtime") || NameContains(n, "duration")) {
+        return AttrClass::kRuntime;
+      }
+      if (NameContains(n, "gross") || NameContains(n, "budget") ||
+          NameContains(n, "revenue")) {
+        return AttrClass::kMoney;
+      }
+      if (NameContains(n, "credits") || NameContains(n, "units")) {
+        return AttrClass::kCredits;
+      }
+      if (NameContains(n, "capacity") || NameContains(n, "size")) {
+        return AttrClass::kCapacity;
+      }
+      if (NameContains(n, "votes") || NameContains(n, "count")) {
+        return AttrClass::kVotes;
+      }
+      if (NameContains(n, "number") || NameContains(n, "sequence") ||
+          NameContains(n, "level")) {
+        return AttrClass::kSmallSeq;
+      }
+      return AttrClass::kGenericInt;
+    case ValueType::kDouble:
+      if (NameContains(n, "score") || NameContains(n, "rating") ||
+          NameContains(n, "gpa") || NameContains(n, "grade")) {
+        return AttrClass::kScore;
+      }
+      return AttrClass::kGenericDouble;
+    case ValueType::kBool:
+      return AttrClass::kBool;
+    case ValueType::kString:
+      if (NameContains(n, "gender")) return AttrClass::kGender;
+      if (NameContains(n, "genre") || NameContains(n, "category")) {
+        return AttrClass::kGenre;
+      }
+      if (NameContains(n, "city") || NameContains(n, "location")) {
+        return AttrClass::kCity;
+      }
+      if (NameContains(n, "result")) return AttrClass::kResult;
+      if (NameContains(n, "date")) return AttrClass::kDate;
+      if (NameContains(n, "email")) return AttrClass::kEmail;
+      if (NameContains(n, "name") || NameContains(n, "nickname")) {
+        return AttrClass::kPersonName;
+      }
+      if (NameContains(n, "title") || NameContains(n, "word") ||
+          NameContains(n, "label") || NameContains(n, "text") ||
+          NameContains(n, "description")) {
+        return AttrClass::kTitle;
+      }
+      return AttrClass::kGenericString;
+    case ValueType::kNull:
+      return AttrClass::kNull;
+  }
+  return AttrClass::kNull;
+}
+
+Value DataGenerator::ValueForClass(AttrClass cls, int64_t row_index) {
+  auto pick = [&](const char* const* pool, size_t size) {
+    return pool[Next() % size];
+  };
+  switch (cls) {
+    // People in these data sets are adults: birth years stay well before the
+    // release/enrollment years the benchmark queries filter on.
+    case AttrClass::kBirthYear:
+      return Value::Int(UniformInt(1920, 1985));
+    case AttrClass::kYear:
+      return Value::Int(UniformInt(1950, 2024));
+    case AttrClass::kRuntime:
+      return Value::Int(UniformInt(60, 200));
+    case AttrClass::kMoney:
+      return Value::Int(UniformInt(100000, 500000000));
+    case AttrClass::kCredits:
+      return Value::Int(UniformInt(1, 6));
+    case AttrClass::kCapacity:
+      return Value::Int(UniformInt(10, 500));
+    case AttrClass::kVotes:
+      return Value::Int(UniformInt(0, 100000));
+    case AttrClass::kSmallSeq:
+      return Value::Int(UniformInt(1, 9));
+    case AttrClass::kGenericInt:
+      return Value::Int(UniformInt(0, 999));
+    case AttrClass::kScore:
+      return Value::Double(static_cast<double>(UniformInt(0, 100)) / 10.0);
+    case AttrClass::kGenericDouble:
+      return Value::Double(static_cast<double>(UniformInt(0, 10000)) / 100.0);
+    case AttrClass::kBool:
+      return Value::Bool((Next() & 1) != 0);
+    case AttrClass::kGender:
+      return Value::String((Next() & 1) ? "male" : "female");
+    case AttrClass::kGenre:
+      return Value::String(pick(kGenres, std::size(kGenres)));
+    case AttrClass::kCity:
+      return Value::String(pick(kCities, std::size(kCities)));
+    case AttrClass::kResult:
+      return Value::String((Next() & 1) ? "won" : "nominated");
+    case AttrClass::kDate:
+      return Value::String(StrCat(UniformInt(1990, 2024), "-",
+                                  UniformInt(1, 12), "-", UniformInt(1, 28)));
+    case AttrClass::kEmail:
+      return Value::String(StrCat("user", row_index, "@example.edu"));
+    case AttrClass::kPersonName:
+      return Value::String(StrCat(pick(kFirstNames, std::size(kFirstNames)),
+                                  " ",
+                                  pick(kLastNames, std::size(kLastNames))));
+    case AttrClass::kTitle:
+      return Value::String(
+          StrCat(pick(kAdjectives, std::size(kAdjectives)), " ",
+                 pick(kNouns, std::size(kNouns))));
+    case AttrClass::kGenericString:
+      return Value::String(StrCat(pick(kNouns, std::size(kNouns)), " ",
+                                  UniformInt(1, 99)));
+    case AttrClass::kNull:
+      return Value::Null_();
+  }
+  return Value::Null_();
+}
+
 uint64_t DataGenerator::Next() {
   // xorshift64*: deterministic across platforms, no <random> distribution
   // portability concerns.
@@ -63,84 +210,7 @@ int64_t DataGenerator::UniformInt(int64_t lo, int64_t hi) {
 }
 
 Value DataGenerator::ValueFor(const Attribute& attr, int64_t row_index) {
-  const std::string& n = attr.name;
-  auto pick = [&](const char* const* pool, size_t size) {
-    return pool[Next() % size];
-  };
-  switch (attr.type) {
-    case ValueType::kInt64:
-      // People in these data sets are adults: birth years stay well before the
-      // release/enrollment years the benchmark queries filter on.
-      if (NameContains(n, "birth")) return Value::Int(UniformInt(1920, 1985));
-      if (NameContains(n, "year")) return Value::Int(UniformInt(1950, 2024));
-      if (NameContains(n, "runtime") || NameContains(n, "duration")) {
-        return Value::Int(UniformInt(60, 200));
-      }
-      if (NameContains(n, "gross") || NameContains(n, "budget") ||
-          NameContains(n, "revenue")) {
-        return Value::Int(UniformInt(100000, 500000000));
-      }
-      if (NameContains(n, "credits") || NameContains(n, "units")) {
-        return Value::Int(UniformInt(1, 6));
-      }
-      if (NameContains(n, "capacity") || NameContains(n, "size")) {
-        return Value::Int(UniformInt(10, 500));
-      }
-      if (NameContains(n, "votes") || NameContains(n, "count")) {
-        return Value::Int(UniformInt(0, 100000));
-      }
-      if (NameContains(n, "number") || NameContains(n, "sequence") ||
-          NameContains(n, "level")) {
-        return Value::Int(UniformInt(1, 9));
-      }
-      return Value::Int(UniformInt(0, 999));
-    case ValueType::kDouble:
-      if (NameContains(n, "score") || NameContains(n, "rating") ||
-          NameContains(n, "gpa") || NameContains(n, "grade")) {
-        return Value::Double(static_cast<double>(UniformInt(0, 100)) / 10.0);
-      }
-      return Value::Double(static_cast<double>(UniformInt(0, 10000)) / 100.0);
-    case ValueType::kBool:
-      return Value::Bool((Next() & 1) != 0);
-    case ValueType::kString:
-      if (NameContains(n, "gender")) {
-        return Value::String((Next() & 1) ? "male" : "female");
-      }
-      if (NameContains(n, "genre") || NameContains(n, "category")) {
-        return Value::String(pick(kGenres, std::size(kGenres)));
-      }
-      if (NameContains(n, "city") || NameContains(n, "location")) {
-        return Value::String(pick(kCities, std::size(kCities)));
-      }
-      if (NameContains(n, "result")) {
-        return Value::String((Next() & 1) ? "won" : "nominated");
-      }
-      if (NameContains(n, "date")) {
-        return Value::String(StrCat(UniformInt(1990, 2024), "-",
-                                    UniformInt(1, 12), "-", UniformInt(1, 28)));
-      }
-      if (NameContains(n, "email")) {
-        return Value::String(
-            StrCat("user", row_index, "@example.edu"));
-      }
-      if (NameContains(n, "name") || NameContains(n, "nickname")) {
-        return Value::String(StrCat(pick(kFirstNames, std::size(kFirstNames)),
-                                    " ",
-                                    pick(kLastNames, std::size(kLastNames))));
-      }
-      if (NameContains(n, "title") || NameContains(n, "word") ||
-          NameContains(n, "label") || NameContains(n, "text") ||
-          NameContains(n, "description")) {
-        return Value::String(
-            StrCat(pick(kAdjectives, std::size(kAdjectives)), " ",
-                   pick(kNouns, std::size(kNouns))));
-      }
-      return Value::String(StrCat(pick(kNouns, std::size(kNouns)), " ",
-                                  UniformInt(1, 99)));
-    case ValueType::kNull:
-      return Value::Null_();
-  }
-  return Value::Null_();
+  return ValueForClass(Classify(attr), row_index);
 }
 
 Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
@@ -214,6 +284,15 @@ Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
         rel.primary_key.size() == 1 && fk_of_attr[r][rel.primary_key[0]] < 0 &&
         rel.attributes[rel.primary_key[0]].type == ValueType::kInt64;
 
+    // Classify every attribute once: the per-row loop below runs rows×attrs
+    // times (millions of cells at bench scale) and must not re-split
+    // identifier words per cell.
+    std::vector<AttrClass> attr_class;
+    attr_class.reserve(rel.attributes.size());
+    for (const Attribute& attr : rel.attributes) {
+      attr_class.push_back(Classify(attr));
+    }
+
     for (int i = 0; i < rows; ++i) {
       Row row(rel.attributes.size());
       bool ok = true;
@@ -233,10 +312,13 @@ Status DataGenerator::Populate(storage::Database* db, int rows_per_relation,
             // Globally unique ids avoid accidental cross-relation matches.
             row[a] = Value::Int(static_cast<int64_t>(r) * 1000000 + i + 1);
           } else {
-            row[a] = ValueFor(rel.attributes[a], i);
+            row[a] = ValueForClass(attr_class[a], i);
           }
         }
-        // Composite keys (junction tables) must be unique.
+        // Composite keys (junction tables) must be unique. Sequential
+        // single-int primary keys are unique by construction — skip the set
+        // (at 1M rows it would dominate load time).
+        if (single_int_pk) break;
         Row key;
         for (int pk : rel.primary_key) key.push_back(row[pk]);
         if (key.empty() || seen_keys.insert(key).second) break;

@@ -49,6 +49,15 @@ class DataGenerator {
   storage::Value ValueFor(const catalog::Attribute& attr, int64_t row_index);
 
  private:
+  /// Name-heuristic category of an attribute, precomputed once per attribute
+  /// so the per-row hot loop never re-splits identifier words (at 1M+ rows
+  /// the classification dominated generation time). Classification consumes
+  /// no randomness, so cached and uncached paths emit identical data.
+  enum class AttrClass : uint8_t;
+
+  static AttrClass Classify(const catalog::Attribute& attr);
+  storage::Value ValueForClass(AttrClass cls, int64_t row_index);
+
   uint64_t Next();
   int64_t UniformInt(int64_t lo, int64_t hi);
 

@@ -96,12 +96,16 @@ bool ValidateFile(const std::string& path) {
   if (triples == 0) {
     return Fail(path, "no latency percentile triple (*_p50/_p95/_p99)");
   }
-  // The execute bench must report its chunk-pruning counters: the cumulative
+  // The execute bench must report its chunk-pruning counters (the cumulative
   // executor counter from the run metadata and the wide-table pruning
-  // section's isolated count. Their absence means the columnar pruning path
-  // silently fell out of the bench.
+  // section's isolated count) and the cost-based planning section's
+  // speedup + estimation-quality metrics. Their absence means the columnar
+  // pruning path or the cost-vs-greedy comparison silently fell out of the
+  // bench.
   if (bench->string == "execute") {
-    for (const char* key : {"exec_chunks_pruned", "wide_chunks_pruned"}) {
+    for (const char* key :
+         {"exec_chunks_pruned", "wide_chunks_pruned", "speedup_cost_vs_greedy",
+          "join_qerror_median", "join_qerror_max"}) {
       const JsonValue* v = metrics->Find(key);
       if (v == nullptr || !v->is_number()) {
         return Fail(path, std::string("metrics.") + key +
