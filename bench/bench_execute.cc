@@ -32,19 +32,33 @@
 // and SameRows-cross-checked, and the cost run reports estimated-vs-actual
 // join cardinality q-errors (q = max(est,act)/min(est,act)).
 //
+// A fourth section measures morsel-driven parallel execution on the same
+// star schema: the identical workload (fact-table scans with residual
+// predicates, hash joins with fact-table probe sides, dimension-anchored
+// index joins) runs once with ExecConfig::exec_threads = 1 (the bit-exact
+// legacy serial path) and once at 4 threads over a shared exec::TaskPool.
+// Results are compared *in row order* (bit-identity is the parallel
+// executor's contract, stronger than the SameRows multiset check), and the
+// pool's task/steal counters land in the report.
+//
 // Emits BENCH_execute.json with queries/sec per (scale, config), the
 // index-vs-scan speedup per scale, the pruning-vs-scan speedup and
 // chunks-pruned counter of the wide-table section, the cost-vs-greedy
-// speedup and q-error distribution of the star-schema section, and the
-// indexed per-query latency distribution (p50/p95/p99), plus the executor's
-// cumulative access-path counters in the run metadata.
+// speedup and q-error distribution of the star-schema section, the
+// parallel-vs-serial speedup and pool counters of the parallel section, and
+// the indexed per-query latency distribution (p50/p95/p99), plus the
+// executor's cumulative access-path counters in the run metadata.
 //
 // Acceptance: indexed execution >= 5x the forced-scan fold at 100x scale,
 // chunk-stat pruning (indexes off) >= 2x the full scan on the wide table,
-// and cost-based planning >= 2x the greedy order on the star-schema joins.
+// cost-based planning >= 2x the greedy order on the star-schema joins, and
+// parallel execution >= 2.5x serial at 4 threads (multicore hosts only — a
+// single-core machine cannot express the speedup; the committed baseline is
+// a conservative minimum so such runs do not flap the regression gate).
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +68,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "exec/task_pool.h"
 #include "obs/bench_report.h"
 #include "sql/parser.h"
 #include "storage/database.h"
@@ -250,6 +265,43 @@ std::vector<std::string> JoinWorkload() {
       "WHERE Orders.customer_id = Customer.customer_id "
       "AND Customer.city = 'Lisbon' GROUP BY Customer.city",
   };
+}
+
+// --- Morsel-driven parallel execution section (same star schema) ---
+
+// Scan- and join-heavy queries where intra-query parallelism has room to
+// work: every query touches the 1M-row fact table, either as a morsel-wise
+// chunk scan, as a hash-join probe side, or through index nested-loop probe
+// morsels.
+std::vector<std::string> ParallelWorkload() {
+  return {
+      // Full fact-table scans with residual predicates.
+      "SELECT COUNT(*) FROM Orders WHERE quantity > 3",
+      "SELECT MAX(order_year) FROM Orders WHERE quantity = 2",
+      "SELECT COUNT(*) FROM Orders "
+      "WHERE order_year BETWEEN 1980 AND 1999 AND quantity < 3",
+      // Hash join with a fact-table-sized probe side (parallel partitioned
+      // build + probe morsels).
+      "SELECT COUNT(*) FROM Orders, Store "
+      "WHERE Orders.store_id = Store.store_id AND Store.opened_year > 1980",
+      // Dimension-anchored join probing the fact table.
+      "SELECT COUNT(*) FROM Orders, Customer "
+      "WHERE Orders.customer_id = Customer.customer_id "
+      "AND Customer.city = 'Kyoto'",
+  };
+}
+
+// Ordered row-for-row equality — the parallel executor promises bit-identity
+// with serial, so even a reordering counts as divergence.
+bool ExactSameRows(const exec::QueryResult& a, const exec::QueryResult& b) {
+  if (a.rows.size() != b.rows.size()) return false;
+  for (size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].size() != b.rows[i].size()) return false;
+    for (size_t j = 0; j < a.rows[i].size(); ++j) {
+      if (!a.rows[i][j].Equals(b.rows[i][j])) return false;
+    }
+  }
+  return true;
 }
 
 struct JoinRunResult {
@@ -497,15 +549,15 @@ int main(int argc, char** argv) {
                    static_cast<long long>(customer_rows));
   report.SetConfig("sales_product_rows", static_cast<long long>(product_rows));
   report.SetConfig("sales_store_rows", static_cast<long long>(store_rows));
+  // Built once, shared by the cost-planning and parallel-execution sections.
+  auto sales_db = BuildSalesDb(seed, orders_rows, customer_rows, product_rows,
+                               store_rows);
+  if (sales_db == nullptr) {
+    std::fprintf(stderr, "sales star schema build failed\n");
+    return 1;
+  }
   double cost_speedup = 0.0;
   {
-    auto sales_db = BuildSalesDb(seed, orders_rows, customer_rows,
-                                 product_rows, store_rows);
-    if (sales_db == nullptr) {
-      std::fprintf(stderr, "sales star schema build failed\n");
-      return 1;
-    }
-
     std::vector<sql::SelectPtr> stmts;
     for (const std::string& q : JoinWorkload()) {
       auto parsed = sql::ParseSelect(q);
@@ -592,6 +644,80 @@ int main(int argc, char** argv) {
                      static_cast<double>(cstats.index_joins));
   }
 
+  // --- Morsel-driven parallel execution section (same star schema) ---
+  const int parallel_threads = 4;
+  const int parallel_rounds = smoke ? 2 : 6;
+  report.SetConfig("parallel_threads", static_cast<long long>(parallel_threads));
+  report.SetConfig("parallel_rounds", static_cast<long long>(parallel_rounds));
+  double parallel_speedup = 0.0;
+  {
+    const std::vector<std::string> pqueries = ParallelWorkload();
+
+    exec::ExecConfig serial_cfg;  // defaults: exec_threads = 1, legacy path
+    exec::Executor serial(sales_db.get(), serial_cfg);
+    exec::TaskPool pool(static_cast<size_t>(parallel_threads - 1));
+    exec::ExecConfig parallel_cfg;
+    parallel_cfg.exec_threads = parallel_threads;
+    parallel_cfg.pool = &pool;
+    exec::Executor parallel(sales_db.get(), parallel_cfg);
+
+    bool ok = true;
+    // Untimed warmups on both configs (lazy column-index builds).
+    (void)RunWorkload(parallel, pqueries, 1, &ok);
+    if (!ok) return 1;
+    (void)RunWorkload(serial, pqueries, 1, &ok);
+    if (!ok) return 1;
+
+    RunResult serial_run = RunWorkload(serial, pqueries, parallel_rounds, &ok);
+    if (!ok) return 1;
+    RunResult parallel_run =
+        RunWorkload(parallel, pqueries, parallel_rounds, &ok);
+    if (!ok) return 1;
+
+    // Bit-identity check: same rows in the same order, not just the same
+    // multiset.
+    bool identical =
+        serial_run.first_round.size() == parallel_run.first_round.size();
+    for (size_t i = 0; identical && i < serial_run.first_round.size(); ++i) {
+      identical =
+          ExactSameRows(serial_run.first_round[i], parallel_run.first_round[i]);
+    }
+    all_identical = all_identical && identical;
+
+    const double serial_qps = serial_run.executed / serial_run.seconds;
+    const double parallel_qps = parallel_run.executed / parallel_run.seconds;
+    parallel_speedup = parallel_qps / serial_qps;
+    const exec::TaskPoolStats pool_stats = pool.stats();
+
+    std::printf("\nmorsel-driven parallel execution — sales star schema, "
+                "%d threads vs serial\n",
+                parallel_threads);
+    std::printf("%15s %15s %9s %12s %12s\n", "serial q/s", "parallel q/s",
+                "speedup", "pool tasks", "pool steals");
+    std::printf("%15.1f %15.1f %8.2fx %12llu %12llu%s\n", serial_qps,
+                parallel_qps, parallel_speedup,
+                static_cast<unsigned long long>(pool_stats.tasks),
+                static_cast<unsigned long long>(pool_stats.steals),
+                identical ? "" : "  RESULTS DIVERGE — BUG");
+
+    report.AddRow("parallel",
+                  obs::BenchReport::Row()
+                      .Number("threads", parallel_threads)
+                      .Number("serial_queries_per_second", serial_qps)
+                      .Number("parallel_queries_per_second", parallel_qps)
+                      .Number("speedup_parallel_vs_serial", parallel_speedup)
+                      .Number("pool_tasks",
+                              static_cast<double>(pool_stats.tasks))
+                      .Number("pool_steals",
+                              static_cast<double>(pool_stats.steals))
+                      .Number("results_identical", identical ? 1 : 0));
+    report.SetMetric("serial_exec_queries_per_second", serial_qps);
+    report.SetMetric("parallel_exec_queries_per_second", parallel_qps);
+    report.SetMetric("speedup_parallel_vs_serial", parallel_speedup);
+    report.SetMetric("pool_tasks", static_cast<double>(pool_stats.tasks));
+    report.SetMetric("pool_steals", static_cast<double>(pool_stats.steals));
+  }
+
   report.SetMetric("results_identical", all_identical ? 1 : 0);
   if (speedup_at_100 > 0.0) {
     std::printf("\nacceptance: indexed >= 5x scan at 100x scale — %.1fx %s\n",
@@ -603,6 +729,14 @@ int main(int argc, char** argv) {
   std::printf("acceptance: cost-based planning >= 2x greedy on star-schema "
               "joins — %.1fx %s\n",
               cost_speedup, cost_speedup >= 2.0 ? "PASS" : "MISS");
+  std::printf("acceptance: parallel execution >= 2.5x serial at %d threads — "
+              "%.2fx %s\n",
+              parallel_threads, parallel_speedup,
+              parallel_speedup >= 2.5
+                  ? "PASS"
+                  : (std::thread::hardware_concurrency() < 4
+                         ? "MISS (host has too few cores)"
+                         : "MISS"));
   std::printf("results identical across configs: %s\n",
               all_identical ? "yes" : "NO — BUG");
   std::printf("access paths at last scale: %llu index scan(s), %llu table "

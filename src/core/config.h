@@ -11,6 +11,10 @@ class MetricsRegistry;
 class QueryProfileStore;
 }  // namespace sfsql::obs
 
+namespace sfsql::exec {
+class TaskPool;
+}  // namespace sfsql::exec
+
 namespace sfsql::core {
 
 /// Tuning parameters of the translator. Defaults are the values the paper's
@@ -91,6 +95,11 @@ struct GeneratorConfig {
   /// tests run on a deterministic fake clock. Timings never influence search
   /// decisions, so the clock cannot perturb results.
   const obs::Clock* clock = nullptr;
+  /// Work-stealing pool the per-root searches fan out on when num_threads > 1
+  /// (borrowed; the engine wires in its shared pool at construction). Null
+  /// with num_threads > 1 falls back to the serial path — the generator no
+  /// longer spawns threads of its own.
+  exec::TaskPool* pool = nullptr;
 };
 
 struct EngineConfig {
@@ -102,6 +111,13 @@ struct EngineConfig {
   /// gen.num_threads at engine construction (kept here so callers can tune
   /// the whole engine from one knob). 1 = serial.
   int num_threads = 1;
+  /// Intra-query execution parallelism: morsel threads one Execute may use
+  /// (exec/task_pool). 0 = inherit num_threads (the default: one knob scales
+  /// both translate and execute); 1 = serial execution (bit-identical to the
+  /// pre-pool executor); N > 1 = up to N-way morsels. Translation and
+  /// execution share one engine-owned pool sized max(num_threads,
+  /// exec_threads) - 1 workers.
+  int exec_threads = 0;
   /// Capacity (entries) of the engine's name-similarity memo. Similarity
   /// scores are pure functions of (name, name, q), so the cache is exact;
   /// 0 disables caching (used by benchmarks to reproduce the uncached

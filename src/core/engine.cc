@@ -10,6 +10,7 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "core/plan_cache.h"
+#include "exec/task_pool.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -227,6 +228,10 @@ SchemaFreeEngine::SchemaFreeEngine(const storage::Database* db,
                                    EngineConfig config)
     : db_(db),
       config_(ResolveConfig(config)),
+      pool_(std::max(config_.num_threads, config_.exec_threads) > 1
+                ? std::make_unique<exec::TaskPool>(static_cast<size_t>(
+                      std::max(config_.num_threads, config_.exec_threads) - 1))
+                : nullptr),
       metrics_(config.metrics != nullptr
                    ? std::make_unique<PipelineMetrics>(config.metrics)
                    : nullptr),
@@ -236,7 +241,14 @@ SchemaFreeEngine::SchemaFreeEngine(const storage::Database* db,
       views_(&db->catalog()),
       plan_cache_(config.plan_cache_enabled && config.plan_cache_capacity > 0
                       ? std::make_unique<PlanCache>(config.plan_cache_capacity)
-                      : nullptr) {}
+                      : nullptr) {
+  // One pool serves both halves of the engine: the generator's per-root
+  // searches and the executor's morsel loops.
+  config_.gen.pool = pool_.get();
+  if (pool_ != nullptr && config_.metrics != nullptr) {
+    pool_->EnableMetrics(config_.metrics);
+  }
+}
 
 SchemaFreeEngine::~SchemaFreeEngine() = default;
 
@@ -1200,6 +1212,8 @@ Result<exec::QueryResult> SchemaFreeEngine::Execute(
   exec_config.slow_execute_threshold_ms = config_.slow_execute_threshold_ms;
   exec_config.slow_log_sink = config_.slow_log_sink;
   exec_config.clock = config_.clock;
+  exec_config.exec_threads = config_.exec_threads;
+  exec_config.pool = pool_.get();
   exec::Executor executor(db_, exec_config);
   executor.EnableMetrics(config_.metrics, config_.clock);
   exec::ExecInfo info;

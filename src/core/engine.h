@@ -133,6 +133,11 @@ class SchemaFreeEngine {
   const EngineConfig& config() const { return config_; }
   /// Precomputed profiles of every relation and attribute name in the catalog.
   const text::SchemaNameIndex& name_index() const { return name_index_; }
+  /// The engine-owned work-stealing pool shared by execution morsels and the
+  /// generator's per-root searches; null when the engine is single-threaded
+  /// (max(num_threads, exec_threads) <= 1). Feeds sys_pool and serve_driver
+  /// stats.
+  const exec::TaskPool* task_pool() const { return pool_.get(); }
 
   /// Translates a schema-free SELECT into up to `k` full-SQL candidates,
   /// best first. Nested blocks are translated outermost-first (§2.2.5); inner
@@ -164,10 +169,14 @@ class SchemaFreeEngine {
 
  private:
   /// Copies the engine-level num_threads and clock knobs into the generator
-  /// config so the whole engine is tuned from one place.
+  /// config so the whole engine is tuned from one place, and resolves
+  /// exec_threads (0 = inherit num_threads).
   static EngineConfig ResolveConfig(EngineConfig config) {
     config.gen.num_threads = config.num_threads;
     config.gen.clock = config.clock;
+    if (config.exec_threads <= 0) {
+      config.exec_threads = config.num_threads > 1 ? config.num_threads : 1;
+    }
     return config;
   }
 
@@ -222,6 +231,12 @@ class SchemaFreeEngine {
 
   const storage::Database* db_;
   EngineConfig config_;
+  /// One work-stealing pool per engine (exec/task_pool), shared by every
+  /// Execute's morsel loops and every Translate's per-root TopK fan-out;
+  /// sized max(num_threads, exec_threads) - 1 workers, null when that is 0.
+  /// Declared before everything that may reference it so it is destroyed
+  /// last (after all users are gone).
+  std::unique_ptr<exec::TaskPool> pool_;
   /// Null when config_.metrics is null (metrics off). Resolved once at
   /// construction so Translate never touches the registry's lock.
   std::unique_ptr<PipelineMetrics> metrics_;

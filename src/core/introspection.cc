@@ -6,6 +6,7 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "core/plan_cache.h"
+#include "exec/task_pool.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "storage/value.h"
@@ -236,6 +237,22 @@ std::vector<Row> IndexRows(const storage::Database* db) {
   return rows;
 }
 
+std::vector<Row> PoolRows(const exec::TaskPool* pool) {
+  std::vector<Row> rows;
+  if (pool == nullptr) return rows;
+  const exec::TaskPoolStats stats = pool->stats();
+  Row row;
+  row.reserve(6);
+  row.push_back(Value::Int(static_cast<int64_t>(stats.workers)));
+  row.push_back(Value::Int(static_cast<int64_t>(stats.tasks)));
+  row.push_back(Value::Int(static_cast<int64_t>(stats.steals)));
+  row.push_back(Value::Int(static_cast<int64_t>(stats.parallel_fors)));
+  row.push_back(Value::Int(static_cast<int64_t>(stats.nested_inline)));
+  row.push_back(Value::Int(static_cast<int64_t>(stats.idle_ms)));
+  rows.push_back(std::move(row));
+  return rows;
+}
+
 }  // namespace
 
 Introspection::Introspection(const IntrospectionSources& sources) {
@@ -246,7 +263,7 @@ Introspection::Introspection(const IntrospectionSources& sources) {
 
   catalog::Catalog catalog;
   // AddRelation cannot fail here (fixed names, no duplicates), so the results
-  // are intentionally unchecked; relation ids are insertion order 0..6.
+  // are intentionally unchecked; relation ids are insertion order 0..7.
   (void)catalog.AddRelation(MakeRelation(
       "sys_queries",
       {{"id", kInt},
@@ -319,6 +336,13 @@ Introspection::Introspection(const IntrospectionSources& sources) {
                                           {"distinct_estimate", kInt},
                                           {"min_value", kString},
                                           {"max_value", kString}}));
+  (void)catalog.AddRelation(MakeRelation("sys_pool",
+                                         {{"workers", kInt},
+                                          {"tasks", kInt},
+                                          {"steals", kInt},
+                                          {"parallel_fors", kInt},
+                                          {"nested_inline", kInt},
+                                          {"idle_ms", kInt}}));
 
   db_ = std::make_unique<storage::Database>(std::move(catalog));
   (void)db_->InsertRows(0, QueryRows(sources.profiles));
@@ -328,6 +352,7 @@ Introspection::Introspection(const IntrospectionSources& sources) {
   (void)db_->InsertRows(4, ChunkRows(sources.db));
   (void)db_->InsertRows(5, IndexRows(sources.db));
   (void)db_->InsertRows(6, ColumnStatsRows(sources.db));
+  (void)db_->InsertRows(7, PoolRows(sources.pool));
 
   // The snapshot never changes, so a plan cache would only shadow bugs; the
   // serving engine's metrics/profile hooks stay off — observing the observer

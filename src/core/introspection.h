@@ -14,6 +14,10 @@ class MetricsRegistry;
 class QueryProfileStore;
 }  // namespace sfsql::obs
 
+namespace sfsql::exec {
+class TaskPool;
+}  // namespace sfsql::exec
+
 namespace sfsql::core {
 
 /// Live system state the sys_* virtual relations are built from. Any pointer
@@ -28,6 +32,8 @@ struct IntrospectionSources {
   const obs::MetricsRegistry* metrics = nullptr;
   /// Feeds sys_queries.
   const obs::QueryProfileStore* profiles = nullptr;
+  /// Feeds sys_pool (the engine's shared execution/translation worker pool).
+  const exec::TaskPool* pool = nullptr;
 };
 
 /// The engine's observability surface, exposed through the engine itself:
@@ -48,6 +54,9 @@ struct IntrospectionSources {
 ///   sys_column_stats — one row per (relation, attribute): table-level stats
 ///                      merged across chunks (the cost model's estimator
 ///                      inputs — sketch-union NDV, null fraction, min/max)
+///   sys_pool        — one row: the shared worker pool's lifetime counters
+///                      (workers, tasks, steals, parallel_fors, nested_inline,
+///                      idle_ms)
 ///
 /// The snapshot is taken once at construction (point-in-time, like any
 /// monitoring scrape); construct a fresh Introspection to re-observe.

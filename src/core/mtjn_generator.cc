@@ -1,14 +1,13 @@
 #include "core/mtjn_generator.h"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
 #include <queue>
 #include <set>
 #include <string>
-#include <thread>
 #include <utility>
 
+#include "exec/task_pool.h"
 #include "obs/clock.h"
 
 namespace sfsql::core {
@@ -306,25 +305,21 @@ std::vector<ScoredNetwork> MtjnGenerator::Run(int k, Strategy strategy,
     bound0 = weights[k - 1];
   }
 
+  // The remaining roots fan out on the engine's shared work-stealing pool
+  // (grain 1: each root is one morsel, so idle workers steal whole roots).
+  // Results land in pre-sized per-root slots and merge in rank order below,
+  // so scheduling cannot perturb the output — parallel stays bit-identical
+  // to serial. Without a pool (or with num_threads <= 1) the loop is serial;
+  // the generator never spawns threads of its own.
   const size_t rest = ranked.size() - 1;
-  int num_threads = std::max(1, config_.num_threads);
-  num_threads = std::min<int>(num_threads, static_cast<int>(rest));
-  if (num_threads <= 1) {
+  if (config_.num_threads > 1 && config_.pool != nullptr && rest > 1) {
+    config_.pool->ParallelFor(rest, 1, [&](size_t b, size_t e) {
+      for (size_t j = b; j < e; ++j) run_root(j + 1, bound0);
+    });
+  } else {
     for (size_t i = 1; i < ranked.size(); ++i) {
       run_root(i, bound0);
     }
-  } else {
-    std::atomic<size_t> next{1};
-    auto worker = [&] {
-      for (size_t i = next.fetch_add(1); i < ranked.size();
-           i = next.fetch_add(1)) {
-        run_root(i, bound0);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (int w = 0; w < num_threads; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
   }
 
   // Merge per-root results in rank order: canonical-signature dedup keeping

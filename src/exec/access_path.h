@@ -16,6 +16,8 @@ class Clock;
 
 namespace sfsql::exec {
 
+class TaskPool;
+
 /// Join algorithm chosen by the cost model for one fold step. kNone means
 /// the planner made no choice — the executor applies its legacy runtime
 /// heuristics (hash join, or an index nested-loop join when the accumulated
@@ -73,6 +75,23 @@ struct ExecConfig {
   /// Clock for slow-execute timing and the profile latency when no metrics
   /// registry supplies one (tests inject a FakeClock). Null = steady clock.
   const obs::Clock* clock = nullptr;
+  /// Intra-query parallelism: threads the planned fold may use for its
+  /// morsel loops (scan + pushed filter, hash-join build/probe, index
+  /// nested-loop probes). 1 = the serial legacy path, thread-free and
+  /// bit-identical to the pre-pool executor. Values above 1 run on `pool`
+  /// (the Executor lazily creates a private pool of exec_threads - 1 workers
+  /// when none is wired in); the pool's worker count, not this number, caps
+  /// the actual fan-out. Results are bit-identical at every setting: morsel
+  /// outputs are stitched in morsel order.
+  int exec_threads = 1;
+  /// Rows per morsel for the parallel loops. 0 = 4096. Scans round this up
+  /// to whole chunks, so any grain at or below the table's chunk_capacity
+  /// means one chunk per morsel. Correctness is grain-independent.
+  size_t morsel_grain = 0;
+  /// Shared work-stealing pool the morsel loops run on (borrowed — the
+  /// engine owns one pool shared by execution and translation). Null with
+  /// exec_threads > 1: the Executor creates its own.
+  TaskPool* pool = nullptr;
 };
 
 /// Per-execution access-path counters, accumulated across every block

@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "common/strings.h"
 #include "exec/like.h"
+#include "exec/task_pool.h"
 #include "obs/clock.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -100,9 +101,13 @@ class BlockExecutor {
   /// (left empty when the planner falls back to the naive fold) — the access
   /// paths a query profile records — plus the estimated/actual join fold
   /// cardinalities for q-error measurement.
+  /// Non-null `pool` with config->exec_threads > 1 turns on the morsel-
+  /// parallel operators in the planned fold; null or exec_threads == 1 is
+  /// the serial legacy path, bit-identical and thread-free.
   BlockExecutor(const storage::Database* db, const ExecConfig* config,
-                ExecStats* stats, ExecInfo* info = nullptr)
-      : db_(db), config_(config), stats_(stats), info_(info) {}
+                ExecStats* stats, ExecInfo* info = nullptr,
+                TaskPool* pool = nullptr)
+      : db_(db), config_(config), stats_(stats), info_(info), pool_(pool) {}
 
   Result<QueryResult> ExecuteBlock(const SelectStatement& stmt, const Env& outer);
 
@@ -595,10 +600,83 @@ class BlockExecutor {
         .first->second;
   }
 
+  // --- morsel-parallel row loops ---
+  //
+  // The three hot operators of the planned fold (scan + pushed filter, hash
+  // probe, index nested-loop probe) all reduce to "run body(b, e) over [0, n)
+  // and append body's output rows in range order". RowLoop runs that shape on
+  // the task pool when parallelism is on and the input is big enough, and as
+  // one plain call otherwise — so exec_threads == 1 takes the exact legacy
+  // code path. Parallel invariants:
+  //  * outputs and stats go to per-morsel slots, stitched/merged in morsel
+  //    order after the barrier — results are bit-identical to serial and no
+  //    hot-path counter is shared between workers;
+  //  * bodies only evaluate planner-pushed conjuncts and join filters, which
+  //    are subquery-free by construction (the planner routes any conjunct
+  //    containing a subquery or star to the residual filter), so Eval never
+  //    recurses into ExecuteBlock — and never mutates this object — from a
+  //    worker thread;
+  //  * workers run strictly inside the Database::ReadLock the caller's
+  //    Execute holds (they never lock), so the staleness contract is the
+  //    serial one;
+  //  * on error, the lowest-indexed failing morsel's status is returned —
+  //    the same error serial execution would have hit first.
+  Status RowLoop(size_t n, size_t grain,
+                 const std::function<Status(size_t, size_t, std::vector<Row>&,
+                                            ExecStats&)>& body,
+                 std::vector<Row>& out) {
+    if (pool_ == nullptr || config_->exec_threads <= 1 || n <= grain ||
+        grain == 0) {
+      return body(0, n, out, *stats_);
+    }
+    const size_t morsels = (n + grain - 1) / grain;
+    std::vector<std::vector<Row>> outs(morsels);
+    std::vector<Status> statuses(morsels);
+    std::vector<ExecStats> deltas(morsels);
+    pool_->ParallelFor(n, grain, [&](size_t b, size_t e) {
+      const size_t m = b / grain;
+      statuses[m] = body(b, e, outs[m], deltas[m]);
+    });
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    size_t total = out.size();
+    for (const std::vector<Row>& o : outs) total += o.size();
+    out.reserve(total);
+    for (size_t m = 0; m < morsels; ++m) {
+      for (Row& r : outs[m]) out.push_back(std::move(r));
+      MergeStats(*stats_, deltas[m]);
+    }
+    return Status::OK();
+  }
+
+  /// Morsel size for the parallel row loops (scans round up to chunks).
+  size_t Grain() const {
+    return config_->morsel_grain != 0 ? config_->morsel_grain : 4096;
+  }
+
+  bool ParallelEnabled() const {
+    return pool_ != nullptr && config_->exec_threads > 1;
+  }
+
+  static void MergeStats(ExecStats& into, const ExecStats& d) {
+    into.index_scans += d.index_scans;
+    into.table_scans += d.table_scans;
+    into.index_joins += d.index_joins;
+    into.hash_joins += d.hash_joins;
+    into.sort_merge_joins += d.sort_merge_joins;
+    into.merge_sorts_skipped += d.merge_sorts_skipped;
+    into.rows_pruned += d.rows_pruned;
+    into.pushed_predicates += d.pushed_predicates;
+    into.chunks_pruned += d.chunks_pruned;
+    into.rows_scanned += d.rows_scanned;
+  }
+
   const storage::Database* db_;
   const ExecConfig* config_;
   ExecStats* stats_;
   ExecInfo* info_;
+  TaskPool* pool_ = nullptr;
   std::unordered_map<const SelectStatement*, BlockPlan> plans_;
   bool analyzed_ = false;
   bool refs_all_ = false;
@@ -803,33 +881,49 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     if (tp.index_scan) {
       ++stats_->index_scans;
       stats_->rows_scanned += tp.row_ids.size();
-      base.reserve(tp.row_ids.size());
-      for (uint32_t id : tp.row_ids) {
-        Row row(width);
-        for (size_t a = 0; a < width; ++a) {
-          if (wanted[a]) row[a] = table.at(id, a);
-        }
-        SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
-        if (ok) base.push_back(std::move(row));
-      }
-    } else {
-      ++stats_->table_scans;
-      for (size_t c = 0; c < table.num_chunks(); ++c) {
-        if (c < tp.pruned_chunks.size() && tp.pruned_chunks[c]) {
-          ++stats_->chunks_pruned;
-          continue;
-        }
-        const storage::Chunk& chunk = table.chunk(c);
-        stats_->rows_scanned += chunk.size();
-        for (size_t o = 0; o < chunk.size(); ++o) {
+      auto scan_ids = [&](size_t b, size_t e, std::vector<Row>& out,
+                          ExecStats&) -> Status {
+        out.reserve(out.size() + (e - b));
+        for (size_t i = b; i < e; ++i) {
           Row row(width);
           for (size_t a = 0; a < width; ++a) {
-            if (wanted[a]) row[a] = chunk.column(a)[o];
+            if (wanted[a]) row[a] = table.at(tp.row_ids[i], a);
           }
           SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
-          if (ok) base.push_back(std::move(row));
+          if (ok) out.push_back(std::move(row));
         }
-      }
+        return Status::OK();
+      };
+      SFSQL_RETURN_IF_ERROR(RowLoop(tp.row_ids.size(), Grain(), scan_ids, base));
+    } else {
+      ++stats_->table_scans;
+      // Morsels are whole chunks (a grain below chunk_capacity rounds up to
+      // one chunk per morsel); workers prune locally against the plan's
+      // per-chunk verdicts and the row runs concatenate in chunk order.
+      auto scan_chunks = [&](size_t cb, size_t ce, std::vector<Row>& out,
+                             ExecStats& st) -> Status {
+        for (size_t c = cb; c < ce; ++c) {
+          if (c < tp.pruned_chunks.size() && tp.pruned_chunks[c]) {
+            ++st.chunks_pruned;
+            continue;
+          }
+          const storage::Chunk& chunk = table.chunk(c);
+          st.rows_scanned += chunk.size();
+          for (size_t o = 0; o < chunk.size(); ++o) {
+            Row row(width);
+            for (size_t a = 0; a < width; ++a) {
+              if (wanted[a]) row[a] = chunk.column(a)[o];
+            }
+            SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, row));
+            if (ok) out.push_back(std::move(row));
+          }
+        }
+        return Status::OK();
+      };
+      const size_t chunks_per_morsel =
+          std::max<size_t>(1, Grain() / table.chunk_capacity());
+      SFSQL_RETURN_IF_ERROR(
+          RowLoop(table.num_chunks(), chunks_per_morsel, scan_chunks, base));
     }
     stats_->rows_pruned += table.num_rows() - base.size();
     stats_->pushed_predicates += tp.pushed.size() + tp.sargable.size();
@@ -889,7 +983,11 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
     const std::vector<const Expr*>& filters = step_filters[t];
 
     std::vector<Row> joined;
-    auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
+    // `out`-parameterized so the parallel probe loops can emit into their
+    // morsel's private vector; the join filters are subquery-free (see
+    // RowLoop), so concurrent evaluation is safe.
+    auto emit_row = [&](const Row& base, const Row& extra,
+                        std::vector<Row>& out) -> Status {
       Row combined;
       combined.reserve(base.size() + extra.size());
       combined.insert(combined.end(), base.begin(), base.end());
@@ -900,8 +998,11 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
         SFSQL_ASSIGN_OR_RETURN(Value v, Eval(*p, env));
         if (!Truthy(v)) return Status::OK();
       }
-      joined.push_back(std::move(combined));
+      out.push_back(std::move(combined));
       return Status::OK();
+    };
+    auto emit_if_passes = [&](const Row& base, const Row& extra) -> Status {
+      return emit_row(base, extra, joined);
     };
 
     // Index nested-loop join: when the accumulated side is small relative to
@@ -935,31 +1036,42 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
       local.width = local.slots[0].width;
       size_t probe_key = 0;
       while (keys[probe_key].new_col != tp.index_join_attr) ++probe_key;
-      for (const Row& base : rows) {
-        bool has_null = false;
-        for (const EquiKey& k : keys) {
-          if (base[k.existing_col].is_null()) has_null = true;
-        }
-        if (has_null) continue;
-        for (uint32_t id :
-             idx->RowsSatisfying("=", base[keys[probe_key].existing_col])) {
-          ++stats_->rows_scanned;
-          Row trow(width);
-          for (size_t a = 0; a < width; ++a) {
-            if (wanted[a]) trow[a] = table.at(id, a);
+      // Probe morsels run in parallel over the accumulated rows; per probe
+      // row the index returns ids ascending, so stitching morsels in order
+      // reproduces the serial emission order exactly. `idx` was fetched above
+      // on this thread (ColumnIndexFor may lazily build under a mutex);
+      // workers only call its const read API.
+      auto probe_index = [&](size_t b, size_t e, std::vector<Row>& out,
+                             ExecStats& st) -> Status {
+        for (size_t ri = b; ri < e; ++ri) {
+          const Row& base = rows[ri];
+          bool has_null = false;
+          for (const EquiKey& k : keys) {
+            if (base[k.existing_col].is_null()) has_null = true;
           }
-          bool match = true;
-          for (size_t k = 0; k < keys.size() && match; ++k) {
-            if (k == probe_key) continue;
-            const Value& v = trow[keys[k].new_col];
-            match = !v.is_null() && v.Equals(base[keys[k].existing_col]);
+          if (has_null) continue;
+          for (uint32_t id :
+               idx->RowsSatisfying("=", base[keys[probe_key].existing_col])) {
+            ++st.rows_scanned;
+            Row trow(width);
+            for (size_t a = 0; a < width; ++a) {
+              if (wanted[a]) trow[a] = table.at(id, a);
+            }
+            bool match = true;
+            for (size_t k = 0; k < keys.size() && match; ++k) {
+              if (k == probe_key) continue;
+              const Value& v = trow[keys[k].new_col];
+              match = !v.is_null() && v.Equals(base[keys[k].existing_col]);
+            }
+            if (!match) continue;
+            SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, trow));
+            if (!ok) continue;
+            SFSQL_RETURN_IF_ERROR(emit_row(base, trow, out));
           }
-          if (!match) continue;
-          SFSQL_ASSIGN_OR_RETURN(bool ok, passes_pushed(tp, local, trow));
-          if (!ok) continue;
-          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, trow));
         }
-      }
+        return Status::OK();
+      };
+      SFSQL_RETURN_IF_ERROR(RowLoop(rows.size(), Grain(), probe_index, joined));
       schema = std::move(next);
       rows = std::move(joined);
       continue;
@@ -1055,31 +1167,99 @@ Result<std::vector<Row>> BlockExecutor::BuildFromRowsPlanned(
       // Hash join: build on the new (filtered) table, probe with the
       // accumulated rows. NULL keys never join, matching the legacy fold.
       ++stats_->hash_joins;
-      std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
-      for (const Row& trow : base_rows) {
-        Row key;
-        key.reserve(keys.size());
-        bool has_null = false;
-        for (const EquiKey& k : keys) {
-          if (trow[k.new_col].is_null()) has_null = true;
-          key.push_back(trow[k.new_col]);
+      const size_t grain = Grain();
+      if (ParallelEnabled() &&
+          (base_rows.size() > grain || rows.size() > grain)) {
+        // Partitioned parallel build: workers slice the build side into
+        // per-morsel per-partition key lists, then each partition's table is
+        // assembled by one worker walking the morsels in order — so every
+        // bucket's match list is in build-side row order, exactly like the
+        // serial insertion order. Probe morsels then hit the partitions
+        // directly (same RowHash picks the partition and the bucket) and
+        // stitch their outputs in accumulated-row order.
+        using BuildMap =
+            std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq>;
+        constexpr size_t kPartitions = 64;
+        const size_t bmorsels = (base_rows.size() + grain - 1) / grain;
+        std::vector<std::vector<std::vector<std::pair<uint32_t, Row>>>> parts(
+            bmorsels,
+            std::vector<std::vector<std::pair<uint32_t, Row>>>(kPartitions));
+        pool_->ParallelFor(base_rows.size(), grain, [&](size_t b, size_t e) {
+          auto& my = parts[b / grain];
+          for (size_t i = b; i < e; ++i) {
+            const Row& trow = base_rows[i];
+            Row key;
+            key.reserve(keys.size());
+            bool has_null = false;
+            for (const EquiKey& k : keys) {
+              if (trow[k.new_col].is_null()) has_null = true;
+              key.push_back(trow[k.new_col]);
+            }
+            if (has_null) continue;
+            const size_t p = RowHash{}(key) % kPartitions;
+            my[p].emplace_back(static_cast<uint32_t>(i), std::move(key));
+          }
+        });
+        std::vector<BuildMap> build(kPartitions);
+        pool_->ParallelFor(kPartitions, 1, [&](size_t pb, size_t pe) {
+          for (size_t p = pb; p < pe; ++p) {
+            for (size_t m = 0; m < bmorsels; ++m) {
+              for (std::pair<uint32_t, Row>& kv : parts[m][p]) {
+                build[p][std::move(kv.second)].push_back(
+                    &base_rows[kv.first]);
+              }
+            }
+          }
+        });
+        auto probe_body = [&](size_t b, size_t e, std::vector<Row>& out,
+                              ExecStats&) -> Status {
+          for (size_t i = b; i < e; ++i) {
+            const Row& base = rows[i];
+            Row probe;
+            probe.reserve(keys.size());
+            bool has_null = false;
+            for (const EquiKey& k : keys) {
+              if (base[k.existing_col].is_null()) has_null = true;
+              probe.push_back(base[k.existing_col]);
+            }
+            if (has_null) continue;
+            const BuildMap& part = build[RowHash{}(probe) % kPartitions];
+            auto it = part.find(probe);
+            if (it == part.end()) continue;
+            for (const Row* trow : it->second) {
+              SFSQL_RETURN_IF_ERROR(emit_row(base, *trow, out));
+            }
+          }
+          return Status::OK();
+        };
+        SFSQL_RETURN_IF_ERROR(RowLoop(rows.size(), grain, probe_body, joined));
+      } else {
+        std::unordered_map<Row, std::vector<const Row*>, RowHash, RowEq> build;
+        for (const Row& trow : base_rows) {
+          Row key;
+          key.reserve(keys.size());
+          bool has_null = false;
+          for (const EquiKey& k : keys) {
+            if (trow[k.new_col].is_null()) has_null = true;
+            key.push_back(trow[k.new_col]);
+          }
+          if (has_null) continue;
+          build[std::move(key)].push_back(&trow);
         }
-        if (has_null) continue;
-        build[std::move(key)].push_back(&trow);
-      }
-      for (const Row& base : rows) {
-        Row probe;
-        probe.reserve(keys.size());
-        bool has_null = false;
-        for (const EquiKey& k : keys) {
-          if (base[k.existing_col].is_null()) has_null = true;
-          probe.push_back(base[k.existing_col]);
-        }
-        if (has_null) continue;
-        auto it = build.find(probe);
-        if (it == build.end()) continue;
-        for (const Row* trow : it->second) {
-          SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+        for (const Row& base : rows) {
+          Row probe;
+          probe.reserve(keys.size());
+          bool has_null = false;
+          for (const EquiKey& k : keys) {
+            if (base[k.existing_col].is_null()) has_null = true;
+            probe.push_back(base[k.existing_col]);
+          }
+          if (has_null) continue;
+          auto it = build.find(probe);
+          if (it == build.end()) continue;
+          for (const Row* trow : it->second) {
+            SFSQL_RETURN_IF_ERROR(emit_if_passes(base, *trow));
+          }
         }
       }
     } else {
@@ -1384,6 +1564,31 @@ bool QueryResult::SameRows(const QueryResult& other) const {
   return true;
 }
 
+Executor::Executor(const storage::Database* db) : db_(db) {}
+
+Executor::Executor(const storage::Database* db, const ExecConfig& config)
+    : db_(db), config_(config) {}
+
+Executor::~Executor() = default;
+
+void Executor::set_config(const ExecConfig& config) {
+  config_ = config;
+  // A private pool sized for the old exec_threads would silently cap the new
+  // one; drop it and re-create lazily.
+  owned_pool_.reset();
+}
+
+TaskPool* Executor::EffectivePool() {
+  if (config_.exec_threads <= 1) return nullptr;
+  if (config_.pool != nullptr) return config_.pool;
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  if (owned_pool_ == nullptr) {
+    owned_pool_ =
+        std::make_unique<TaskPool>(static_cast<size_t>(config_.exec_threads) - 1);
+  }
+  return owned_pool_.get();
+}
+
 void Executor::EnableMetrics(obs::MetricsRegistry* registry,
                              const obs::Clock* clock) {
   if (registry == nullptr) {
@@ -1450,7 +1655,10 @@ Result<QueryResult> Executor::Execute(const sql::SelectStatement& stmt,
     // stay exactly valid (column_index.h staleness contract) and concurrent
     // inserts wait instead of racing the row vectors.
     auto lock = db_->ReadLock();
-    BlockExecutor block(db_, &config_, &stats, info);
+    // Pool tasks spawned below run strictly within this lock scope (the
+    // ParallelFor barrier completes before the executor returns), so morsel
+    // workers see the same pinned row counts as the caller.
+    BlockExecutor block(db_, &config_, &stats, info, EffectivePool());
     out = block.ExecuteBlock(stmt, Env{});
   }
   const double seconds =

@@ -2,6 +2,8 @@
 #define SFSQL_EXEC_EXECUTOR_H_
 
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,12 +80,13 @@ struct ExecInfo {
 /// the staleness contract) and makes Execute safe to race against inserts.
 class Executor {
  public:
-  explicit Executor(const storage::Database* db) : db_(db) {}
-  Executor(const storage::Database* db, const ExecConfig& config)
-      : db_(db), config_(config) {}
+  explicit Executor(const storage::Database* db);
+  Executor(const storage::Database* db, const ExecConfig& config);
+  ~Executor();
 
   const ExecConfig& config() const { return config_; }
-  void set_config(const ExecConfig& config) { config_ = config; }
+  /// Not safe against concurrent Execute (drops the private pool, if any).
+  void set_config(const ExecConfig& config);
 
   /// Publishes per-execution metrics into `registry`:
   ///   sfsql_execute_total, sfsql_execute_errors_total,
@@ -119,8 +122,15 @@ class Executor {
       const sql::SelectStatement& stmt) const;
 
  private:
+  /// The pool morsel loops run on: config_.pool when wired (the engine's
+  /// shared pool), else a lazily created private pool of exec_threads - 1
+  /// workers; null when exec_threads <= 1 (no threads ever spawned).
+  TaskPool* EffectivePool();
+
   const storage::Database* db_;
   ExecConfig config_;
+  std::mutex pool_mu_;  ///< guards owned_pool_ creation (concurrent Executes)
+  std::unique_ptr<TaskPool> owned_pool_;
   const obs::Clock* clock_ = nullptr;
   obs::Counter* execute_total_ = nullptr;
   obs::Counter* execute_errors_ = nullptr;

@@ -1,0 +1,234 @@
+#include "exec/task_pool.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace sfsql::exec {
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  count_ += n;
+}
+
+void WaitGroup::Done() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --count_;
+  if (count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return count_ == 0; });
+}
+
+namespace {
+
+/// Set while this thread is executing a pool task; a ParallelFor issued from
+/// inside one must not block on pool capacity it is itself occupying.
+thread_local bool t_in_pool_task = false;
+
+}  // namespace
+
+/// One ParallelFor in flight. Stack-allocated by the caller; morsels hold a
+/// pointer, and wg guarantees the caller outlives every reference.
+struct LoopState {
+  const std::function<void(size_t, size_t)>* body = nullptr;
+  WaitGroup wg;
+  std::mutex ex_mu;
+  std::exception_ptr ex;
+};
+
+TaskPool::TaskPool(size_t workers) {
+  queues_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    stop_ = true;
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::RunMorsel(const Morsel& m) {
+  bool prev = t_in_pool_task;
+  t_in_pool_task = true;
+  try {
+    (*m.loop->body)(m.begin, m.end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m.loop->ex_mu);
+    if (!m.loop->ex) m.loop->ex = std::current_exception();
+  }
+  t_in_pool_task = prev;
+  tasks_.fetch_add(1, std::memory_order_relaxed);
+  m.loop->wg.Done();
+}
+
+bool TaskPool::TryRunOne(size_t self) {
+  const size_t w = queues_.size();
+  // Own deque first (front = LIFO-ish locality), then victims from the back.
+  for (size_t k = 0; k < w; ++k) {
+    size_t q = (self + k) % w;
+    if (self >= w) q = k;  // callers have no own deque; scan in order
+    Morsel m;
+    {
+      std::lock_guard<std::mutex> lk(queues_[q]->mu);
+      if (queues_[q]->dq.empty()) continue;
+      if (q == self) {
+        m = queues_[q]->dq.front();
+        queues_[q]->dq.pop_front();
+      } else {
+        m = queues_[q]->dq.back();
+        queues_[q]->dq.pop_back();
+      }
+    }
+    if (q != self && self < w) steals_.fetch_add(1, std::memory_order_relaxed);
+    RunMorsel(m);
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::WorkerLoop(size_t self) {
+  for (;;) {
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lk(wake_mu_);
+      if (stop_) return;
+      seen = epoch_;
+    }
+    if (TryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lk(wake_mu_);
+    if (stop_) return;
+    if (epoch_ != seen) continue;  // work arrived after the scan; rescan
+    auto t0 = std::chrono::steady_clock::now();
+    wake_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    auto waited = std::chrono::steady_clock::now() - t0;
+    idle_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count(),
+        std::memory_order_relaxed);
+    lk.unlock();
+    PublishMetricsDelta();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, size_t grain,
+                           const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t num_morsels = (n + grain - 1) / grain;
+
+  auto run_inline = [&] {
+    for (size_t i = 0; i < num_morsels; ++i) {
+      size_t begin = i * grain;
+      size_t end = begin + grain < n ? begin + grain : n;
+      body(begin, end);
+    }
+    tasks_.fetch_add(num_morsels, std::memory_order_relaxed);
+  };
+
+  if (t_in_pool_task) {
+    // Nested fan-out would block on pool capacity this thread is occupying;
+    // run the loop inline instead (still morsel-by-morsel, so per-morsel
+    // output slots stitch identically).
+    nested_inline_.fetch_add(1, std::memory_order_relaxed);
+    run_inline();
+    return;
+  }
+  if (workers_.empty() || num_morsels == 1) {
+    run_inline();
+    PublishMetricsDelta();
+    return;
+  }
+
+  LoopState loop;
+  loop.body = &body;
+  loop.wg.Add(num_morsels);
+  // Deal morsels round-robin across the worker deques, one queue lock each.
+  const size_t w = queues_.size();
+  for (size_t q = 0; q < w; ++q) {
+    std::lock_guard<std::mutex> lk(queues_[q]->mu);
+    for (size_t i = q; i < num_morsels; i += w) {
+      size_t begin = i * grain;
+      size_t end = begin + grain < n ? begin + grain : n;
+      queues_[q]->dq.push_back(Morsel{&loop, begin, end});
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
+
+  // The caller drains morsels too (its own loop's or any other in-flight
+  // loop's — either way the pool makes progress), then blocks for stragglers.
+  while (TryRunOne(w)) {
+  }
+  loop.wg.Wait();
+  PublishMetricsDelta();
+
+  if (loop.ex) std::rethrow_exception(loop.ex);
+}
+
+TaskPoolStats TaskPool::stats() const {
+  TaskPoolStats s;
+  s.workers = workers_.size();
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.nested_inline = nested_inline_.load(std::memory_order_relaxed);
+  s.idle_ms = idle_ns_.load(std::memory_order_relaxed) / 1000000;
+  return s;
+}
+
+void TaskPool::EnableMetrics(obs::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  if (registry == nullptr) {
+    tasks_counter_ = steals_counter_ = parallel_fors_counter_ =
+        idle_ms_counter_ = nullptr;
+    return;
+  }
+  tasks_counter_ = registry->GetCounter(
+      "sfsql_pool_tasks_total", "Morsels executed by the engine task pool");
+  steals_counter_ = registry->GetCounter(
+      "sfsql_pool_steals_total",
+      "Morsels a pool worker stole from another worker's deque");
+  parallel_fors_counter_ = registry->GetCounter(
+      "sfsql_pool_parallel_fors_total",
+      "ParallelFor calls that fanned out across the pool");
+  idle_ms_counter_ = registry->GetCounter(
+      "sfsql_pool_idle_ms_total",
+      "Total milliseconds pool workers spent parked waiting for work");
+  tasks_published_ = steals_published_ = parallel_fors_published_ =
+      idle_ms_published_ = 0;
+}
+
+void TaskPool::PublishMetricsDelta() {
+  std::lock_guard<std::mutex> lk(metrics_mu_);
+  if (tasks_counter_ == nullptr) return;
+  TaskPoolStats s = stats();
+  tasks_counter_->Increment(s.tasks - tasks_published_);
+  steals_counter_->Increment(s.steals - steals_published_);
+  parallel_fors_counter_->Increment(s.parallel_fors -
+                                    parallel_fors_published_);
+  idle_ms_counter_->Increment(s.idle_ms - idle_ms_published_);
+  tasks_published_ = s.tasks;
+  steals_published_ = s.steals;
+  parallel_fors_published_ = s.parallel_fors;
+  idle_ms_published_ = s.idle_ms;
+}
+
+}  // namespace sfsql::exec

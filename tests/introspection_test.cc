@@ -11,6 +11,7 @@
 #include "core/engine.h"
 #include "core/introspection.h"
 #include "exec/executor.h"
+#include "exec/task_pool.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "storage/database.h"
@@ -238,13 +239,44 @@ TEST_F(IntrospectionTest, SysColumnStatsAggregateAcrossChunks) {
   EXPECT_EQ(free->rows.size(), expected);
 }
 
+// sys_pool exposes the shared worker pool's counters: one row whose worker
+// count matches the engine's pool, with activity visible after a parallel
+// translate has fanned out through it.
+TEST_F(IntrospectionTest, SysPoolReportsSharedPoolCounters) {
+  core::EngineConfig config;
+  config.num_threads = 4;
+  core::SchemaFreeEngine parallel_engine(db_.get(), config);
+  ASSERT_NE(parallel_engine.task_pool(), nullptr);
+  ASSERT_TRUE(parallel_engine.Execute(kWorkloadQuery).ok());
+
+  core::IntrospectionSources sources = Sources();
+  sources.pool = parallel_engine.task_pool();
+  core::Introspection intro(sources);
+  exec::Executor direct(&intro.database());
+  auto r = direct.ExecuteSql(
+      "SELECT workers, tasks, parallel_fors FROM sys_pool");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 3);  // num_threads - 1 workers
+  const exec::TaskPoolStats stats = parallel_engine.task_pool()->stats();
+  EXPECT_EQ(r->rows[0][1].AsInt(), static_cast<int64_t>(stats.tasks));
+  EXPECT_EQ(r->rows[0][2].AsInt(), static_cast<int64_t>(stats.parallel_fors));
+
+  // And it is reachable schema-free ("pool" ~ sys_pool).
+  std::string translated;
+  auto free = intro.Query("SELECT steals FROM pool", &translated);
+  ASSERT_TRUE(free.ok()) << free.status().ToString();
+  EXPECT_NE(translated.find("sys_pool"), std::string::npos) << translated;
+  ASSERT_EQ(free->rows.size(), 1u);
+}
+
 TEST(IntrospectionEmptyTest, NullSourcesYieldEmptyRelationsNotErrors) {
   core::Introspection intro(core::IntrospectionSources{});
   for (const char* sql :
        {"SELECT * FROM sys_queries", "SELECT * FROM sys_metrics",
         "SELECT * FROM sys_plan_cache", "SELECT * FROM sys_relations",
         "SELECT * FROM sys_chunks", "SELECT * FROM sys_indexes",
-        "SELECT * FROM sys_column_stats"}) {
+        "SELECT * FROM sys_column_stats", "SELECT * FROM sys_pool"}) {
     exec::Executor direct(&intro.database());
     auto r = direct.ExecuteSql(sql);
     ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();

@@ -15,6 +15,7 @@
 #include "core/plan_cache.h"
 #include "obs/clock.h"
 #include "exec/executor.h"
+#include "exec/task_pool.h"
 #include "sql/parser.h"
 #include "sql/printer.h"
 #include "text/similarity.h"
@@ -172,6 +173,8 @@ TEST(GeneratorPropertyTest, ParallelTopKIsBitIdenticalToSerial) {
     auto serial = serial_gen.TopK(5, &serial_stats, &serial_trace);
 
     config.num_threads = 4;
+    exec::TaskPool pool(3);  // the generator fans out only on a wired pool
+    config.pool = &pool;
     core::MtjnGenerator parallel_gen(&*graph, config);
     core::GeneratorStats parallel_stats;
     core::GeneratorTrace parallel_trace;

@@ -15,10 +15,10 @@
 // the full metrics registry) that tools/sfsql_top consumes.
 //
 // Usage:
-//   serve_driver [--threads N] [--requests M] [--variants V] [--zipf S]
-//                [--k K] [--capacity C] [--no-cache] [--stdin]
-//                [--stats-every SEC] [--stats-json FILE]
-//                [--profile-capacity P]
+//   serve_driver [--threads N] [--exec-threads N] [--requests M]
+//                [--variants V] [--zipf S] [--k K] [--capacity C]
+//                [--no-cache] [--stdin] [--stats-every SEC]
+//                [--stats-json FILE] [--profile-capacity P]
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -33,6 +33,7 @@
 
 #include "core/engine.h"
 #include "core/plan_cache.h"
+#include "exec/task_pool.h"
 #include "obs/bench_report.h"
 #include "obs/export.h"
 #include "obs/json.h"
@@ -120,6 +121,21 @@ void WriteStatsJson(const std::string& path, const ServeResult& r, double qps,
        static_cast<unsigned long long>(stats.stale_evictions));
   w.EndObject();
 
+  // The shared worker pool's lifetime counters (absent when the engine runs
+  // fully serial: threads == 1 and exec-threads <= 1 → no pool exists).
+  if (const exec::TaskPool* pool = engine.task_pool()) {
+    const exec::TaskPoolStats ps = pool->stats();
+    w.Key("pool");
+    w.BeginObject();
+    w.KV("workers", static_cast<unsigned long long>(ps.workers));
+    w.KV("tasks", static_cast<unsigned long long>(ps.tasks));
+    w.KV("steals", static_cast<unsigned long long>(ps.steals));
+    w.KV("parallel_fors", static_cast<unsigned long long>(ps.parallel_fors));
+    w.KV("nested_inline", static_cast<unsigned long long>(ps.nested_inline));
+    w.KV("idle_ms", static_cast<unsigned long long>(ps.idle_ms));
+    w.EndObject();
+  }
+
   w.Key("profiles");
   profiles.WriteJson(w);
   w.Key("metrics");
@@ -139,6 +155,7 @@ void WriteStatsJson(const std::string& path, const ServeResult& r, double qps,
 
 int main(int argc, char** argv) {
   int threads = 4;
+  int exec_threads = 0;  // 0 = inherit EngineConfig::num_threads
   long long total_requests = 2000;
   int variants = 4;
   double zipf_s = 1.0;
@@ -156,6 +173,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       const char* v = next();
       threads = v ? std::atoi(v) : 0;
+    } else if (std::strcmp(argv[i], "--exec-threads") == 0) {
+      const char* v = next();
+      exec_threads = v ? std::atoi(v) : -1;
     } else if (std::strcmp(argv[i], "--requests") == 0) {
       const char* v = next();
       total_requests = v ? std::atoll(v) : 0;
@@ -186,15 +206,16 @@ int main(int argc, char** argv) {
       profile_capacity = v ? std::atoll(v) : 0;
     } else {
       std::fprintf(stderr,
-                   "usage: serve_driver [--threads N] [--requests M] "
-                   "[--variants V] [--zipf S] [--k K] [--capacity C] "
-                   "[--no-cache] [--stdin] [--stats-every SEC] "
+                   "usage: serve_driver [--threads N] [--exec-threads N] "
+                   "[--requests M] [--variants V] [--zipf S] [--k K] "
+                   "[--capacity C] [--no-cache] [--stdin] [--stats-every SEC] "
                    "[--stats-json FILE] [--profile-capacity P]\n");
       return 2;
     }
   }
-  if (threads < 1 || total_requests < 1 || variants < 1 || zipf_s < 0.0 ||
-      k < 1 || capacity < 0 || stats_every < 0.0 || profile_capacity < 1) {
+  if (threads < 1 || exec_threads < 0 || total_requests < 1 || variants < 1 ||
+      zipf_s < 0.0 || k < 1 || capacity < 0 || stats_every < 0.0 ||
+      profile_capacity < 1) {
     std::fprintf(stderr, "serve_driver: invalid argument value\n");
     return 2;
   }
@@ -221,13 +242,14 @@ int main(int argc, char** argv) {
   cfg.plan_cache_capacity = static_cast<size_t>(capacity);
   cfg.metrics = &registry;
   cfg.profiles = &profiles;
+  cfg.exec_threads = exec_threads;
   core::SchemaFreeEngine engine(db.get(), cfg);
 
   std::printf("serving %lld requests (%zu distinct), %d threads, "
-              "Zipf(%.2f), k = %d, plan cache %s (capacity %lld), "
-              "profile ring %lld\n",
-              total_requests, requests.size(), threads, zipf_s, k,
-              cache ? "on" : "off", capacity, profile_capacity);
+              "exec-threads %d, Zipf(%.2f), k = %d, plan cache %s "
+              "(capacity %lld), profile ring %lld\n",
+              total_requests, requests.size(), threads, exec_threads, zipf_s,
+              k, cache ? "on" : "off", capacity, profile_capacity);
 
   // Periodic stats monitor: wakes every --stats-every seconds while the
   // serving threads run, rolling the latency gauges over the window of
@@ -294,6 +316,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(profiles.recorded()),
               static_cast<unsigned long long>(profiles.dropped()),
               profiles.capacity());
+  if (const exec::TaskPool* pool = engine.task_pool()) {
+    const exec::TaskPoolStats ps = pool->stats();
+    std::printf("pool: %zu workers, %llu tasks (%llu stolen), "
+                "%llu parallel loops (%llu nested inline), idle %llu ms\n",
+                ps.workers, static_cast<unsigned long long>(ps.tasks),
+                static_cast<unsigned long long>(ps.steals),
+                static_cast<unsigned long long>(ps.parallel_fors),
+                static_cast<unsigned long long>(ps.nested_inline),
+                static_cast<unsigned long long>(ps.idle_ms));
+  }
 
   if (!stats_json.empty()) {
     WriteStatsJson(stats_json, r, qps, engine, profiles, registry, threads,

@@ -105,7 +105,12 @@ bool ValidateFile(const std::string& path) {
   if (bench->string == "execute") {
     for (const char* key :
          {"exec_chunks_pruned", "wide_chunks_pruned", "speedup_cost_vs_greedy",
-          "join_qerror_median", "join_qerror_max"}) {
+          "join_qerror_median", "join_qerror_max",
+          // Morsel-driven parallel section: serial-vs-parallel throughput,
+          // the speedup, and the shared pool's counters. Their absence means
+          // the parallel executor silently fell out of the bench.
+          "serial_exec_queries_per_second", "parallel_exec_queries_per_second",
+          "speedup_parallel_vs_serial", "pool_tasks", "pool_steals"}) {
       const JsonValue* v = metrics->Find(key);
       if (v == nullptr || !v->is_number()) {
         return Fail(path, std::string("metrics.") + key +
